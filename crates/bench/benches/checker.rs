@@ -1,0 +1,58 @@
+//! Criterion bench: raw constraint-check cost per representation,
+//! encoding and transformation stage (the time dimension behind the
+//! paper's Tables 5, 10, 12, 13 and 15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdes_bench::experiment::{prepare_spec, Rep, Stage};
+use mdes_core::{CheckStats, Checker, ClassId, CompiledMdes, RuMap, UsageEncoding};
+use mdes_machines::Machine;
+
+/// Issues operations of every class round-robin against a warm RU map,
+/// releasing periodically so attempts keep alternating between success
+/// and failure (the paper's ~50/50 regime).
+fn drive(checker: &Checker<'_>, classes: &[ClassId]) -> u64 {
+    let mut ru = RuMap::new();
+    let mut stats = CheckStats::new();
+    let mut reserved = Vec::new();
+    for cycle in 0..64i32 {
+        for &class in classes {
+            if let Some(choice) = checker.try_reserve(&mut ru, class, cycle, &mut stats) {
+                reserved.push(choice);
+            }
+        }
+        if cycle % 8 == 7 {
+            for choice in reserved.drain(..) {
+                checker.release(&mut ru, &choice);
+            }
+        }
+    }
+    stats.resource_checks
+}
+
+fn bench_checker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    for machine in [Machine::SuperSparc, Machine::K5] {
+        for (label, rep, stage, encoding) in [
+            ("or-unopt-scalar", Rep::OrTree, Stage::Original, UsageEncoding::Scalar),
+            ("or-full-bitvec", Rep::OrTree, Stage::Full, UsageEncoding::BitVector),
+            ("andor-unopt-scalar", Rep::AndOr, Stage::Original, UsageEncoding::Scalar),
+            ("andor-full-bitvec", Rep::AndOr, Stage::Full, UsageEncoding::BitVector),
+        ] {
+            let spec = prepare_spec(machine, rep, stage);
+            let compiled = CompiledMdes::compile(&spec, encoding).unwrap();
+            let classes: Vec<ClassId> = spec.class_ids().collect();
+            group.bench_with_input(
+                BenchmarkId::new(label, machine.name()),
+                &compiled,
+                |b, compiled| {
+                    let checker = Checker::new(compiled);
+                    b.iter(|| drive(&checker, &classes));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

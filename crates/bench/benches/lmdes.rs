@@ -1,0 +1,38 @@
+//! Criterion bench: LMDES image encode/decode throughput — the paper's
+//! deployment model loads the customized low-level MDES at every
+//! compiler start-up, so the external representation is designed "to
+//! minimize the time required to load the MDES into memory" (Section 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdes_bench::experiment::{prepare_spec, Rep, Stage};
+use mdes_core::{lmdes, CompiledMdes, UsageEncoding};
+use mdes_machines::Machine;
+
+fn bench_lmdes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lmdes");
+    for machine in Machine::all() {
+        for (label, rep, stage) in [
+            ("unopt-or", Rep::OrTree, Stage::Original),
+            ("full-andor", Rep::AndOr, Stage::Full),
+        ] {
+            let spec = prepare_spec(machine, rep, stage);
+            let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+            let image = lmdes::write(&compiled);
+            group.throughput(Throughput::Bytes(image.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("read-{label}"), machine.name()),
+                &image,
+                |b, image| b.iter(|| lmdes::read(image).unwrap().options().len()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("write-{label}"), machine.name()),
+                &compiled,
+                |b, compiled| b.iter(|| lmdes::write(compiled).len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lmdes);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: cost of the MDES transformation pipeline itself and
+//! of AND/OR → OR expansion (the offline "MDES customization" phase —
+//! cheap enough to run at compiler start-up, which is the deployment
+//! model of the two-tier design).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdes_core::{CompiledMdes, UsageEncoding};
+use mdes_machines::Machine;
+use mdes_opt::pipeline::{optimize, PipelineConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    for machine in Machine::all() {
+        let spec = machine.spec();
+        group.bench_with_input(
+            BenchmarkId::new("full-optimize", machine.name()),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let mut copy = spec.clone();
+                    optimize(&mut copy, &PipelineConfig::full());
+                    copy.num_options()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("expand-to-or", machine.name()),
+            &spec,
+            |b, spec| b.iter(|| mdes_opt::expand_to_or(spec).0.num_options()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hmdl-compile", machine.name()),
+            &machine.source(),
+            |b, source| b.iter(|| mdes_lang::compile(source).unwrap().num_options()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lower-bitvector", machine.name()),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    CompiledMdes::compile(spec, UsageEncoding::BitVector)
+                        .unwrap()
+                        .options()
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

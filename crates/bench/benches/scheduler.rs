@@ -1,0 +1,47 @@
+//! Criterion bench: end-to-end list-scheduling throughput per machine and
+//! representation — the compile-time impact the paper's introduction
+//! motivates ("the efficiency of such checks can significantly impact the
+//! compile time").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdes_bench::experiment::{default_workload, prepare_spec, Rep, Stage};
+use mdes_core::{CheckStats, CompiledMdes, UsageEncoding};
+use mdes_machines::Machine;
+use mdes_sched::ListScheduler;
+use mdes_workload::generate;
+
+const OPS: usize = 4_000;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    for machine in Machine::all() {
+        for (label, rep, stage, encoding) in [
+            ("or-unopt", Rep::OrTree, Stage::Original, UsageEncoding::Scalar),
+            ("or-full", Rep::OrTree, Stage::Full, UsageEncoding::BitVector),
+            ("andor-full", Rep::AndOr, Stage::Full, UsageEncoding::BitVector),
+        ] {
+            let spec = prepare_spec(machine, rep, stage);
+            let workload = generate(machine, &spec, &default_workload(machine, OPS));
+            let compiled = CompiledMdes::compile(&spec, encoding).unwrap();
+            group.throughput(Throughput::Elements(workload.total_ops as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, machine.name()),
+                &(compiled, workload),
+                |b, (compiled, workload)| {
+                    let scheduler = ListScheduler::new(compiled);
+                    b.iter(|| {
+                        let mut stats = CheckStats::new();
+                        for block in &workload.blocks {
+                            scheduler.schedule(block, &mut stats);
+                        }
+                        stats.resource_checks
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

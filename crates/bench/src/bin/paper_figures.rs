@@ -1,0 +1,63 @@
+//! Regenerates the paper's Figures 1–6.
+//!
+//! Usage:
+//!
+//! ```text
+//! paper_figures [all|fig1|fig2|fig3|fig4|fig5|fig6] [--ops N]
+//! ```
+
+use mdes_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut selection: Vec<String> = Vec::new();
+    let mut total_ops = 40_000usize;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--ops" => {
+                total_ops = iter.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --ops requires a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: paper_figures [all|fig1..fig6|fig2-csv] [--ops N]");
+                return;
+            }
+            other => selection.push(other.to_string()),
+        }
+    }
+    if selection.is_empty() {
+        selection.push("all".to_string());
+    }
+
+    for name in &selection {
+        match name.as_str() {
+            "all" => {
+                for figure in ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6"] {
+                    emit(figure, total_ops);
+                }
+            }
+            other => emit(other, total_ops),
+        }
+    }
+}
+
+fn emit(name: &str, total_ops: usize) {
+    let text = match name {
+        "fig1" => figures::fig1(),
+        "fig2" => figures::fig2(total_ops),
+        "fig2-csv" => figures::fig2_csv(total_ops),
+        "fig3" => figures::fig3(),
+        "fig4" => figures::fig4(),
+        "fig5" => figures::fig5(),
+        "fig6" => figures::fig6(),
+        other => {
+            eprintln!("error: unknown figure `{other}` (try --help)");
+            std::process::exit(2);
+        }
+    };
+    println!("{text}");
+}

@@ -1,0 +1,91 @@
+//! Regenerates the paper's Tables 1–15 plus two ablations.
+//!
+//! Usage:
+//!
+//! ```text
+//! paper_tables [all|t1|t2|...|t15|ablation-fsa|ablation-ed] [--ops N]
+//! ```
+//!
+//! `--ops` sets the synthetic-workload size per machine (default 40000;
+//! the paper schedules 201k–282k static operations per platform).
+
+use mdes_bench::tables::{self, TableConfig};
+use mdes_machines::Machine;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut selection: Vec<String> = Vec::new();
+    let mut config = TableConfig::default();
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--ops" => {
+                let value = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--ops requires a positive integer"));
+                config.total_ops = value;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: paper_tables [all|t1..t15|ablation-fsa|ablation-ed|ablation-accuracy] [--ops N]"
+                );
+                return;
+            }
+            other => selection.push(other.to_string()),
+        }
+    }
+    if selection.is_empty() {
+        selection.push("all".to_string());
+    }
+
+    for name in &selection {
+        match name.as_str() {
+            "all" => {
+                for table in [
+                    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12",
+                    "t13", "t14", "t15", "ablation-fsa", "ablation-ed", "ablation-accuracy",
+                    "ablation-backward", "ablation-opsched", "ablation-ilp", "ablation-nextgen",
+                ] {
+                    emit(table, &config);
+                }
+            }
+            other => emit(other, &config),
+        }
+    }
+}
+
+fn emit(name: &str, config: &TableConfig) {
+    let text = match name {
+        "t1" => tables::table_breakdown(Machine::SuperSparc, config),
+        "t2" => tables::table_breakdown(Machine::Pa7100, config),
+        "t3" => tables::table_breakdown(Machine::Pentium, config),
+        "t4" => tables::table_breakdown(Machine::K5, config),
+        "t5" => tables::table5(config),
+        "t6" => tables::table6(),
+        "t7" => tables::table7(),
+        "t8" => tables::table8(config),
+        "t9" => tables::table9(),
+        "t10" => tables::table10(config),
+        "t11" => tables::table11(),
+        "t12" => tables::table12(config),
+        "t13" => tables::table13(config),
+        "t14" => tables::table14(),
+        "t15" => tables::table15(config),
+        "ablation-fsa" => tables::ablation_fsa(),
+        "ablation-ed" => tables::ablation_ed(config),
+        "ablation-accuracy" => tables::ablation_accuracy(config),
+        "ablation-backward" => tables::ablation_backward(config),
+        "ablation-opsched" => tables::ablation_opsched(config),
+        "ablation-ilp" => tables::ablation_ilp(config),
+        "ablation-nextgen" => tables::ablation_nextgen(config),
+        other => die(&format!("unknown table `{other}` (try --help)")),
+    };
+    println!("{text}");
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

@@ -1,0 +1,253 @@
+//! The experiment runner shared by every table and figure.
+//!
+//! One experiment = (machine, representation, transformation stage, usage
+//! encoding).  The runner prepares the spec exactly as the paper does —
+//! the OR-tree baseline is produced by the "MDES preprocessor" expansion
+//! of Section 4, then the selected transformations are applied to each
+//! representation independently — compiles it, schedules the machine's
+//! calibrated synthetic workload, and returns the statistics and memory
+//! measurements the tables report.
+
+use std::collections::HashMap;
+
+use mdes_core::size::{measure, MemoryReport};
+use mdes_core::spec::{AndOrTree, Constraint, MdesSpec, OrTreeId};
+use mdes_core::{CheckStats, CompiledMdes, UsageEncoding};
+use mdes_machines::Machine;
+use mdes_opt::pipeline::{optimize, PipelineConfig};
+use mdes_opt::expand::expand_to_or;
+use mdes_sched::ListScheduler;
+use mdes_workload::{generate, Workload, WorkloadConfig};
+
+/// Which constraint representation to measure.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Rep {
+    /// Traditional OR-trees (AND/OR constraints expanded to their cross
+    /// product, as the paper's preprocessor does).
+    OrTree,
+    /// The paper's AND/OR-trees, as authored.  Plain OR constraints are
+    /// wrapped in a one-child AND level, which is why the Pentium's
+    /// AND/OR representation is slightly *larger* (Table 6).
+    AndOr,
+}
+
+impl Rep {
+    /// Both representations in table order.
+    pub fn both() -> [Rep; 2] {
+        [Rep::OrTree, Rep::AndOr]
+    }
+
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rep::OrTree => "OR-tree",
+            Rep::AndOr => "AND/OR-tree",
+        }
+    }
+}
+
+/// How far through the paper's transformation pipeline to go.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// As authored (Section 4 baselines).
+    Original,
+    /// After redundancy + dominated-option elimination (Section 5).
+    Cleaned,
+    /// After usage-time shifting + zero-first check ordering (Section 7).
+    Shifted,
+    /// After AND/OR conflict-detection ordering + factoring (Section 8).
+    Full,
+}
+
+impl Stage {
+    /// Pipeline configuration for this stage, or `None` for
+    /// [`Stage::Original`].
+    pub fn pipeline(&self) -> Option<PipelineConfig> {
+        match self {
+            Stage::Original => None,
+            Stage::Cleaned => Some(PipelineConfig::section5()),
+            Stage::Shifted => Some(PipelineConfig::through_section7()),
+            Stage::Full => Some(PipelineConfig::full()),
+        }
+    }
+}
+
+/// Prepares the spec for one experiment cell.
+pub fn prepare_spec(machine: Machine, rep: Rep, stage: Stage) -> MdesSpec {
+    let mut spec = machine.spec();
+    match rep {
+        Rep::OrTree => {
+            spec = expand_to_or(&spec).0;
+        }
+        Rep::AndOr => {
+            wrap_or_classes(&mut spec);
+        }
+    }
+    if let Some(config) = stage.pipeline() {
+        optimize(&mut spec, &config);
+    }
+    spec
+}
+
+/// Wraps every plain-OR class constraint in a one-child AND/OR tree (the
+/// uniform AND/OR low-level form, whose AND-level header accounts for the
+/// Pentium's small size increase in Table 6).
+fn wrap_or_classes(spec: &mut MdesSpec) {
+    let mut wrapped: HashMap<OrTreeId, mdes_core::AndOrTreeId> = HashMap::new();
+    for class_id in spec.class_ids().collect::<Vec<_>>() {
+        if let Constraint::Or(or) = spec.class(class_id).constraint {
+            let andor = *wrapped
+                .entry(or)
+                .or_insert_with(|| spec.add_and_or_tree(AndOrTree::new(vec![or])));
+            spec.class_mut(class_id).constraint = Constraint::AndOr(andor);
+        }
+    }
+}
+
+/// The measurements of one experiment cell.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Scheduling statistics over the workload.
+    pub stats: CheckStats,
+    /// Memory footprint of the compiled representation.
+    pub memory: MemoryReport,
+    /// FNV-1a hash of all issue cycles — identical across cells of the
+    /// same machine iff the exact same schedule was produced (the paper's
+    /// Section-4 invariant).
+    pub schedule_hash: u64,
+}
+
+/// Runs one experiment cell.
+pub fn run(
+    machine: Machine,
+    rep: Rep,
+    stage: Stage,
+    encoding: UsageEncoding,
+    workload_config: &WorkloadConfig,
+) -> RunResult {
+    let spec = prepare_spec(machine, rep, stage);
+    let workload = generate(machine, &spec, workload_config);
+    run_on(&spec, &workload, encoding)
+}
+
+/// Runs the scheduler over a prepared spec and workload.
+pub fn run_on(spec: &MdesSpec, workload: &Workload, encoding: UsageEncoding) -> RunResult {
+    let compiled = CompiledMdes::compile(spec, encoding).expect("experiment spec must compile");
+    let scheduler = ListScheduler::new(&compiled);
+    let mut stats = CheckStats::new();
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for block in &workload.blocks {
+        let schedule = scheduler.schedule(block, &mut stats);
+        for cycle in schedule.cycles() {
+            hash ^= cycle as u32 as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    }
+    RunResult {
+        stats,
+        memory: measure(&compiled),
+        schedule_hash: hash,
+    }
+}
+
+/// Memory-only measurement (for the size tables, which need no workload).
+pub fn measure_only(machine: Machine, rep: Rep, stage: Stage, encoding: UsageEncoding) -> MemoryReport {
+    let spec = prepare_spec(machine, rep, stage);
+    let compiled = CompiledMdes::compile(&spec, encoding).expect("experiment spec must compile");
+    measure(&compiled)
+}
+
+/// The default workload size used by the shipped experiment binaries.
+pub fn default_workload(machine: Machine, total_ops: usize) -> WorkloadConfig {
+    WorkloadConfig::paper_default(machine).with_total_ops(total_ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_identical_across_reps_stages_and_encodings() {
+        // The paper's core invariant (Section 4): every transformation
+        // and both representations produce the exact same schedule.
+        let machine = Machine::SuperSparc;
+        let config = default_workload(machine, 1_500);
+        let mut hashes = Vec::new();
+        for rep in Rep::both() {
+            for stage in [Stage::Original, Stage::Cleaned, Stage::Shifted, Stage::Full] {
+                for encoding in [UsageEncoding::Scalar, UsageEncoding::BitVector] {
+                    let result = run(machine, rep, stage, encoding, &config);
+                    hashes.push(result.schedule_hash);
+                }
+            }
+        }
+        assert!(
+            hashes.iter().all(|&h| h == hashes[0]),
+            "schedules diverged: {hashes:?}"
+        );
+    }
+
+    #[test]
+    fn and_or_reduces_checks_on_flexible_machines() {
+        let machine = Machine::K5;
+        let config = default_workload(machine, 1_000);
+        let or = run(machine, Rep::OrTree, Stage::Original, UsageEncoding::Scalar, &config);
+        let andor = run(machine, Rep::AndOr, Stage::Original, UsageEncoding::Scalar, &config);
+        assert!(
+            andor.stats.checks_per_attempt() < or.stats.checks_per_attempt() / 2.0,
+            "AND/OR {} vs OR {}",
+            andor.stats.checks_per_attempt(),
+            or.stats.checks_per_attempt()
+        );
+        assert_eq!(or.schedule_hash, andor.schedule_hash);
+    }
+
+    #[test]
+    fn and_or_shrinks_flexible_machines_but_grows_pentium() {
+        let k5_or = measure_only(Machine::K5, Rep::OrTree, Stage::Original, UsageEncoding::Scalar);
+        let k5_andor = measure_only(Machine::K5, Rep::AndOr, Stage::Original, UsageEncoding::Scalar);
+        assert!(
+            (k5_andor.total() as f64) < k5_or.total() as f64 / 20.0,
+            "K5: AND/OR {} vs OR {}",
+            k5_andor.total(),
+            k5_or.total()
+        );
+
+        let p_or = measure_only(Machine::Pentium, Rep::OrTree, Stage::Original, UsageEncoding::Scalar);
+        let p_andor = measure_only(Machine::Pentium, Rep::AndOr, Stage::Original, UsageEncoding::Scalar);
+        assert!(
+            p_andor.total() > p_or.total(),
+            "Pentium AND/OR must be slightly larger ({} vs {})",
+            p_andor.total(),
+            p_or.total()
+        );
+    }
+
+    #[test]
+    fn pipeline_stages_monotonically_shrink_or_hold_size() {
+        for machine in Machine::all() {
+            for rep in Rep::both() {
+                let original = measure_only(machine, rep, Stage::Original, UsageEncoding::Scalar);
+                let cleaned = measure_only(machine, rep, Stage::Cleaned, UsageEncoding::Scalar);
+                assert!(
+                    cleaned.total() <= original.total(),
+                    "{} {:?}: cleanup grew the MDES",
+                    machine.name(),
+                    rep
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn time_shift_reduces_checks_per_option_to_near_one() {
+        let machine = Machine::SuperSparc;
+        let config = default_workload(machine, 1_500);
+        let shifted = run(machine, Rep::OrTree, Stage::Shifted, UsageEncoding::BitVector, &config);
+        let ratio = shifted.stats.checks_per_option();
+        assert!(
+            (1.0..1.3).contains(&ratio),
+            "checks/option {ratio} not near 1.0"
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! * [`experiment`] — the (machine × representation × stage × encoding)
+//!   runner shared by all experiments;
+//! * [`tables`] — Tables 1–15 plus two ablations;
+//! * [`figures`] — Figures 1–6;
+//! * [`paper`] — reference values transcribed from the paper;
+//! * [`report`] — plain-text table rendering.
+//!
+//! Binaries: `paper_tables [all|t1..t15|ablation-fsa|ablation-ed]
+//! [--ops N]` and `paper_figures [all|fig1..fig6]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod paper;
+pub mod report;
+pub mod tables;

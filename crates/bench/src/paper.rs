@@ -1,0 +1,174 @@
+//! Reference values transcribed from the paper's tables.
+//!
+//! Values the scanned source renders illegibly are `None`; the tables
+//! print them as "—".  Machine order everywhere is the paper's:
+//! PA7100, Pentium, SuperSPARC, K5.
+
+use mdes_machines::Machine;
+
+/// Index of a machine in the paper's table order.
+pub fn idx(machine: Machine) -> usize {
+    match machine {
+        Machine::Pa7100 => 0,
+        Machine::Pentium => 1,
+        Machine::SuperSparc => 2,
+        Machine::K5 => 3,
+    }
+}
+
+/// Table 1: SuperSPARC (options, % of scheduling attempts).
+pub const TABLE1: &[(usize, f64)] = &[
+    (1, 13.41),
+    (3, 0.72),
+    (6, 14.37),
+    (12, 4.92),
+    (24, 9.24),
+    (36, 3.00),
+    (48, 50.29),
+    (72, 4.05),
+];
+
+/// Table 2: PA7100.
+pub const TABLE2: &[(usize, f64)] = &[(1, 18.81), (2, 81.19)];
+
+/// Table 3: Pentium.
+pub const TABLE3: &[(usize, f64)] = &[(1, 45.42), (2, 54.58)];
+
+/// Table 4: K5.
+pub const TABLE4: &[(usize, f64)] = &[
+    (16, 14.72),
+    (24, 0.14),
+    (32, 74.72),
+    (48, 5.91),
+    (64, 2.56),
+    (96, 0.19),
+    (128, 0.66),
+    (192, 0.15),
+    (256, 0.37),
+    (384, 0.43),
+    (768, 0.15),
+];
+
+/// Table 5: static operations scheduled per platform.
+pub const TABLE5_OPS: [usize; 4] = [201_011, 207_341, 282_219, 203_094];
+
+/// Table 5: average scheduling attempts per operation.
+pub const TABLE5_ATTEMPTS: [Option<f64>; 4] = [Some(1.97), Some(1.47), Some(2.05), Some(1.65)];
+
+/// Table 5: OR-tree average options checked per attempt.
+pub const TABLE5_OR_OPTIONS: [Option<f64>; 4] = [Some(1.56), Some(1.49), Some(21.48), Some(19.59)];
+
+/// Table 5: OR-tree average checks per attempt.
+pub const TABLE5_OR_CHECKS: [Option<f64>; 4] = [Some(2.47), Some(3.99), Some(31.09), Some(35.49)];
+
+/// Table 5: AND/OR-tree average options checked per attempt.
+pub const TABLE5_ANDOR_OPTIONS: [Option<f64>; 4] = [Some(1.45), Some(1.49), None, Some(5.20)];
+
+/// Table 5: AND/OR-tree average checks per attempt.
+pub const TABLE5_ANDOR_CHECKS: [Option<f64>; 4] = [Some(1.89), Some(3.99), Some(4.82), Some(5.73)];
+
+/// Table 6: original OR-tree representation bytes.
+pub const TABLE6_OR_BYTES: [Option<usize>; 4] =
+    [Some(2504), Some(14824), Some(17124), Some(312_640)];
+
+/// Table 6: original AND/OR-tree representation bytes.
+pub const TABLE6_ANDOR_BYTES: [Option<usize>; 4] = [None, Some(15416), Some(2624), Some(4316)];
+
+/// Table 7: OR-tree bytes after redundancy elimination.
+pub const TABLE7_OR_BYTES: [Option<usize>; 4] = [Some(1712), Some(10814), Some(14752), Some(266_034)];
+
+/// Table 7: AND/OR-tree bytes after redundancy elimination.
+pub const TABLE7_ANDOR_BYTES: [Option<usize>; 4] = [Some(1232), Some(11296), Some(1846), Some(3502)];
+
+/// Table 9: OR-tree bytes after bit-vector packing.
+pub const TABLE9_OR_BYTES: [Option<usize>; 4] = [Some(1404), Some(3224), Some(11152), Some(183_280)];
+
+/// Table 9: AND/OR-tree bytes after bit-vector packing.
+pub const TABLE9_ANDOR_BYTES: [Option<usize>; 4] = [Some(1128), Some(3704), Some(1640), Some(3136)];
+
+/// Table 10: OR-tree checks/attempt with bit-vectors.
+pub const TABLE10_OR_CHECKS: [Option<f64>; 4] = [Some(2.18), Some(2.31), Some(26.69), Some(34.35)];
+
+/// Table 10: AND/OR-tree checks/attempt with bit-vectors.
+pub const TABLE10_ANDOR_CHECKS: [Option<f64>; 4] = [Some(1.76), Some(2.31), Some(4.62), Some(5.80)];
+
+/// Table 11: OR-tree bytes after usage-time shifting.
+pub const TABLE11_OR_BYTES: [Option<usize>; 4] = [Some(1168), Some(3080), Some(7016), Some(125_488)];
+
+/// Table 11: AND/OR-tree bytes after usage-time shifting.
+pub const TABLE11_ANDOR_BYTES: [Option<usize>; 4] = [Some(1032), Some(3560), Some(1584), Some(3096)];
+
+/// Table 12: OR-tree checks/attempt after shifting + zero-first ordering.
+pub const TABLE12_OR_CHECKS: [Option<f64>; 4] = [Some(1.59), Some(1.57), Some(21.59), Some(19.87)];
+
+/// Table 12: OR-tree checks per option after the transformation.
+pub const TABLE12_OR_CHECKS_PER_OPTION: [Option<f64>; 4] =
+    [Some(1.12), Some(1.05), Some(1.10), Some(1.41)];
+
+/// Table 12: AND/OR-tree checks/attempt after shifting + ordering.
+pub const TABLE12_ANDOR_CHECKS: [Option<f64>; 4] = [Some(1.55), Some(1.57), Some(4.49), Some(5.25)];
+
+/// Table 12: AND/OR-tree checks per option.
+pub const TABLE12_ANDOR_CHECKS_PER_OPTION: [Option<f64>; 4] =
+    [None, Some(1.05), Some(1.03), Some(1.01)];
+
+/// Table 13: AND/OR options/attempt before conflict-detection ordering.
+pub const TABLE13_OPTIONS_BEFORE: [Option<f64>; 4] =
+    [Some(1.38), Some(1.49), Some(4.38), Some(5.20)];
+
+/// Table 13: AND/OR options/attempt after.
+pub const TABLE13_OPTIONS_AFTER: [Option<f64>; 4] =
+    [Some(1.38), Some(1.49), Some(2.97), Some(4.32)];
+
+/// Table 13: AND/OR checks/attempt before.
+pub const TABLE13_CHECKS_BEFORE: [Option<f64>; 4] = [Some(1.55), Some(1.57), Some(4.49), Some(5.25)];
+
+/// Table 13: AND/OR checks/attempt after.
+pub const TABLE13_CHECKS_AFTER: [Option<f64>; 4] = [Some(1.55), Some(1.57), Some(3.08), Some(4.38)];
+
+/// Table 14: fully optimized OR-tree bytes (with bit-vectors).
+pub const TABLE14_OR_BYTES: [Option<usize>; 4] = [Some(1168), Some(3080), Some(7016), Some(125_488)];
+
+/// Table 14: fully optimized AND/OR-tree bytes.
+pub const TABLE14_ANDOR_BYTES: [Option<usize>; 4] = [Some(1032), Some(3560), Some(1584), Some(3096)];
+
+/// Table 15: unoptimized OR-tree checks/attempt.
+pub const TABLE15_UNOPT: [Option<f64>; 4] = [Some(2.47), Some(3.99), Some(31.09), Some(35.49)];
+
+/// Table 15: fully optimized OR-tree checks/attempt.
+pub const TABLE15_OR: [Option<f64>; 4] = [Some(1.59), Some(1.57), Some(21.59), Some(19.87)];
+
+/// Table 15: fully optimized AND/OR-tree checks/attempt.
+pub const TABLE15_ANDOR: [Option<f64>; 4] = [Some(1.55), Some(1.57), Some(3.08), Some(4.38)];
+
+/// Figure 2 reference points: fraction of attempts checking exactly one
+/// option, and fraction checking 24–72 options.
+pub const FIG2_ONE_OPTION: f64 = 38.02;
+/// Figure 2: fraction of attempts checking between 24 and 72 options.
+pub const FIG2_24_TO_72: f64 = 45.52;
+/// Figure 2: peak at 48 options checked.
+pub const FIG2_AT_48: f64 = 30.05;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_percentages_sum_to_one_hundred() {
+        for (name, table) in [
+            ("t1", TABLE1),
+            ("t2", TABLE2),
+            ("t3", TABLE3),
+            ("t4", TABLE4),
+        ] {
+            let sum: f64 = table.iter().map(|(_, p)| p).sum();
+            assert!((sum - 100.0).abs() < 0.2, "{name} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn machine_index_matches_paper_order() {
+        assert_eq!(idx(Machine::Pa7100), 0);
+        assert_eq!(idx(Machine::K5), 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Plain-text table formatting for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A right-aligned plain-text table builder.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (short rows are padded with blanks).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut TextTable {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn f2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(value: f64) -> String {
+    format!("{value:.1}%")
+}
+
+/// Formats a paper reference value, or a dash when the scanned source is
+/// illegible.
+pub fn paper_ref(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.2}"),
+        None => "—".to_string(),
+    }
+}
+
+/// Formats a paper reference byte count.
+pub fn paper_bytes(value: Option<usize>) -> String {
+    match value {
+        Some(v) => v.to_string(),
+        None => "—".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut table = TextTable::new(["MDES", "Options"]);
+        table.row(["PA7100", "25"]);
+        table.row(["SuperSPARC", "313"]);
+        let text = table.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("MDES"));
+        assert!(lines[1].starts_with('-'));
+        // All rows share the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut table = TextTable::new(["a", "b", "c"]);
+        table.row(["1"]);
+        assert!(table.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.0 / 3.0), "0.33");
+        assert_eq!(pct(84.52), "84.5%");
+        assert_eq!(paper_ref(Some(2.05)), "2.05");
+        assert_eq!(paper_ref(None), "—");
+        assert_eq!(paper_bytes(Some(312640)), "312640");
+    }
+}

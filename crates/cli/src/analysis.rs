@@ -1,0 +1,289 @@
+//! `mdesc lint` and `mdesc diff` — maintenance tooling for evolving
+//! machine descriptions.
+//!
+//! Section 5 of the paper is a story about evolution: "as the machine
+//! descriptions evolve, the amount of redundant and unused information in
+//! the MDES tends to grow, because … it is typically easier to just make
+//! a local copy of the information to be changed than to do the careful
+//! analysis required to safely modify or delete existing information."
+//! The linter performs that careful analysis (without modifying
+//! anything); the differ shows what actually changed between two
+//! revisions of a description.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use mdes_core::spec::MdesSpec;
+
+/// One linter finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Finding category (stable identifier, e.g. `duplicate-option`).
+    pub kind: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Analyzes a description for the Section-5 smells without changing it.
+pub fn lint(spec: &MdesSpec) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // Duplicate (structurally identical) options.
+    let mut seen_options: BTreeMap<Vec<(usize, i32)>, usize> = BTreeMap::new();
+    for id in spec.option_ids() {
+        let shape: Vec<(usize, i32)> = spec
+            .option(id)
+            .usages
+            .iter()
+            .map(|u| (u.resource.index(), u.time))
+            .collect();
+        match seen_options.get(&shape) {
+            Some(&first) => findings.push(Finding {
+                kind: "duplicate-option",
+                message: format!(
+                    "option #{} duplicates option #{first} (redundancy elimination would merge them)",
+                    id.index()
+                ),
+            }),
+            None => {
+                seen_options.insert(shape, id.index());
+            }
+        }
+    }
+
+    // Dominated options within each OR-tree.
+    for tree_id in spec.or_tree_ids() {
+        let tree = spec.or_tree(tree_id);
+        let name = tree.name.clone().unwrap_or_else(|| format!("#{}", tree_id.index()));
+        for (i, &candidate) in tree.options.iter().enumerate() {
+            let dominated = tree.options[..i]
+                .iter()
+                .any(|&winner| spec.option(candidate).covers(spec.option(winner)));
+            if dominated {
+                findings.push(Finding {
+                    kind: "dominated-option",
+                    message: format!(
+                        "or_tree {name}: option {} can never be selected (a higher-priority \
+                         option uses a subset of its resources)",
+                        i + 1
+                    ),
+                });
+            }
+        }
+    }
+
+    // Unused (unreachable) items.
+    let mut probe = spec.clone();
+    let sweep = probe.sweep_unreferenced();
+    if sweep.total() > 0 {
+        findings.push(Finding {
+            kind: "unused-items",
+            message: format!(
+                "{} option(s), {} OR-tree(s) and {} AND/OR-tree(s) are not reachable from any class",
+                sweep.options_removed, sweep.or_trees_removed, sweep.and_or_trees_removed
+            ),
+        });
+    }
+
+    // Classes without opcodes (unreachable from the compiler's vocabulary).
+    for id in spec.class_ids() {
+        if spec.opcodes_of_class(id).is_empty() {
+            findings.push(Finding {
+                kind: "class-without-opcodes",
+                message: format!(
+                    "class `{}` has no opcodes mapped to it (internal classes are fine; \
+                     otherwise it is dead vocabulary)",
+                    spec.class(id).name
+                ),
+            });
+        }
+    }
+
+    // Unused resources.
+    let mut used = vec![false; spec.resources().len()];
+    for id in spec.option_ids() {
+        for usage in &spec.option(id).usages {
+            used[usage.resource.index()] = true;
+        }
+    }
+    for (id, name) in spec.resources().iter() {
+        if !used[id.index()] {
+            findings.push(Finding {
+                kind: "unused-resource",
+                message: format!("resource `{name}` is never used by any option"),
+            });
+        }
+    }
+
+    findings
+}
+
+/// A structural diff between two revisions of a description.
+pub fn diff(old: &MdesSpec, new: &MdesSpec) -> String {
+    let mut out = String::new();
+
+    // Resources.
+    let old_res: Vec<&str> = old.resources().iter().map(|(_, n)| n).collect();
+    let new_res: Vec<&str> = new.resources().iter().map(|(_, n)| n).collect();
+    for name in &new_res {
+        if !old_res.contains(name) {
+            let _ = writeln!(out, "+ resource {name}");
+        }
+    }
+    for name in &old_res {
+        if !new_res.contains(name) {
+            let _ = writeln!(out, "- resource {name}");
+        }
+    }
+
+    // Classes: added / removed / changed option counts, latency, flags.
+    let describe = |spec: &MdesSpec, id: mdes_core::ClassId| -> (usize, i32, i32, i32) {
+        let class = spec.class(id);
+        (
+            spec.class_option_count(id),
+            class.latency.dest,
+            class.latency.src,
+            class.latency.mem,
+        )
+    };
+    for id in new.class_ids() {
+        let name = &new.class(id).name;
+        match old.class_by_name(name) {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "+ class {name} ({} options)",
+                    new.class_option_count(id)
+                );
+            }
+            Some(old_id) => {
+                let before = describe(old, old_id);
+                let after = describe(new, id);
+                if before != after {
+                    let _ = writeln!(
+                        out,
+                        "~ class {name}: options {} -> {}, latency {}/{}/{} -> {}/{}/{}",
+                        before.0, after.0, before.1, before.2, before.3, after.1, after.2,
+                        after.3
+                    );
+                }
+            }
+        }
+    }
+    for id in old.class_ids() {
+        let name = &old.class(id).name;
+        if new.class_by_name(name).is_none() {
+            let _ = writeln!(out, "- class {name}");
+        }
+    }
+
+    // Opcodes.
+    for (mnemonic, class) in new.opcodes() {
+        match old.opcode_class(mnemonic) {
+            None => {
+                let _ = writeln!(out, "+ op {mnemonic} = {}", new.class(*class).name);
+            }
+            Some(old_class) => {
+                let old_name = &old.class(old_class).name;
+                let new_name = &new.class(*class).name;
+                if old_name != new_name {
+                    let _ = writeln!(out, "~ op {mnemonic}: {old_name} -> {new_name}");
+                }
+            }
+        }
+    }
+    for (mnemonic, _) in old.opcodes() {
+        if new.opcode_class(mnemonic).is_none() {
+            let _ = writeln!(out, "- op {mnemonic}");
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("no structural differences\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> MdesSpec {
+        mdes_lang::compile(src).unwrap()
+    }
+
+    const MESSY: &str = "
+        resource Dec[2];
+        resource Ghost;
+        or_tree T = first_of(
+            { Dec[0] @ 0 },
+            { Dec[0] @ 0 },              // duplicate
+            { Dec[0] @ 0, Dec[1] @ 0 }); // dominated
+        or_tree Orphan = first_of({ Dec[1] @ 3 });
+        class alu { constraint = T; }
+    ";
+
+    #[test]
+    fn lint_finds_every_section5_smell() {
+        let spec = compile(MESSY);
+        let findings = lint(&spec);
+        let kinds: Vec<&str> = findings.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&"duplicate-option"), "{kinds:?}");
+        assert!(kinds.contains(&"dominated-option"), "{kinds:?}");
+        assert!(kinds.contains(&"unused-items"), "{kinds:?}");
+        assert!(kinds.contains(&"class-without-opcodes"), "{kinds:?}");
+        assert!(kinds.contains(&"unused-resource"), "{kinds:?}");
+    }
+
+    #[test]
+    fn lint_is_clean_on_a_tidy_description() {
+        let spec = compile(
+            "resource M;
+             or_tree T = first_of({ M @ 0 });
+             class mem { constraint = T; flags = load; }
+             op LD = mem;",
+        );
+        assert!(lint(&spec).is_empty());
+    }
+
+    #[test]
+    fn lint_does_not_modify_the_spec() {
+        let spec = compile(MESSY);
+        let before = spec.clone();
+        let _ = lint(&spec);
+        assert_eq!(spec, before);
+    }
+
+    #[test]
+    fn diff_reports_additions_removals_and_changes() {
+        let old = compile(
+            "resource M;
+             or_tree T = first_of({ M @ 0 });
+             class mem { constraint = T; latency = 1; }
+             op LD = mem;
+             op ST = mem;",
+        );
+        let new = compile(
+            "resource M;
+             resource M2;
+             or_tree T = first_of({ M @ 0 }, { M2 @ 0 });
+             class mem { constraint = T; latency = 2; }
+             class alu { constraint = T; }
+             op LD = mem;
+             op ADD = alu;
+             op ST = alu;",
+        );
+        let text = diff(&old, &new);
+        assert!(text.contains("+ resource M2"), "{text}");
+        assert!(text.contains("~ class mem: options 1 -> 2, latency 1/0/1 -> 2/0/2"), "{text}");
+        assert!(text.contains("+ class alu"), "{text}");
+        assert!(text.contains("+ op ADD"), "{text}");
+        assert!(text.contains("~ op ST: mem -> alu"), "{text}");
+    }
+
+    #[test]
+    fn diff_of_identical_specs_is_empty() {
+        let spec = compile("resource M; or_tree T = first_of({ M @ 0 }); class c { constraint = T; }");
+        assert_eq!(diff(&spec, &spec), "no structural differences\n");
+    }
+}

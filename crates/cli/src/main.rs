@@ -1,0 +1,433 @@
+//! `mdesc` — the command-line MDES customizer.
+//!
+//! The paper's two-tier model assumes an offline step that translates the
+//! high-level description into the optimized low-level file the compiler
+//! loads at start-up (IMPACT's "Lmdes customizer", reference \[4\]).  This
+//! binary is that step:
+//!
+//! ```text
+//! mdesc compile <in.hmdl> [-o out.lmdes] [--no-optimize] [--expand-or]
+//!               [--encoding scalar|bitvector] [--direction forward|backward]
+//! mdesc dump    <in.hmdl|in.lmdes> [--class NAME]
+//! mdesc stats   <in.hmdl>
+//! mdesc fmt     <in.hmdl>
+//! mdesc check   <in.hmdl>
+//! mdesc bundled <PA7100|Pentium|SuperSPARC|K5>
+//! ```
+
+mod analysis;
+
+use std::process::ExitCode;
+
+use mdes_core::size::measure;
+use mdes_core::{lmdes, CompiledMdes, MdesSpec, UsageEncoding};
+use mdes_opt::pipeline::{optimize, PipelineConfig};
+use mdes_opt::timeshift::Direction;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "compile" => compile_cmd(rest),
+        "dump" => dump_cmd(rest),
+        "stats" => stats_cmd(rest),
+        "fmt" => fmt_cmd(rest),
+        "check" => check_cmd(rest),
+        "bundled" => bundled_cmd(rest),
+        "schedule" => schedule_cmd(rest),
+        "dot" => dot_cmd(rest),
+        "lint" => lint_cmd(rest),
+        "diff" => diff_cmd(rest),
+        "chart" => chart_cmd(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: mdesc <command>\n\
+     \n\
+     commands:\n\
+     \x20 compile <in.hmdl> [-o out.lmdes] [--no-optimize] [--expand-or]\n\
+     \x20         [--encoding scalar|bitvector] [--direction forward|backward]\n\
+     \x20         translate a high-level description to an optimized LMDES image\n\
+     \x20 dump    <in.hmdl|in.lmdes> [--class NAME]   inspect a description\n\
+     \x20 stats   <in.hmdl>                           per-stage size report\n\
+     \x20 fmt     <in.hmdl>                           canonical formatting to stdout\n\
+     \x20 check   <in.hmdl>                           validate only\n\
+     \x20 bundled <machine>                           print a bundled description\n\
+     \x20 schedule <in.hmdl> [--ops N] [--no-optimize]\n\
+     \x20         drive the list scheduler over a synthetic stream and report\n\
+     \x20         the paper's efficiency statistics\n\
+     \x20 dot     <in.hmdl> --class NAME              Graphviz export of a constraint\n\
+     \x20 lint    <in.hmdl>                           find redundant/unused/dead info\n\
+     \x20 diff    <old.hmdl> <new.hmdl>               structural diff of two revisions\n\
+     \x20 chart   <in.hmdl> [--ops N]                 schedule a block and show the RU map"
+        .to_string()
+}
+
+/// Loads and elaborates an HMDL file, rendering diagnostics with source
+/// context.
+fn load_hmdl(path: &str) -> Result<MdesSpec, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    mdes_lang::compile(&source).map_err(|e| format!("{path}:\n{}", e.render(&source)))
+}
+
+fn compile_cmd(args: &[String]) -> Result<(), String> {
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut do_optimize = true;
+    let mut expand_or = false;
+    let mut encoding = UsageEncoding::BitVector;
+    let mut direction = Direction::Forward;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-o" => output = Some(iter.next().ok_or("-o requires a path")?),
+            "--no-optimize" => do_optimize = false,
+            "--expand-or" => expand_or = true,
+            "--encoding" => {
+                encoding = match iter.next().map(String::as_str) {
+                    Some("scalar") => UsageEncoding::Scalar,
+                    Some("bitvector") => UsageEncoding::BitVector,
+                    other => return Err(format!("bad --encoding {other:?}")),
+                };
+            }
+            "--direction" => {
+                direction = match iter.next().map(String::as_str) {
+                    Some("forward") => Direction::Forward,
+                    Some("backward") => Direction::Backward,
+                    other => return Err(format!("bad --direction {other:?}")),
+                };
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("compile needs an input .hmdl file")?;
+    let mut spec = load_hmdl(input)?;
+
+    if expand_or {
+        spec = mdes_opt::expand_to_or(&spec).0;
+    }
+    if do_optimize {
+        let config = PipelineConfig {
+            direction,
+            ..PipelineConfig::full()
+        };
+        optimize(&mut spec, &config);
+    }
+
+    let compiled = CompiledMdes::compile(&spec, encoding).map_err(|e| e.to_string())?;
+    let image = lmdes::write(&compiled);
+    let report = measure(&compiled);
+
+    let output = output.map(str::to_string).unwrap_or_else(|| {
+        let stem = input.strip_suffix(".hmdl").unwrap_or(input);
+        format!("{stem}.lmdes")
+    });
+    std::fs::write(&output, &image).map_err(|e| format!("cannot write `{output}`: {e}"))?;
+    println!(
+        "wrote {output}: {} bytes on disk, {} bytes in-compiler ({} options, {} OR-trees, {} classes)",
+        image.len(),
+        report.total(),
+        report.num_options,
+        report.num_or_trees,
+        compiled.classes().len()
+    );
+    Ok(())
+}
+
+/// Loads either tier by sniffing the LMDES magic.
+fn load_any(path: &str) -> Result<CompiledMdes, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    if bytes.starts_with(lmdes::MAGIC) {
+        return lmdes::read(&bytes).map_err(|e| format!("{path}: {e}"));
+    }
+    let source = String::from_utf8(bytes).map_err(|_| format!("`{path}` is not UTF-8 HMDL"))?;
+    let spec = mdes_lang::compile(&source).map_err(|e| format!("{path}:\n{}", e.render(&source)))?;
+    CompiledMdes::compile(&spec, UsageEncoding::BitVector).map_err(|e| e.to_string())
+}
+
+fn dump_cmd(args: &[String]) -> Result<(), String> {
+    let mut input: Option<&str> = None;
+    let mut class: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--class" => class = Some(iter.next().ok_or("--class requires a name")?),
+            other if input.is_none() => input = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("dump needs an input file")?;
+
+    // Prefer the spec-level dump for HMDL (names survive); fall back to
+    // the compiled dump for LMDES images.
+    if let Ok(spec) = load_hmdl(input) {
+        println!(
+            "{input}: {} resources, {} options, {} OR-trees, {} AND/OR-trees, {} classes, {} opcodes",
+            spec.resources().len(),
+            spec.num_options(),
+            spec.num_or_trees(),
+            spec.num_and_or_trees(),
+            spec.num_classes(),
+            spec.opcodes().len(),
+        );
+        match class {
+            Some(name) => match mdes_core::pretty::class_constraint(&spec, name) {
+                Some(text) => println!("\n{text}"),
+                None => return Err(format!("class `{name}` not found")),
+            },
+            None => {
+                println!("\nclass                 options  latency  opcodes");
+                println!("---------------------+--------+--------+--------");
+                for id in spec.class_ids() {
+                    let c = spec.class(id);
+                    println!(
+                        "{:<21}| {:>6} | {:>6} | {}",
+                        c.name,
+                        spec.class_option_count(id),
+                        c.latency.dest,
+                        spec.opcodes_of_class(id).join(" ")
+                    );
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    let compiled = load_any(input)?;
+    println!(
+        "{input}: LMDES image, {:?} encoding, {} resources, {} options, {} OR-trees, {} classes",
+        compiled.encoding(),
+        compiled.num_resources(),
+        compiled.options().len(),
+        compiled.or_trees().len(),
+        compiled.classes().len()
+    );
+    for (i, c) in compiled.classes().iter().enumerate() {
+        let id = mdes_core::ClassId::from_index(i);
+        println!(
+            "  {:<21} {:>6} options, latency {}",
+            c.name,
+            compiled.class_option_count(id),
+            c.latency.dest
+        );
+    }
+    Ok(())
+}
+
+fn stats_cmd(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("stats needs an input .hmdl file")?;
+    let spec = load_hmdl(input)?;
+
+    println!("=== {input} ===");
+    for stage in mdes_opt::staged_report(&spec, Direction::Forward) {
+        println!(
+            "{:<48} {:>5} options {:>8} bytes  ({} probes)",
+            stage.stage, stage.options, stage.bytes, stage.checks
+        );
+    }
+    let (expanded, _) = mdes_opt::expand_to_or(&spec);
+    let compiled =
+        CompiledMdes::compile(&expanded, UsageEncoding::Scalar).map_err(|e| e.to_string())?;
+    let memory = measure(&compiled);
+    println!(
+        "{:<48} {:>5} options {:>8} bytes  ({} probes)",
+        "traditional OR-tree baseline (scalar)",
+        memory.num_options,
+        memory.total(),
+        memory.num_checks
+    );
+    Ok(())
+}
+
+fn fmt_cmd(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("fmt needs an input .hmdl file")?;
+    let spec = load_hmdl(input)?;
+    let printed = mdes_lang::print(&spec).map_err(|e| e.to_string())?;
+    print!("{printed}");
+    Ok(())
+}
+
+fn check_cmd(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("check needs an input .hmdl file")?;
+    let spec = load_hmdl(input)?;
+    println!(
+        "{input}: ok ({} classes, {} options, {} opcodes)",
+        spec.num_classes(),
+        spec.num_options(),
+        spec.opcodes().len()
+    );
+    Ok(())
+}
+
+fn schedule_cmd(args: &[String]) -> Result<(), String> {
+    let mut input: Option<&str> = None;
+    let mut total_ops = 10_000usize;
+    let mut do_optimize = true;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--ops" => {
+                total_ops = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--ops requires a positive integer")?;
+            }
+            "--no-optimize" => do_optimize = false,
+            other if input.is_none() && !other.starts_with('-') => input = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("schedule needs an input .hmdl file")?;
+    let mut spec = load_hmdl(input)?;
+    if do_optimize {
+        optimize(&mut spec, &PipelineConfig::full());
+    }
+    let compiled =
+        CompiledMdes::compile(&spec, UsageEncoding::BitVector).map_err(|e| e.to_string())?;
+
+    let workload = mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
+    let scheduler = mdes_sched::ListScheduler::new(&compiled);
+    let mut stats = mdes_core::CheckStats::new();
+    let mut total_cycles = 0i64;
+    for block in &workload.blocks {
+        let schedule = scheduler.schedule(block, &mut stats);
+        total_cycles += i64::from(schedule.length);
+    }
+    println!(
+        "{input}: scheduled {} ops in {} blocks ({} cycles, {:.2} ops/cycle)",
+        workload.total_ops,
+        workload.blocks.len(),
+        total_cycles,
+        workload.total_ops as f64 / total_cycles as f64
+    );
+    println!(
+        "  {:.2} attempts/op, {:.2} options/attempt, {:.2} checks/attempt, {:.2} checks/option",
+        stats.attempts_per_op(),
+        stats.options_per_attempt_avg(),
+        stats.checks_per_attempt(),
+        stats.checks_per_option()
+    );
+    Ok(())
+}
+
+fn dot_cmd(args: &[String]) -> Result<(), String> {
+    let mut input: Option<&str> = None;
+    let mut class: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--class" => class = Some(iter.next().ok_or("--class requires a name")?),
+            other if input.is_none() => input = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("dot needs an input .hmdl file")?;
+    let class = class.ok_or("dot needs --class NAME")?;
+    let spec = load_hmdl(input)?;
+    match mdes_core::dot::class_constraint(&spec, class) {
+        Some(dot) => {
+            print!("{dot}");
+            Ok(())
+        }
+        None => Err(format!("class `{class}` not found")),
+    }
+}
+
+fn lint_cmd(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("lint needs an input .hmdl file")?;
+    let spec = load_hmdl(input)?;
+    let findings = analysis::lint(&spec);
+    if findings.is_empty() {
+        println!("{input}: clean (no redundant, dominated, unused or dead information)");
+        return Ok(());
+    }
+    for finding in &findings {
+        println!("{input}: [{}] {}", finding.kind, finding.message);
+    }
+    Err(format!("{} finding(s)", findings.len()))
+}
+
+fn diff_cmd(args: &[String]) -> Result<(), String> {
+    let (old_path, new_path) = match args {
+        [a, b] => (a, b),
+        _ => return Err("diff needs exactly two .hmdl files".to_string()),
+    };
+    let old = load_hmdl(old_path)?;
+    let new = load_hmdl(new_path)?;
+    print!("{}", analysis::diff(&old, &new));
+    Ok(())
+}
+
+fn chart_cmd(args: &[String]) -> Result<(), String> {
+    let mut input: Option<&str> = None;
+    let mut total_ops = 24usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--ops" => {
+                total_ops = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--ops requires a positive integer")?;
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("chart needs an input .hmdl file")?;
+    let mut spec = load_hmdl(input)?;
+    optimize(&mut spec, &PipelineConfig::full());
+    let compiled =
+        CompiledMdes::compile(&spec, UsageEncoding::BitVector).map_err(|e| e.to_string())?;
+    let workload = mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
+    let scheduler = mdes_sched::ListScheduler::new(&compiled);
+    let mut stats = mdes_core::CheckStats::new();
+    let block = &workload.blocks[0];
+    let schedule = scheduler.schedule(block, &mut stats);
+    println!(
+        "{input}: first synthetic block, {} ops in {} cycles\n",
+        block.len(),
+        schedule.length
+    );
+    print!("{}", mdes_sched::occupancy_chart(&spec, &compiled, block, &schedule));
+    println!();
+    for (id, name) in spec.resources().iter() {
+        let util = mdes_sched::resource_utilization(&compiled, &schedule)[id.index()];
+        if util > 0.0 {
+            println!("{name:>12}: {:>5.1}% busy", util * 100.0);
+        }
+    }
+    Ok(())
+}
+
+fn bundled_cmd(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("bundled needs a machine name")?;
+    let machine = mdes_machines::Machine::all()
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown machine `{name}` (PA7100, Pentium, SuperSPARC, K5)"))?;
+    print!("{}", machine.source());
+    Ok(())
+}

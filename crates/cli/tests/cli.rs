@@ -1,0 +1,321 @@
+//! End-to-end tests of the `mdesc` binary: every command is exercised
+//! against real files in a temporary directory.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mdesc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mdesc"))
+        .args(args)
+        .output()
+        .expect("mdesc runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// A unique temp dir per test.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mdesc-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const DEMO: &str = "
+    resource Dec[2];
+    resource M;
+    or_tree AnyDec = first_of(for d in 0..2: { Dec[d] @ -1 });
+    or_tree UseM = first_of({ M @ 0 });
+    and_or_tree Load = all_of(UseM, AnyDec);
+    class load { constraint = Load; latency = 2; flags = load; }
+    op LD, LDB = load;
+";
+
+#[test]
+fn compile_produces_a_loadable_lmdes_image() {
+    let dir = temp_dir("compile");
+    let hmdl = dir.join("demo.hmdl");
+    let lmdes = dir.join("demo.lmdes");
+    std::fs::write(&hmdl, DEMO).unwrap();
+
+    let out = mdesc(&[
+        "compile",
+        hmdl.to_str().unwrap(),
+        "-o",
+        lmdes.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("wrote"));
+
+    let bytes = std::fs::read(&lmdes).unwrap();
+    let loaded = mdes_core::lmdes::read(&bytes).unwrap();
+    assert!(loaded.class_by_name("load").is_some());
+}
+
+#[test]
+fn compile_default_output_path_replaces_extension() {
+    let dir = temp_dir("defaultout");
+    let hmdl = dir.join("machine.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    let out = mdesc(&["compile", hmdl.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(dir.join("machine.lmdes").exists());
+}
+
+#[test]
+fn compile_reports_source_errors_with_context() {
+    let dir = temp_dir("badsrc");
+    let hmdl = dir.join("bad.hmdl");
+    std::fs::write(&hmdl, "resource M;\nclass c { constraint = Ghost; }").unwrap();
+    let out = mdesc(&["compile", hmdl.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown constraint tree"), "{err}");
+    assert!(err.contains("line 2"), "{err}");
+}
+
+#[test]
+fn dump_lists_classes_and_honours_class_filter() {
+    let dir = temp_dir("dump");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+
+    let out = mdesc(&["dump", hmdl.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("load"));
+    assert!(text.contains("LD LDB"));
+
+    let out = mdesc(&["dump", hmdl.to_str().unwrap(), "--class", "load"]);
+    assert!(stdout(&out).contains("AND/OR-tree Load"));
+
+    let out = mdesc(&["dump", hmdl.to_str().unwrap(), "--class", "ghost"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn dump_reads_lmdes_images_too() {
+    let dir = temp_dir("dumplmdes");
+    let hmdl = dir.join("demo.hmdl");
+    let lmdes = dir.join("demo.lmdes");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    assert!(mdesc(&[
+        "compile",
+        hmdl.to_str().unwrap(),
+        "-o",
+        lmdes.to_str().unwrap()
+    ])
+    .status
+    .success());
+
+    let out = mdesc(&["dump", lmdes.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("LMDES image"), "{text}");
+    assert!(text.contains("load"));
+}
+
+#[test]
+fn fmt_output_reparses_to_the_same_structure() {
+    let dir = temp_dir("fmt");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    let out = mdesc(&["fmt", hmdl.to_str().unwrap()]);
+    assert!(out.status.success());
+    let formatted = stdout(&out);
+    let original = mdes_lang::compile(DEMO).unwrap();
+    let reparsed = mdes_lang::compile(&formatted).unwrap();
+    assert!(mdes_lang::structurally_equal(&original, &reparsed));
+}
+
+#[test]
+fn check_accepts_valid_and_rejects_invalid() {
+    let dir = temp_dir("check");
+    let good = dir.join("good.hmdl");
+    std::fs::write(&good, DEMO).unwrap();
+    assert!(mdesc(&["check", good.to_str().unwrap()]).status.success());
+
+    let bad = dir.join("bad.hmdl");
+    std::fs::write(&bad, "option x = { M @ 0 };").unwrap();
+    assert!(!mdesc(&["check", bad.to_str().unwrap()]).status.success());
+}
+
+#[test]
+fn stats_reports_every_stage() {
+    let dir = temp_dir("stats");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    let out = mdesc(&["stats", hmdl.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for needle in [
+        "as authored",
+        "redundancy",
+        "bit-vector",
+        "usage-time shift",
+        "factoring",
+        "OR-tree baseline",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+}
+
+#[test]
+fn bundled_prints_machine_sources() {
+    let out = mdesc(&["bundled", "supersparc"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("resource Decoder[3];"));
+
+    let out = mdesc(&["bundled", "nonesuch"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bundled_sources_compile_through_the_cli() {
+    let dir = temp_dir("bundledcompile");
+    for name in ["PA7100", "Pentium", "SuperSPARC", "K5"] {
+        let out = mdesc(&["bundled", name]);
+        assert!(out.status.success());
+        let path = dir.join(format!("{name}.hmdl"));
+        std::fs::write(&path, stdout(&out)).unwrap();
+        let out = mdesc(&["compile", path.to_str().unwrap()]);
+        assert!(out.status.success(), "{name}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn schedule_reports_efficiency_statistics() {
+    let dir = temp_dir("schedule");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    let out = mdesc(&["schedule", hmdl.to_str().unwrap(), "--ops", "400"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("attempts/op"), "{text}");
+    assert!(text.contains("checks/attempt"));
+}
+
+#[test]
+fn dot_exports_graphviz() {
+    let dir = temp_dir("dot");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    let out = mdesc(&["dot", hmdl.to_str().unwrap(), "--class", "load"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("M@0"));
+    assert!(!mdesc(&["dot", hmdl.to_str().unwrap()]).status.success());
+}
+
+#[test]
+fn lint_flags_smells_and_exits_nonzero() {
+    let dir = temp_dir("lint");
+    let messy = dir.join("messy.hmdl");
+    std::fs::write(
+        &messy,
+        "resource D[2];
+         or_tree T = first_of({ D[0] @ 0 }, { D[0] @ 0 });
+         class alu { constraint = T; }",
+    )
+    .unwrap();
+    let out = mdesc(&["lint", messy.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("duplicate-option"), "{}", stdout(&out));
+
+    let clean = dir.join("clean.hmdl");
+    std::fs::write(
+        &clean,
+        "resource M;
+         or_tree T = first_of({ M @ 0 });
+         class mem { constraint = T; }
+         op LD = mem;",
+    )
+    .unwrap();
+    let out = mdesc(&["lint", clean.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("clean"));
+}
+
+#[test]
+fn diff_shows_revision_changes() {
+    let dir = temp_dir("diff");
+    let old = dir.join("old.hmdl");
+    let new = dir.join("new.hmdl");
+    std::fs::write(&old, DEMO).unwrap();
+    std::fs::write(
+        &new,
+        format!("{DEMO}\nclass alu {{ constraint = AnyDec; }}\nop ADD = alu;"),
+    )
+    .unwrap();
+    let out = mdesc(&["diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("+ class alu"), "{text}");
+    assert!(text.contains("+ op ADD"), "{text}");
+
+    let out = mdesc(&["diff", old.to_str().unwrap(), old.to_str().unwrap()]);
+    assert!(stdout(&out).contains("no structural differences"));
+}
+
+#[test]
+fn chart_renders_occupancy_for_a_block() {
+    let dir = temp_dir("chart");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    let out = mdesc(&["chart", hmdl.to_str().unwrap(), "--ops", "12"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("cycle |"), "{text}");
+    assert!(text.contains("% busy"), "{text}");
+}
+
+#[test]
+fn unknown_command_and_missing_args_fail_cleanly() {
+    assert!(!mdesc(&["frobnicate"]).status.success());
+    assert!(!mdesc(&[]).status.success());
+    assert!(!mdesc(&["compile"]).status.success());
+    let help = mdesc(&["--help"]);
+    assert!(help.status.success());
+    assert!(stdout(&help).contains("usage: mdesc"));
+}
+
+#[test]
+fn expand_or_flag_produces_the_traditional_baseline() {
+    let dir = temp_dir("expandor");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    let expanded = dir.join("expanded.lmdes");
+    let normal = dir.join("normal.lmdes");
+    assert!(mdesc(&[
+        "compile",
+        hmdl.to_str().unwrap(),
+        "--expand-or",
+        "--no-optimize",
+        "-o",
+        expanded.to_str().unwrap()
+    ])
+    .status
+    .success());
+    assert!(mdesc(&[
+        "compile",
+        hmdl.to_str().unwrap(),
+        "--no-optimize",
+        "-o",
+        normal.to_str().unwrap()
+    ])
+    .status
+    .success());
+    let expanded = mdes_core::lmdes::read(&std::fs::read(expanded).unwrap()).unwrap();
+    let normal = mdes_core::lmdes::read(&std::fs::read(normal).unwrap()).unwrap();
+    // Expanded: one 2-option tree of full tables; AND/OR: two trees.
+    let load_exp = expanded.class_by_name("load").unwrap();
+    let load_nrm = normal.class_by_name("load").unwrap();
+    assert_eq!(expanded.class(load_exp).or_trees.len(), 1);
+    assert_eq!(normal.class(load_nrm).or_trees.len(), 2);
+}

@@ -1,0 +1,163 @@
+//! Forbidden latencies and collision vectors (Section 7).
+//!
+//! From the theory of pipelined, multi-function unit design (Davidson et
+//! al.): for an ordered pair of reservation-table options (A, B), latency
+//! `t ≥ 0` is *forbidden* iff A and B use some common resource at times `i`
+//! and `j` with `i ≥ j` and `i − j = t` — an operation using B cannot be
+//! initiated `t` cycles after one using A.  The set of all forbidden
+//! latencies is the pair's *collision vector*.
+//!
+//! A schedule is conflict-free iff no pair of operations violates the
+//! collision vector of their chosen options.  Only time *differences*
+//! matter, which licenses the usage-time shifting transformation: adding a
+//! per-resource constant to all usage times of that resource leaves every
+//! collision vector unchanged.  The property tests of `mdes-opt` verify
+//! exactly this invariant.
+
+use std::collections::BTreeSet;
+
+use crate::spec::{MdesSpec, OptionId, TableOption};
+
+/// The set of forbidden initiation latencies for an ordered option pair.
+pub type CollisionVector = BTreeSet<i32>;
+
+/// Computes the collision vector for the ordered pair `(a, b)`: latencies
+/// `t ≥ 0` at which an operation using `b` may not issue `t` cycles after
+/// an operation using `a`.
+///
+/// # Examples
+///
+/// ```
+/// use mdes_core::collision::forbidden_latencies;
+/// use mdes_core::resource::ResourceId;
+/// use mdes_core::spec::TableOption;
+/// use mdes_core::usage::ResourceUsage;
+///
+/// let divider = ResourceId::from_index(0);
+/// // A divide occupies the divider for cycles 0..4.
+/// let div = TableOption::new((0..4).map(|t| ResourceUsage::new(divider, t)).collect());
+/// let cv = forbidden_latencies(&div, &div);
+/// assert_eq!(cv, [0, 1, 2, 3].into_iter().collect());
+/// ```
+pub fn forbidden_latencies(a: &TableOption, b: &TableOption) -> CollisionVector {
+    let mut forbidden = BTreeSet::new();
+    for ua in &a.usages {
+        for ub in &b.usages {
+            if ua.resource == ub.resource && ua.time >= ub.time {
+                forbidden.insert(ua.time - ub.time);
+            }
+        }
+    }
+    forbidden
+}
+
+/// The collision vectors between every ordered pair of options in a spec,
+/// keyed `(a, b)`.  Quadratic in the option count — intended for tests and
+/// analysis on un-expanded (AND/OR-form) descriptions.
+pub fn collision_matrix(spec: &MdesSpec) -> Vec<((OptionId, OptionId), CollisionVector)> {
+    let ids: Vec<OptionId> = spec.option_ids().collect();
+    let mut matrix = Vec::with_capacity(ids.len() * ids.len());
+    for &a in &ids {
+        for &b in &ids {
+            matrix.push(((a, b), forbidden_latencies(spec.option(a), spec.option(b))));
+        }
+    }
+    matrix
+}
+
+/// True if issuing `b` exactly `t ≥ 0` cycles after `a` is conflict-free.
+///
+/// # Examples
+///
+/// ```
+/// use mdes_core::collision::latency_allowed;
+/// use mdes_core::spec::TableOption;
+/// use mdes_core::{ResourceId, ResourceUsage};
+///
+/// let alu = ResourceId::from_index(0);
+/// let op = TableOption::new(vec![ResourceUsage::new(alu, 0)]);
+/// assert!(!latency_allowed(&op, &op, 0)); // same cycle: collision
+/// assert!(latency_allowed(&op, &op, 1));
+/// ```
+pub fn latency_allowed(a: &TableOption, b: &TableOption, t: i32) -> bool {
+    debug_assert!(t >= 0, "initiation latency must be non-negative");
+    !forbidden_latencies(a, b).contains(&t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceId;
+    use crate::usage::ResourceUsage;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    #[test]
+    fn disjoint_resources_never_collide() {
+        let a = TableOption::new(vec![u(0, 0), u(0, 1)]);
+        let b = TableOption::new(vec![u(1, 0), u(1, 5)]);
+        assert!(forbidden_latencies(&a, &b).is_empty());
+        assert!(latency_allowed(&a, &b, 0));
+    }
+
+    #[test]
+    fn same_cycle_same_resource_forbids_latency_zero() {
+        let a = TableOption::new(vec![u(0, 0)]);
+        assert_eq!(forbidden_latencies(&a, &a), [0].into_iter().collect());
+        assert!(!latency_allowed(&a, &a, 0));
+        assert!(latency_allowed(&a, &a, 1));
+    }
+
+    #[test]
+    fn collision_vector_is_direction_sensitive() {
+        // A uses r0 late, B uses it early: B after A collides over a range,
+        // A after B only at matching offsets.
+        let a = TableOption::new(vec![u(0, 3)]);
+        let b = TableOption::new(vec![u(0, 0)]);
+        assert_eq!(forbidden_latencies(&a, &b), [3].into_iter().collect());
+        assert!(forbidden_latencies(&b, &a).is_empty());
+    }
+
+    #[test]
+    fn shifting_both_options_preserves_collision_vectors() {
+        let a = TableOption::new(vec![u(0, -1), u(1, 0), u(0, 2)]);
+        let b = TableOption::new(vec![u(0, 0), u(1, 1)]);
+        let before = forbidden_latencies(&a, &b);
+        // Shift resource 0 by +5 and resource 1 by -2 in both options.
+        let shift = |opt: &TableOption| {
+            TableOption::new(
+                opt.usages
+                    .iter()
+                    .map(|us| {
+                        let delta = if us.resource.index() == 0 { 5 } else { -2 };
+                        us.shifted(delta)
+                    })
+                    .collect(),
+            )
+        };
+        let after = forbidden_latencies(&shift(&a), &shift(&b));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn negative_differences_are_not_forbidden_latencies() {
+        // a uses r0 at 0, b at 4: issuing b t cycles after a collides only
+        // if a.time >= b.time + ... i.e. 0 >= 4 + t never for t >= 0.
+        let a = TableOption::new(vec![u(0, 0)]);
+        let b = TableOption::new(vec![u(0, 4)]);
+        assert!(forbidden_latencies(&a, &b).is_empty());
+        assert_eq!(forbidden_latencies(&b, &a), [4].into_iter().collect());
+    }
+
+    #[test]
+    fn matrix_covers_all_ordered_pairs() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("r").unwrap();
+        spec.add_option(TableOption::new(vec![u(0, 0)]));
+        spec.add_option(TableOption::new(vec![u(0, 1)]));
+        let matrix = collision_matrix(&spec);
+        assert_eq!(matrix.len(), 4);
+    }
+}

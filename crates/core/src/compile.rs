@@ -1,0 +1,680 @@
+//! The compiled low-level representation (`CompiledMdes`).
+//!
+//! Compilation flattens an [`MdesSpec`] into arrays
+//! the constraint checker walks without pointer chasing, and fixes the
+//! *usage encoding*:
+//!
+//! * [`UsageEncoding::Scalar`] — one RU-map probe per resource usage
+//!   (the paper's pre-Section-6 cycle/resource pairs);
+//! * [`UsageEncoding::BitVector`] — usages falling in the same cycle are
+//!   packed into one 64-bit mask and probed together (Section 6).
+//!
+//! Sharing in the compiled form mirrors sharing in the spec exactly: one
+//! compiled option per spec option, one compiled OR-tree per spec OR-tree,
+//! "in order to minimize the time required to load the MDES into memory"
+//! (Section 4).
+
+use crate::error::MdesError;
+use crate::rumap::RuMap;
+use crate::spec::{ClassId, Constraint, Latency, MdesSpec, OpFlags};
+use crate::stats::CheckStats;
+
+/// How resource usages are encoded for checking (Section 6).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum UsageEncoding {
+    /// One check per (cycle, resource) pair.
+    Scalar,
+    /// One check per (cycle, resource-vector) pair.
+    BitVector,
+}
+
+/// One RU-map probe: are the resources in `mask` free at relative `time`?
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CompiledCheck {
+    /// Cycle offset relative to the issue cycle.
+    pub time: i32,
+    /// Resource occupancy bits probed together.
+    pub mask: u64,
+}
+
+/// A compiled reservation-table option: probes in check order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledOption {
+    /// The probes, in the order the checker performs them.
+    pub checks: Vec<CompiledCheck>,
+}
+
+impl CompiledOption {
+    /// Combined occupancy over all cycles (for diagnostics).
+    pub fn total_mask(&self) -> u64 {
+        self.checks.iter().fold(0, |m, c| m | c.mask)
+    }
+}
+
+/// A compiled OR-tree: compiled-option indices in priority order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledOrTree {
+    /// Indices into [`CompiledMdes::options`], highest priority first.
+    pub options: Vec<u32>,
+}
+
+/// Whether a class's constraint came from an OR-tree or an AND/OR-tree
+/// (distinguished for the memory model: the AND level costs a header).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ConstraintKind {
+    /// Traditional single OR-tree.
+    Or,
+    /// AND of OR-trees.
+    AndOr,
+}
+
+/// A compiled operation class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledClass {
+    /// Class name (diagnostics only).
+    pub name: String,
+    /// Source constraint form.
+    pub kind: ConstraintKind,
+    /// Indices into [`CompiledMdes::or_trees`], in check order.  A
+    /// [`ConstraintKind::Or`] class has exactly one entry.
+    pub or_trees: Vec<u32>,
+    /// For [`ConstraintKind::AndOr`] classes, the spec AND/OR-tree index
+    /// (so two classes sharing a spec tree share the compiled AND level in
+    /// the memory model).  `u32::MAX` for OR classes.
+    pub and_or_index: u32,
+    /// Latency information.
+    pub latency: Latency,
+    /// Semantic flags.
+    pub flags: OpFlags,
+}
+
+/// The flat, checker-ready machine description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledMdes {
+    encoding: UsageEncoding,
+    num_resources: usize,
+    options: Vec<CompiledOption>,
+    or_trees: Vec<CompiledOrTree>,
+    classes: Vec<CompiledClass>,
+    /// Bypass latency exceptions: (producer, consumer) → latency.
+    bypasses: Vec<(u32, u32, i32)>,
+    /// Most negative check time across all options (≤ 0).
+    min_time: i32,
+    /// Most positive check time across all options (≥ 0).
+    max_time: i32,
+}
+
+impl CompiledMdes {
+    /// Compiles `spec` with the given usage encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error of the spec; compilation never
+    /// proceeds on an inconsistent description.
+    pub fn compile(spec: &MdesSpec, encoding: UsageEncoding) -> Result<CompiledMdes, MdesError> {
+        spec.validate()?;
+
+        let options: Vec<CompiledOption> = spec
+            .option_ids()
+            .map(|id| compile_option(spec, id, encoding))
+            .collect();
+
+        let or_trees: Vec<CompiledOrTree> = spec
+            .or_tree_ids()
+            .map(|id| CompiledOrTree {
+                options: spec.or_tree(id).options.iter().map(|o| o.index() as u32).collect(),
+            })
+            .collect();
+
+        let classes: Vec<CompiledClass> = spec
+            .class_ids()
+            .map(|id| {
+                let class = spec.class(id);
+                let (kind, trees, and_or_index) = match class.constraint {
+                    Constraint::Or(or) => (ConstraintKind::Or, vec![or.index() as u32], u32::MAX),
+                    Constraint::AndOr(andor) => (
+                        ConstraintKind::AndOr,
+                        spec.and_or_tree(andor)
+                            .or_trees
+                            .iter()
+                            .map(|o| o.index() as u32)
+                            .collect(),
+                        andor.index() as u32,
+                    ),
+                };
+                CompiledClass {
+                    name: class.name.clone(),
+                    kind,
+                    or_trees: trees,
+                    and_or_index,
+                    latency: class.latency,
+                    flags: class.flags,
+                }
+            })
+            .collect();
+
+        let min_time = options
+            .iter()
+            .flat_map(|o| o.checks.iter().map(|c| c.time))
+            .min()
+            .unwrap_or(0)
+            .min(0);
+        let max_time = options
+            .iter()
+            .flat_map(|o| o.checks.iter().map(|c| c.time))
+            .max()
+            .unwrap_or(0)
+            .max(0);
+
+        Ok(CompiledMdes {
+            encoding,
+            num_resources: spec.resources().len(),
+            options,
+            or_trees,
+            classes,
+            bypasses: spec
+                .bypasses()
+                .iter()
+                .map(|&(p, c, l)| (p.index() as u32, c.index() as u32, l))
+                .collect(),
+            min_time,
+            max_time,
+        })
+    }
+
+    /// The flow-dependence latency from a `producer` to a `consumer`:
+    /// a declared bypass exception if one exists, otherwise the operand
+    /// read/write-time default `producer.dest − consumer.src` (clamped
+    /// non-negative).
+    pub fn flow_latency(&self, producer: ClassId, consumer: ClassId) -> i32 {
+        let pair = (producer.index() as u32, consumer.index() as u32);
+        for &(p, c, latency) in &self.bypasses {
+            if (p, c) == pair {
+                return latency.max(0);
+            }
+        }
+        (self.class(producer).latency.dest - self.class(consumer).latency.src).max(0)
+    }
+
+    /// The bypass exception table.
+    pub fn bypasses(&self) -> &[(u32, u32, i32)] {
+        &self.bypasses
+    }
+
+    /// Reassembles a compiled MDES from raw parts (used by the binary
+    /// LMDES loader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdesError::UnknownOption`] / [`MdesError::UnknownOrTree`]
+    /// if any stored index dangles, or [`MdesError::EmptyOrTree`] for an
+    /// OR class without exactly one tree.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        encoding: UsageEncoding,
+        num_resources: usize,
+        options: Vec<CompiledOption>,
+        or_trees: Vec<CompiledOrTree>,
+        classes: Vec<CompiledClass>,
+        bypasses: Vec<(u32, u32, i32)>,
+        min_time: i32,
+        max_time: i32,
+    ) -> Result<CompiledMdes, MdesError> {
+        for tree in &or_trees {
+            for &opt in &tree.options {
+                if opt as usize >= options.len() {
+                    return Err(MdesError::UnknownOption(opt));
+                }
+            }
+        }
+        for class in &classes {
+            for &tree in &class.or_trees {
+                if tree as usize >= or_trees.len() {
+                    return Err(MdesError::UnknownOrTree(tree));
+                }
+            }
+            if class.kind == ConstraintKind::Or && class.or_trees.len() != 1 {
+                return Err(MdesError::EmptyOrTree);
+            }
+        }
+        for &(p, c, _) in &bypasses {
+            if p as usize >= classes.len() || c as usize >= classes.len() {
+                return Err(MdesError::UnknownClass(format!("bypass {p}->{c}")));
+            }
+        }
+        Ok(CompiledMdes {
+            encoding,
+            num_resources,
+            options,
+            or_trees,
+            classes,
+            bypasses,
+            min_time,
+            max_time,
+        })
+    }
+
+    /// The usage encoding this MDES was compiled with.
+    pub fn encoding(&self) -> UsageEncoding {
+        self.encoding
+    }
+
+    /// Number of resources in the source description.
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
+    }
+
+    /// The compiled options pool.
+    pub fn options(&self) -> &[CompiledOption] {
+        &self.options
+    }
+
+    /// The compiled OR-tree pool.
+    pub fn or_trees(&self) -> &[CompiledOrTree] {
+        &self.or_trees
+    }
+
+    /// The compiled classes, indexable by [`ClassId`].
+    pub fn classes(&self) -> &[CompiledClass] {
+        &self.classes
+    }
+
+    /// The compiled class for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a [`ClassId`] from a different MDES.
+    pub fn class(&self, id: ClassId) -> &CompiledClass {
+        &self.classes[id.index()]
+    }
+
+    /// Looks a class up by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(ClassId::from_index)
+    }
+
+    /// Most negative check time across all options (≤ 0).
+    pub fn min_check_time(&self) -> i32 {
+        self.min_time
+    }
+
+    /// Most positive check time across all options (≥ 0).
+    pub fn max_check_time(&self) -> i32 {
+        self.max_time
+    }
+
+    /// Total reservation-table options reachable from `class` (cross
+    /// product across the AND level).
+    pub fn class_option_count(&self, id: ClassId) -> usize {
+        self.class(id)
+            .or_trees
+            .iter()
+            .map(|&t| self.or_trees[t as usize].options.len())
+            .product()
+    }
+}
+
+/// Compiles one spec option into its probe sequence.
+fn compile_option(
+    spec: &MdesSpec,
+    id: crate::spec::OptionId,
+    encoding: UsageEncoding,
+) -> CompiledOption {
+    let usages = &spec.option(id).usages;
+    let checks = match encoding {
+        UsageEncoding::Scalar => usages
+            .iter()
+            .map(|u| CompiledCheck {
+                time: u.time,
+                mask: u.resource.bit(),
+            })
+            .collect(),
+        UsageEncoding::BitVector => {
+            // Group usages by cycle, preserving the first-occurrence order
+            // of cycles so the check-ordering transformation's choice of
+            // "time zero first" survives packing.
+            let mut checks: Vec<CompiledCheck> = Vec::new();
+            for u in usages {
+                match checks.iter_mut().find(|c| c.time == u.time) {
+                    Some(check) => check.mask |= u.resource.bit(),
+                    None => checks.push(CompiledCheck {
+                        time: u.time,
+                        mask: u.resource.bit(),
+                    }),
+                }
+            }
+            checks
+        }
+    };
+    CompiledOption { checks }
+}
+
+/// The result of a successful reservation: which compiled option was
+/// selected from each OR-tree of the class, at which issue time.
+///
+/// Keeping the choice around makes unscheduling possible — the capability
+/// the paper notes finite-state-automata approaches lack (Section 10).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Choice {
+    /// The class that was scheduled.
+    pub class: ClassId,
+    /// Issue cycle.
+    pub time: i32,
+    /// Selected compiled-option index per OR-tree of the class, in the
+    /// class's OR-tree order.
+    pub selected: Vec<u32>,
+}
+
+/// The resource-constraint checker of the low-level representation.
+///
+/// One algorithm serves both representations: a class is a list of
+/// OR-trees (length 1 for the traditional representation), and the checker
+/// runs the OR-tree algorithm under "an outer loop … that processes the
+/// array of OR-trees" (Section 3), reserving progressively and rolling
+/// back on failure.
+#[derive(Copy, Clone, Debug)]
+pub struct Checker<'a> {
+    mdes: &'a CompiledMdes,
+}
+
+impl<'a> Checker<'a> {
+    /// Creates a checker over `mdes`.
+    pub fn new(mdes: &'a CompiledMdes) -> Checker<'a> {
+        Checker { mdes }
+    }
+
+    /// The compiled MDES this checker reads.
+    pub fn mdes(&self) -> &'a CompiledMdes {
+        self.mdes
+    }
+
+    /// Attempts to reserve resources for one operation of `class` issued at
+    /// `time`.  On success the RU map is updated and the selection is
+    /// returned; on failure the RU map is left unchanged.
+    ///
+    /// Every call counts as one *scheduling attempt* in `stats`.
+    pub fn try_reserve(
+        &self,
+        ru: &mut RuMap,
+        class: ClassId,
+        time: i32,
+        stats: &mut CheckStats,
+    ) -> Option<Choice> {
+        stats.begin_attempt();
+        let compiled = self.mdes.class(class);
+        let mut selected: Vec<u32> = Vec::with_capacity(compiled.or_trees.len());
+        for &tree_idx in &compiled.or_trees {
+            match self.try_or_tree(ru, tree_idx, time, stats) {
+                Some(opt_idx) => {
+                    self.apply_option(ru, opt_idx, time, true);
+                    selected.push(opt_idx);
+                }
+                None => {
+                    for &opt_idx in &selected {
+                        self.apply_option(ru, opt_idx, time, false);
+                    }
+                    stats.end_attempt(false);
+                    return None;
+                }
+            }
+        }
+        stats.end_attempt(true);
+        Some(Choice {
+            class,
+            time,
+            selected,
+        })
+    }
+
+    /// Releases a previous reservation (unscheduling).
+    pub fn release(&self, ru: &mut RuMap, choice: &Choice) {
+        for &opt_idx in &choice.selected {
+            self.apply_option(ru, opt_idx, choice.time, false);
+        }
+    }
+
+    /// True if `class` could be reserved at `time` without changing the RU
+    /// map.  Costs the same checks as [`Checker::try_reserve`].
+    pub fn can_reserve(
+        &self,
+        ru: &mut RuMap,
+        class: ClassId,
+        time: i32,
+        stats: &mut CheckStats,
+    ) -> bool {
+        if let Some(choice) = self.try_reserve(ru, class, time, stats) {
+            self.release(ru, &choice);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Walks one OR-tree: returns the first option (priority order) whose
+    /// probes all succeed.  Does not reserve.
+    fn try_or_tree(
+        &self,
+        ru: &RuMap,
+        tree_idx: u32,
+        time: i32,
+        stats: &mut CheckStats,
+    ) -> Option<u32> {
+        let tree = &self.mdes.or_trees[tree_idx as usize];
+        'options: for &opt_idx in &tree.options {
+            stats.count_option();
+            let option = &self.mdes.options[opt_idx as usize];
+            for check in &option.checks {
+                stats.count_check();
+                if !ru.is_free(time + check.time, check.mask) {
+                    continue 'options;
+                }
+            }
+            return Some(opt_idx);
+        }
+        None
+    }
+
+    /// Reserves (`set`) or releases (`!set`) all checks of an option.
+    fn apply_option(&self, ru: &mut RuMap, opt_idx: u32, time: i32, set: bool) {
+        let option = &self.mdes.options[opt_idx as usize];
+        for check in &option.checks {
+            if set {
+                ru.reserve(time + check.time, check.mask);
+            } else {
+                ru.release(time + check.time, check.mask);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceId;
+    use crate::spec::{AndOrTree, OrTree, TableOption};
+    use crate::usage::ResourceUsage;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    /// Two decoders (r0, r1) and one memory unit (r2): a small AND/OR
+    /// machine with an equivalent expanded OR machine.
+    fn andor_spec() -> MdesSpec {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("Dec", 2).unwrap();
+        spec.resources_mut().add("M").unwrap();
+        let d0 = spec.add_option(TableOption::new(vec![u(0, -1)]));
+        let d1 = spec.add_option(TableOption::new(vec![u(1, -1)]));
+        let m = spec.add_option(TableOption::new(vec![u(2, 0)]));
+        let dec = spec.add_or_tree(OrTree::named("AnyDec", vec![d0, d1]));
+        let mem = spec.add_or_tree(OrTree::named("UseM", vec![m]));
+        let load = spec.add_and_or_tree(AndOrTree::named("Load", vec![mem, dec]));
+        spec.add_class(
+            "load",
+            Constraint::AndOr(load),
+            Latency::new(1),
+            OpFlags::load(),
+        )
+        .unwrap();
+        spec
+    }
+
+    #[test]
+    fn compile_validates_first() {
+        let spec = MdesSpec::new();
+        assert!(CompiledMdes::compile(&spec, UsageEncoding::Scalar).is_err());
+    }
+
+    #[test]
+    fn scalar_encoding_has_one_check_per_usage() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("r", 3).unwrap();
+        let opt = spec.add_option(TableOption::new(vec![u(0, 0), u(1, 0), u(2, 1)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![opt]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::Scalar).unwrap();
+        assert_eq!(compiled.options()[0].checks.len(), 3);
+    }
+
+    #[test]
+    fn bitvector_encoding_packs_same_cycle_usages() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("r", 3).unwrap();
+        let opt = spec.add_option(TableOption::new(vec![u(0, 0), u(1, 0), u(2, 1)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![opt]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let checks = &compiled.options()[0].checks;
+        assert_eq!(checks.len(), 2);
+        assert_eq!(checks[0], CompiledCheck { time: 0, mask: 0b011 });
+        assert_eq!(checks[1], CompiledCheck { time: 1, mask: 0b100 });
+    }
+
+    #[test]
+    fn bitvector_packing_preserves_first_occurrence_time_order() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("r", 3).unwrap();
+        // Check order starts at time 1, then 0: packing must not re-sort.
+        let opt = spec.add_option(TableOption::new(vec![u(2, 1), u(0, 0), u(1, 1)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![opt]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let checks = &compiled.options()[0].checks;
+        assert_eq!(checks[0].time, 1);
+        assert_eq!(checks[0].mask, 0b110);
+        assert_eq!(checks[1].time, 0);
+    }
+
+    #[test]
+    fn try_reserve_picks_highest_priority_free_option() {
+        let spec = andor_spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let checker = Checker::new(&compiled);
+        let class = compiled.class_by_name("load").unwrap();
+        let mut ru = RuMap::new();
+        let mut stats = CheckStats::new();
+
+        let first = checker.try_reserve(&mut ru, class, 0, &mut stats).unwrap();
+        // Decoder 0 (compiled option index 0) chosen from the decoder tree.
+        assert_eq!(first.selected.len(), 2);
+        assert!(!ru.is_free(-1, 0b01)); // Dec[0] at time -1
+        assert!(!ru.is_free(0, 0b100)); // M at time 0
+
+        // Second load in the same cycle: M is busy, so it must fail and
+        // leave the map untouched.
+        let pop_before = ru.population();
+        assert!(checker.try_reserve(&mut ru, class, 0, &mut stats).is_none());
+        assert_eq!(ru.population(), pop_before);
+
+        // One cycle later, decoder 1 is... actually all resources free at
+        // t=1 (usages are relative), so it succeeds with decoder 0 again.
+        let second = checker.try_reserve(&mut ru, class, 1, &mut stats).unwrap();
+        assert_eq!(second.selected, first.selected);
+    }
+
+    #[test]
+    fn failed_and_or_attempt_rolls_back_partial_reservations() {
+        let spec = andor_spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::Scalar).unwrap();
+        let checker = Checker::new(&compiled);
+        let class = compiled.class_by_name("load").unwrap();
+        let mut ru = RuMap::new();
+        let mut stats = CheckStats::new();
+
+        // Occupy both decoders at time -1 but leave M free: the memory
+        // OR-tree succeeds (and reserves M), the decoder tree fails, and
+        // the rollback must free M again.
+        ru.reserve(-1, 0b11);
+        assert!(checker.try_reserve(&mut ru, class, 0, &mut stats).is_none());
+        assert!(ru.is_free(0, 0b100), "M must be rolled back");
+    }
+
+    #[test]
+    fn release_undoes_try_reserve() {
+        let spec = andor_spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let checker = Checker::new(&compiled);
+        let class = compiled.class_by_name("load").unwrap();
+        let mut ru = RuMap::new();
+        let mut stats = CheckStats::new();
+
+        let choice = checker.try_reserve(&mut ru, class, 3, &mut stats).unwrap();
+        assert!(ru.population() > 0);
+        checker.release(&mut ru, &choice);
+        assert_eq!(ru.population(), 0);
+    }
+
+    #[test]
+    fn can_reserve_does_not_mutate_map() {
+        let spec = andor_spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let checker = Checker::new(&compiled);
+        let class = compiled.class_by_name("load").unwrap();
+        let mut ru = RuMap::new();
+        let mut stats = CheckStats::new();
+        assert!(checker.can_reserve(&mut ru, class, 0, &mut stats));
+        assert_eq!(ru.population(), 0);
+    }
+
+    #[test]
+    fn stats_count_short_circuiting() {
+        let spec = andor_spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let checker = Checker::new(&compiled);
+        let class = compiled.class_by_name("load").unwrap();
+        let mut ru = RuMap::new();
+        let mut stats = CheckStats::new();
+
+        // M busy: the memory tree (checked first) fails after 1 option /
+        // 1 check; the decoder tree is never consulted.
+        ru.reserve(0, 0b100);
+        assert!(checker.try_reserve(&mut ru, class, 0, &mut stats).is_none());
+        assert_eq!(stats.options_checked, 1);
+        assert_eq!(stats.resource_checks, 1);
+        assert_eq!(stats.attempts, 1);
+        assert_eq!(stats.successes, 0);
+    }
+
+    #[test]
+    fn min_max_check_times_cover_negative_and_positive_usages() {
+        let spec = andor_spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::Scalar).unwrap();
+        assert_eq!(compiled.min_check_time(), -1);
+        assert_eq!(compiled.max_check_time(), 0);
+    }
+
+    #[test]
+    fn class_option_count_matches_cross_product() {
+        let spec = andor_spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::Scalar).unwrap();
+        let class = compiled.class_by_name("load").unwrap();
+        assert_eq!(compiled.class_option_count(class), 2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Graphviz DOT export of constraint trees.
+//!
+//! Renders the Figure-3 pictures for real: an OR-tree as a fan of
+//! reservation-table leaves under an OR node, an AND/OR-tree as an AND
+//! node over OR sub-trees.  Leaves are labeled with their usages
+//! (`resource@time`, one line per cycle).  Pipe into `dot -Tsvg` to get
+//! the paper's diagrams from the live description.
+
+use std::fmt::Write as _;
+
+use crate::spec::{AndOrTreeId, Constraint, MdesSpec, OptionId, OrTreeId};
+
+/// Escapes a label for DOT.
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The label of one reservation-table option: its usages in check order.
+fn option_label(spec: &MdesSpec, id: OptionId) -> String {
+    let usages: Vec<String> = spec
+        .option(id)
+        .usages
+        .iter()
+        .map(|u| format!("{}@{}", spec.resources().name(u.resource), u.time))
+        .collect();
+    if usages.is_empty() {
+        "(empty)".to_string()
+    } else {
+        usages.join("\\n")
+    }
+}
+
+/// Emits the nodes and edges of one OR-tree under the DOT id `prefix`.
+fn emit_or_tree(spec: &MdesSpec, id: OrTreeId, prefix: &str, out: &mut String) {
+    let tree = spec.or_tree(id);
+    let name = tree.name.as_deref().unwrap_or("OR");
+    let _ = writeln!(
+        out,
+        "  \"{prefix}\" [shape=diamond, label=\"{}\"];",
+        escape(name)
+    );
+    for (i, &opt) in tree.options.iter().enumerate() {
+        let leaf = format!("{prefix}_o{i}");
+        let _ = writeln!(
+            out,
+            "  \"{leaf}\" [shape=box, label=\"{}\"];",
+            escape(&option_label(spec, opt))
+        );
+        let _ = writeln!(out, "  \"{prefix}\" -> \"{leaf}\" [label=\"{}\"];", i + 1);
+    }
+}
+
+/// Renders an OR-tree as a complete DOT digraph.
+pub fn or_tree(spec: &MdesSpec, id: OrTreeId) -> String {
+    let mut out = String::from("digraph ortree {\n  rankdir=TB;\n");
+    emit_or_tree(spec, id, "or0", &mut out);
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an AND/OR-tree as a complete DOT digraph.
+pub fn and_or_tree(spec: &MdesSpec, id: AndOrTreeId) -> String {
+    let tree = spec.and_or_tree(id);
+    let name = tree.name.as_deref().unwrap_or("AND");
+    let mut out = String::from("digraph andortree {\n  rankdir=TB;\n");
+    let _ = writeln!(out, "  \"and\" [shape=triangle, label=\"{}\"];", escape(name));
+    for (i, &or) in tree.or_trees.iter().enumerate() {
+        let prefix = format!("or{i}");
+        emit_or_tree(spec, or, &prefix, &mut out);
+        let _ = writeln!(out, "  \"and\" -> \"{prefix}\";");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the constraint of a named class, if it exists.
+pub fn class_constraint(spec: &MdesSpec, class: &str) -> Option<String> {
+    let id = spec.class_by_name(class)?;
+    Some(match spec.class(id).constraint {
+        Constraint::Or(or) => or_tree(spec, or),
+        Constraint::AndOr(andor) => and_or_tree(spec, andor),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AndOrTree, Latency, OpFlags, OrTree, TableOption};
+    use crate::usage::ResourceUsage;
+    use crate::ResourceId;
+
+    fn demo() -> MdesSpec {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("M").unwrap();
+        spec.resources_mut().add_indexed("Dec", 2).unwrap();
+        let m = spec.add_option(TableOption::new(vec![ResourceUsage::new(
+            ResourceId::from_index(0),
+            0,
+        )]));
+        let d: Vec<_> = (1..3)
+            .map(|r| {
+                spec.add_option(TableOption::new(vec![ResourceUsage::new(
+                    ResourceId::from_index(r),
+                    -1,
+                )]))
+            })
+            .collect();
+        let mem = spec.add_or_tree(OrTree::named("UseM", vec![m]));
+        let dec = spec.add_or_tree(OrTree::named("AnyDec", d));
+        let load = spec.add_and_or_tree(AndOrTree::named("Load", vec![mem, dec]));
+        spec.add_class(
+            "load",
+            Constraint::AndOr(load),
+            Latency::new(1),
+            OpFlags::load(),
+        )
+        .unwrap();
+        spec
+    }
+
+    #[test]
+    fn and_or_dot_contains_every_node_and_edge() {
+        let spec = demo();
+        let dot = class_constraint(&spec, "load").unwrap();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"and\""));
+        assert!(dot.contains("UseM"));
+        assert!(dot.contains("AnyDec"));
+        assert!(dot.contains("M@0"));
+        assert!(dot.contains("Dec[1]@-1"));
+        // Priority labels on option edges.
+        assert!(dot.contains("[label=\"1\"]"));
+        assert!(dot.contains("[label=\"2\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn or_dot_renders_standalone_trees() {
+        let spec = demo();
+        let id = spec.or_tree_ids().next().unwrap();
+        let dot = or_tree(&spec, id);
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("shape=box"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("weird\"name").unwrap();
+        let o = spec.add_option(TableOption::new(vec![ResourceUsage::new(
+            ResourceId::from_index(0),
+            0,
+        )]));
+        let t = spec.add_or_tree(OrTree::named("tree", vec![o]));
+        spec.add_class("c", Constraint::Or(t), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let dot = class_constraint(&spec, "c").unwrap();
+        assert!(dot.contains("weird\\\"name"));
+    }
+
+    #[test]
+    fn unknown_class_yields_none() {
+        assert!(class_constraint(&demo(), "ghost").is_none());
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for the core MDES representations.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating an MDES.
+///
+/// Every fallible public constructor and validator in this crate returns
+/// [`MdesError`] so callers can report precise, user-facing diagnostics
+/// (the high-level language front end wraps these with source spans).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MdesError {
+    /// A resource with the same name was declared twice.
+    DuplicateResource(String),
+    /// An operation class with the same name was declared twice.
+    DuplicateClass(String),
+    /// A reference to a resource id that is not in the pool.
+    UnknownResource(u32),
+    /// A reference to a reservation-table option that does not exist.
+    UnknownOption(u32),
+    /// A reference to an OR-tree that does not exist.
+    UnknownOrTree(u32),
+    /// A reference to an AND/OR-tree that does not exist.
+    UnknownAndOrTree(u32),
+    /// A reference to an operation class that does not exist.
+    UnknownClass(String),
+    /// A reservation-table option with no resource usages.
+    EmptyOption,
+    /// An OR-tree with no options: it could never be satisfied.
+    EmptyOrTree,
+    /// An AND/OR-tree with no sub-OR-trees: it would constrain nothing.
+    EmptyAndOrTree,
+    /// Too many resources to fit the bit-vector word model.
+    TooManyResources {
+        /// How many resources were declared.
+        count: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+    /// The MDES defines no operation classes.
+    NoClasses,
+}
+
+impl fmt::Display for MdesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdesError::DuplicateResource(name) => {
+                write!(f, "resource `{name}` declared more than once")
+            }
+            MdesError::DuplicateClass(name) => {
+                write!(f, "operation class `{name}` declared more than once")
+            }
+            MdesError::UnknownResource(id) => write!(f, "unknown resource id {id}"),
+            MdesError::UnknownOption(id) => {
+                write!(f, "unknown reservation-table option id {id}")
+            }
+            MdesError::UnknownOrTree(id) => write!(f, "unknown OR-tree id {id}"),
+            MdesError::UnknownAndOrTree(id) => write!(f, "unknown AND/OR-tree id {id}"),
+            MdesError::UnknownClass(name) => write!(f, "unknown operation class `{name}`"),
+            MdesError::EmptyOption => {
+                write!(f, "reservation-table option has no resource usages")
+            }
+            MdesError::EmptyOrTree => write!(f, "OR-tree has no options"),
+            MdesError::EmptyAndOrTree => write!(f, "AND/OR-tree has no sub-OR-trees"),
+            MdesError::TooManyResources { count, max } => {
+                write!(f, "{count} resources exceed the supported maximum of {max}")
+            }
+            MdesError::NoClasses => write!(f, "machine description defines no operation classes"),
+        }
+    }
+}
+
+impl std::error::Error for MdesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(MdesError, &str)> = vec![
+            (MdesError::DuplicateResource("M".into()), "resource `M`"),
+            (MdesError::DuplicateClass("load".into()), "class `load`"),
+            (MdesError::UnknownResource(3), "resource id 3"),
+            (MdesError::UnknownOption(9), "option id 9"),
+            (MdesError::UnknownOrTree(1), "OR-tree id 1"),
+            (MdesError::UnknownAndOrTree(0), "AND/OR-tree id 0"),
+            (MdesError::UnknownClass("st".into()), "class `st`"),
+            (MdesError::EmptyOption, "no resource usages"),
+            (MdesError::EmptyOrTree, "no options"),
+            (MdesError::EmptyAndOrTree, "no sub-OR-trees"),
+            (
+                MdesError::TooManyResources { count: 80, max: 64 },
+                "80 resources",
+            ),
+            (MdesError::NoClasses, "no operation classes"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "message `{msg}` should contain `{needle}`"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<MdesError>();
+    }
+}

@@ -1,0 +1,189 @@
+//! ASCII rendering of reservation tables and constraint trees.
+//!
+//! Reproduces the visual content of the paper's Figures 1 and 3–6: each
+//! reservation-table option renders as a cycle × resource grid with `X`
+//! marking usages, and OR-/AND/OR-trees render as labeled lists of those
+//! grids.
+
+use std::fmt::Write as _;
+
+use crate::spec::{AndOrTreeId, Constraint, MdesSpec, OptionId, OrTreeId};
+
+/// Renders one reservation-table option as a grid.
+///
+/// Rows are cycles from the option's earliest to latest usage time; columns
+/// are only the resources the option uses, in resource-pool order.
+///
+/// # Examples
+///
+/// ```
+/// use mdes_core::pretty::reservation_table;
+/// use mdes_core::spec::{MdesSpec, TableOption};
+/// use mdes_core::usage::ResourceUsage;
+///
+/// # fn main() -> Result<(), mdes_core::MdesError> {
+/// let mut spec = MdesSpec::new();
+/// let m = spec.resources_mut().add("M")?;
+/// let opt = spec.add_option(TableOption::new(vec![ResourceUsage::new(m, 0)]));
+/// let grid = reservation_table(&spec, opt);
+/// assert!(grid.contains("Cycle"));
+/// assert!(grid.contains('X'));
+/// # Ok(())
+/// # }
+/// ```
+pub fn reservation_table(spec: &MdesSpec, id: OptionId) -> String {
+    let option = spec.option(id);
+    if option.usages.is_empty() {
+        return "  (empty option)\n".to_string();
+    }
+    let lo = option.earliest_time().expect("non-empty");
+    let hi = option.latest_time().expect("non-empty");
+
+    // Columns: resources used by this option, in pool order.
+    let mut used: Vec<usize> = option.usages.iter().map(|u| u.resource.index()).collect();
+    used.sort_unstable();
+    used.dedup();
+
+    let headers: Vec<&str> = used
+        .iter()
+        .map(|&r| spec.resources().name(crate::resource::ResourceId::from_index(r)))
+        .collect();
+    let widths: Vec<usize> = headers.iter().map(|h| h.len().max(3)).collect();
+
+    let mut out = String::new();
+    let _ = write!(out, "  {:>5} |", "Cycle");
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(out, " {h:^w$} |");
+    }
+    out.push('\n');
+    for cycle in lo..=hi {
+        let _ = write!(out, "  {cycle:>5} |");
+        for (&r, w) in used.iter().zip(&widths) {
+            let mark = if option
+                .usages
+                .iter()
+                .any(|u| u.resource.index() == r && u.time == cycle)
+            {
+                "X"
+            } else {
+                ""
+            };
+            let _ = write!(out, " {mark:^w$} |");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an OR-tree: numbered options in priority order.
+pub fn or_tree(spec: &MdesSpec, id: OrTreeId) -> String {
+    let tree = spec.or_tree(id);
+    let mut out = String::new();
+    let label = tree.name.as_deref().unwrap_or("(anonymous)");
+    let _ = writeln!(out, "OR-tree {label} ({} options)", tree.options.len());
+    for (i, &opt) in tree.options.iter().enumerate() {
+        let _ = writeln!(out, " Option {}:", i + 1);
+        for line in reservation_table(spec, opt).lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    out
+}
+
+/// Renders an AND/OR-tree: its sub-OR-trees in check order, joined by AND.
+pub fn and_or_tree(spec: &MdesSpec, id: AndOrTreeId) -> String {
+    let tree = spec.and_or_tree(id);
+    let mut out = String::new();
+    let label = tree.name.as_deref().unwrap_or("(anonymous)");
+    let _ = writeln!(
+        out,
+        "AND/OR-tree {label} ({} sub-OR-trees)",
+        tree.or_trees.len()
+    );
+    for (i, &or) in tree.or_trees.iter().enumerate() {
+        if i > 0 {
+            let _ = writeln!(out, " AND");
+        }
+        for line in or_tree(spec, or).lines() {
+            let _ = writeln!(out, " {line}");
+        }
+    }
+    out
+}
+
+/// Renders the constraint of an operation class.
+pub fn class_constraint(spec: &MdesSpec, name: &str) -> Option<String> {
+    let id = spec.class_by_name(name)?;
+    let rendered = match spec.class(id).constraint {
+        Constraint::Or(or) => or_tree(spec, or),
+        Constraint::AndOr(andor) => and_or_tree(spec, andor),
+    };
+    Some(format!("class {name}:\n{rendered}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceId;
+    use crate::spec::{AndOrTree, Latency, OpFlags, OrTree, TableOption};
+    use crate::usage::ResourceUsage;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    fn demo_spec() -> (MdesSpec, OptionId, OrTreeId, AndOrTreeId) {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("Decoder[0]").unwrap();
+        spec.resources_mut().add("M").unwrap();
+        let o1 = spec.add_option(TableOption::new(vec![u(0, -1), u(1, 0)]));
+        let o2 = spec.add_option(TableOption::new(vec![u(1, 0)]));
+        let or = spec.add_or_tree(OrTree::named("Mem", vec![o1, o2]));
+        let or2 = spec.add_or_tree(OrTree::new(vec![o2]));
+        let andor = spec.add_and_or_tree(AndOrTree::named("Load", vec![or, or2]));
+        spec.add_class(
+            "load",
+            crate::spec::Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::load(),
+        )
+        .unwrap();
+        (spec, o1, or, andor)
+    }
+
+    #[test]
+    fn grid_spans_cycle_range_and_marks_usages() {
+        let (spec, opt, _, _) = demo_spec();
+        let grid = reservation_table(&spec, opt);
+        assert!(grid.contains("Decoder[0]"));
+        assert!(grid.contains("M"));
+        assert!(grid.contains("-1"));
+        // Two usages → two X marks.
+        assert_eq!(grid.matches('X').count(), 2);
+    }
+
+    #[test]
+    fn or_tree_numbers_options_from_one() {
+        let (spec, _, or, _) = demo_spec();
+        let text = or_tree(&spec, or);
+        assert!(text.contains("OR-tree Mem (2 options)"));
+        assert!(text.contains("Option 1:"));
+        assert!(text.contains("Option 2:"));
+    }
+
+    #[test]
+    fn and_or_tree_joins_subtrees_with_and() {
+        let (spec, _, _, andor) = demo_spec();
+        let text = and_or_tree(&spec, andor);
+        assert!(text.contains("AND/OR-tree Load (2 sub-OR-trees)"));
+        assert_eq!(text.matches("\n AND\n").count(), 1);
+        assert!(text.contains("(anonymous)"));
+    }
+
+    #[test]
+    fn class_constraint_resolves_by_name() {
+        let (spec, _, _, _) = demo_spec();
+        assert!(class_constraint(&spec, "load").unwrap().contains("class load:"));
+        assert!(class_constraint(&spec, "missing").is_none());
+    }
+}

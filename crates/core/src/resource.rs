@@ -1,0 +1,257 @@
+//! Processor resources and the resource pool.
+//!
+//! A *resource* in an MDES is an abstract, named entity that at most one
+//! operation may use in a given cycle: a decoder slot, a register write
+//! port, a memory unit, a result bus.  As the paper notes, "the resources
+//! modeled often do not represent actual processor resources, but are
+//! abstractions used to model the processor's scheduling rules."
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::MdesError;
+
+/// Maximum number of resources supported by one machine description.
+///
+/// Resource occupancy for a cycle must fit in one 64-bit word so a full
+/// cycle can be checked or reserved with a single AND/OR (Section 6 of the
+/// paper).  All four processors in the paper need fewer than 32.
+pub const MAX_RESOURCES: usize = 64;
+
+/// A compact identifier for a resource within one [`ResourcePool`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(u32);
+
+impl ResourceId {
+    /// Returns the zero-based index of this resource in its pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index.
+    ///
+    /// Intended for deserialization and tests; ids are normally obtained
+    /// from [`ResourcePool::add`].
+    pub fn from_index(index: usize) -> ResourceId {
+        ResourceId(index as u32)
+    }
+
+    /// Returns the single-bit occupancy mask for this resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index does not fit in 64 bits; pools enforce
+    /// [`MAX_RESOURCES`] so ids they hand out never panic here.
+    pub fn bit(self) -> u64 {
+        assert!(
+            (self.0 as usize) < MAX_RESOURCES,
+            "resource index {} out of bit range",
+            self.0
+        );
+        1u64 << self.0
+    }
+}
+
+impl fmt::Debug for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The set of resources declared by one machine description.
+///
+/// Names are unique; lookups are O(1) in both directions.
+///
+/// # Examples
+///
+/// ```
+/// use mdes_core::resource::ResourcePool;
+///
+/// # fn main() -> Result<(), mdes_core::MdesError> {
+/// let mut pool = ResourcePool::new();
+/// let decoder0 = pool.add("Decoder0")?;
+/// assert_eq!(pool.name(decoder0), "Decoder0");
+/// assert_eq!(pool.lookup("Decoder0"), Some(decoder0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResourcePool {
+    names: Vec<String>,
+    index: HashMap<String, ResourceId>,
+}
+
+impl ResourcePool {
+    /// Creates an empty pool.
+    pub fn new() -> ResourcePool {
+        ResourcePool::default()
+    }
+
+    /// Declares a new resource and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdesError::DuplicateResource`] if the name already exists
+    /// and [`MdesError::TooManyResources`] past [`MAX_RESOURCES`].
+    pub fn add(&mut self, name: impl Into<String>) -> Result<ResourceId, MdesError> {
+        let name = name.into();
+        if self.index.contains_key(&name) {
+            return Err(MdesError::DuplicateResource(name));
+        }
+        if self.names.len() >= MAX_RESOURCES {
+            return Err(MdesError::TooManyResources {
+                count: self.names.len() + 1,
+                max: MAX_RESOURCES,
+            });
+        }
+        let id = ResourceId(self.names.len() as u32);
+        self.index.insert(name.clone(), id);
+        self.names.push(name);
+        Ok(id)
+    }
+
+    /// Declares `count` indexed instances, `base[0]` … `base[count-1]`.
+    ///
+    /// This mirrors the `resource Decoder[3];` form of the high-level
+    /// language.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`ResourcePool::add`].
+    pub fn add_indexed(
+        &mut self,
+        base: &str,
+        count: usize,
+    ) -> Result<Vec<ResourceId>, MdesError> {
+        (0..count).map(|i| self.add(format!("{base}[{i}]"))).collect()
+    }
+
+    /// Looks a resource up by name.
+    pub fn lookup(&self, name: &str) -> Option<ResourceId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this pool.
+    pub fn name(&self, id: ResourceId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of resources declared.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no resources have been declared.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ResourceId(i as u32), n.as_str()))
+    }
+
+    /// Checks that `id` is valid for this pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdesError::UnknownResource`] when out of range.
+    pub fn check(&self, id: ResourceId) -> Result<(), MdesError> {
+        if id.index() < self.names.len() {
+            Ok(())
+        } else {
+            Err(MdesError::UnknownResource(id.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_round_trip() {
+        let mut pool = ResourcePool::new();
+        let m = pool.add("M").unwrap();
+        let wp = pool.add("WrPt[0]").unwrap();
+        assert_eq!(pool.lookup("M"), Some(m));
+        assert_eq!(pool.lookup("WrPt[0]"), Some(wp));
+        assert_eq!(pool.lookup("absent"), None);
+        assert_eq!(pool.name(m), "M");
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut pool = ResourcePool::new();
+        pool.add("M").unwrap();
+        assert_eq!(
+            pool.add("M"),
+            Err(MdesError::DuplicateResource("M".into()))
+        );
+    }
+
+    #[test]
+    fn indexed_resources_get_bracketed_names() {
+        let mut pool = ResourcePool::new();
+        let ids = pool.add_indexed("Decoder", 3).unwrap();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(pool.name(ids[0]), "Decoder[0]");
+        assert_eq!(pool.name(ids[2]), "Decoder[2]");
+        assert_eq!(pool.lookup("Decoder[1]"), Some(ids[1]));
+    }
+
+    #[test]
+    fn resource_bits_are_distinct_powers_of_two() {
+        let mut pool = ResourcePool::new();
+        let a = pool.add("a").unwrap();
+        let b = pool.add("b").unwrap();
+        assert_eq!(a.bit(), 1);
+        assert_eq!(b.bit(), 2);
+        assert_eq!(a.bit() & b.bit(), 0);
+    }
+
+    #[test]
+    fn pool_enforces_max_resources() {
+        let mut pool = ResourcePool::new();
+        for i in 0..MAX_RESOURCES {
+            pool.add(format!("r{i}")).unwrap();
+        }
+        let err = pool.add("overflow").unwrap_err();
+        assert!(matches!(err, MdesError::TooManyResources { .. }));
+    }
+
+    #[test]
+    fn check_validates_membership() {
+        let mut pool = ResourcePool::new();
+        let a = pool.add("a").unwrap();
+        assert!(pool.check(a).is_ok());
+        assert_eq!(
+            pool.check(ResourceId::from_index(7)),
+            Err(MdesError::UnknownResource(7))
+        );
+    }
+
+    #[test]
+    fn iter_yields_declaration_order() {
+        let mut pool = ResourcePool::new();
+        pool.add("x").unwrap();
+        pool.add("y").unwrap();
+        let names: Vec<&str> = pool.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,213 @@
+//! The resource usage map (RU map).
+//!
+//! The RU map records, for every schedule cycle, which resources are already
+//! reserved by scheduled operations.  One cycle's occupancy is one 64-bit
+//! word, so several usages falling in the same cycle are checked (reserved)
+//! with a single AND (OR) — the bit-vector design of Section 6.
+//!
+//! Cycles are arbitrary `i32`s: operations issued at cycle 0 may use decode
+//! resources at negative cycles, so the map grows in both directions.
+
+/// A growable bit matrix of resource occupancy indexed by schedule cycle.
+///
+/// # Examples
+///
+/// ```
+/// use mdes_core::rumap::RuMap;
+///
+/// let mut ru = RuMap::new();
+/// assert!(ru.is_free(-1, 0b01));
+/// ru.reserve(-1, 0b01);
+/// assert!(!ru.is_free(-1, 0b01));
+/// assert!(ru.is_free(-1, 0b10)); // other resources unaffected
+/// ru.release(-1, 0b01);
+/// assert!(ru.is_free(-1, 0b01));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuMap {
+    /// Cycle number of `words[0]`.
+    base: i32,
+    /// Occupancy words, one per cycle starting at `base`.
+    words: Vec<u64>,
+}
+
+impl RuMap {
+    /// Creates an empty map.
+    pub fn new() -> RuMap {
+        RuMap::default()
+    }
+
+    /// Creates an empty map pre-sized for cycles `lo..=hi` to avoid
+    /// re-allocation in hot scheduling loops.
+    pub fn with_range(lo: i32, hi: i32) -> RuMap {
+        assert!(lo <= hi, "invalid cycle range {lo}..={hi}");
+        RuMap {
+            base: lo,
+            words: vec![0; (hi - lo + 1) as usize],
+        }
+    }
+
+    /// The occupancy word for `cycle` (0 when outside the stored range).
+    pub fn word(&self, cycle: i32) -> u64 {
+        let idx = i64::from(cycle) - i64::from(self.base);
+        if idx < 0 || idx >= self.words.len() as i64 {
+            0
+        } else {
+            self.words[idx as usize]
+        }
+    }
+
+    /// True if none of the resources in `mask` are reserved at `cycle`.
+    pub fn is_free(&self, cycle: i32, mask: u64) -> bool {
+        self.word(cycle) & mask == 0
+    }
+
+    /// Marks the resources in `mask` reserved at `cycle`.
+    ///
+    /// Reserving an already-reserved resource is allowed (the bits just
+    /// stay set); the constraint checker always probes with
+    /// [`RuMap::is_free`] first, and the modulo scheduler relies on
+    /// idempotent reservation when rotating the map.
+    pub fn reserve(&mut self, cycle: i32, mask: u64) {
+        let idx = self.index_growing(cycle);
+        self.words[idx] |= mask;
+    }
+
+    /// Clears the resources in `mask` at `cycle` (unscheduling support).
+    pub fn release(&mut self, cycle: i32, mask: u64) {
+        let idx = i64::from(cycle) - i64::from(self.base);
+        if idx >= 0 && idx < self.words.len() as i64 {
+            self.words[idx as usize] &= !mask;
+        }
+    }
+
+    /// Removes every reservation but keeps the allocated capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// The lowest cycle with any reservation, if any.
+    pub fn min_reserved_cycle(&self) -> Option<i32> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| self.base + i as i32)
+    }
+
+    /// The highest cycle with any reservation, if any.
+    pub fn max_reserved_cycle(&self) -> Option<i32> {
+        self.words
+            .iter()
+            .rposition(|&w| w != 0)
+            .map(|i| self.base + i as i32)
+    }
+
+    /// Total number of reserved (cycle, resource) pairs.
+    pub fn population(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Index of `cycle` in `words`, growing the vector as needed.
+    fn index_growing(&mut self, cycle: i32) -> usize {
+        if self.words.is_empty() {
+            self.base = cycle;
+            self.words.push(0);
+            return 0;
+        }
+        let mut idx = i64::from(cycle) - i64::from(self.base);
+        if idx < 0 {
+            let grow = (-idx) as usize;
+            let mut new_words = vec![0u64; grow + self.words.len()];
+            new_words[grow..].copy_from_slice(&self.words);
+            self.words = new_words;
+            self.base = cycle;
+            idx = 0;
+        } else if idx >= self.words.len() as i64 {
+            self.words.resize(idx as usize + 1, 0);
+        }
+        idx as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_is_fully_free() {
+        let ru = RuMap::new();
+        assert!(ru.is_free(0, u64::MAX));
+        assert!(ru.is_free(i32::MIN / 2, u64::MAX));
+        assert_eq!(ru.population(), 0);
+        assert_eq!(ru.min_reserved_cycle(), None);
+        assert_eq!(ru.max_reserved_cycle(), None);
+    }
+
+    #[test]
+    fn reserve_then_check_and_release() {
+        let mut ru = RuMap::new();
+        ru.reserve(5, 0b110);
+        assert!(!ru.is_free(5, 0b010));
+        assert!(!ru.is_free(5, 0b100));
+        assert!(ru.is_free(5, 0b001));
+        assert!(ru.is_free(4, 0b110));
+        ru.release(5, 0b010);
+        assert!(ru.is_free(5, 0b010));
+        assert!(!ru.is_free(5, 0b100));
+    }
+
+    #[test]
+    fn grows_downward_for_negative_cycles() {
+        let mut ru = RuMap::new();
+        ru.reserve(3, 1);
+        ru.reserve(-2, 2);
+        assert!(!ru.is_free(3, 1));
+        assert!(!ru.is_free(-2, 2));
+        assert_eq!(ru.min_reserved_cycle(), Some(-2));
+        assert_eq!(ru.max_reserved_cycle(), Some(3));
+        assert_eq!(ru.population(), 2);
+    }
+
+    #[test]
+    fn release_outside_range_is_a_no_op() {
+        let mut ru = RuMap::new();
+        ru.reserve(0, 1);
+        ru.release(100, 1);
+        ru.release(-100, 1);
+        assert!(!ru.is_free(0, 1));
+    }
+
+    #[test]
+    fn clear_keeps_range_but_frees_everything() {
+        let mut ru = RuMap::with_range(-4, 16);
+        ru.reserve(-4, u64::MAX);
+        ru.reserve(16, 1);
+        ru.clear();
+        assert_eq!(ru.population(), 0);
+        assert!(ru.is_free(-4, u64::MAX));
+    }
+
+    #[test]
+    fn with_range_presizes_without_reservations() {
+        let ru = RuMap::with_range(0, 63);
+        assert_eq!(ru.population(), 0);
+        assert!(ru.is_free(0, u64::MAX));
+        assert!(ru.is_free(63, u64::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cycle range")]
+    fn with_range_rejects_inverted_bounds() {
+        let _ = RuMap::with_range(4, 2);
+    }
+
+    #[test]
+    fn reserve_is_idempotent() {
+        let mut ru = RuMap::new();
+        ru.reserve(1, 0b11);
+        ru.reserve(1, 0b11);
+        assert_eq!(ru.population(), 2);
+        ru.release(1, 0b11);
+        assert_eq!(ru.population(), 0);
+    }
+}

@@ -1,0 +1,1051 @@
+//! The mid-level machine-description representation (`MdesSpec`).
+//!
+//! An [`MdesSpec`] is what the high-level language front end produces and
+//! what the transformation passes of the `mdes-opt` crate rewrite.  It holds
+//! pools of reservation-table options, OR-trees and AND/OR-trees plus the
+//! operation classes that reference them.  Sharing is *explicit*: two trees
+//! share an option only if they reference the same [`OptionId`], exactly as
+//! the paper's low-level representation shares only what the external MDES
+//! specifies (Section 4).  The redundancy-elimination transformation later
+//! merges structurally identical items.
+
+use std::fmt;
+
+use crate::error::MdesError;
+use crate::resource::ResourcePool;
+use crate::usage::ResourceUsage;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Returns the zero-based pool index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw pool index (tests / deserialization).
+            pub fn from_index(index: usize) -> $name {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a reservation-table option in an [`MdesSpec`].
+    OptionId,
+    "opt"
+);
+define_id!(
+    /// Identifier of an OR-tree in an [`MdesSpec`].
+    OrTreeId,
+    "or"
+);
+define_id!(
+    /// Identifier of an AND/OR-tree in an [`MdesSpec`].
+    AndOrTreeId,
+    "andor"
+);
+define_id!(
+    /// Identifier of an operation class in an [`MdesSpec`].
+    ClassId,
+    "class"
+);
+
+/// One reservation-table option: a set of resource usages that together
+/// form one way an operation may use the processor (Figure 1 of the paper).
+///
+/// The order of `usages` is significant: it is the order in which the
+/// low-level checker probes the resource-usage map, which the check-ordering
+/// transformation (Section 7) tunes so time zero is probed first.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TableOption {
+    /// The usages, in check order.
+    pub usages: Vec<ResourceUsage>,
+}
+
+impl TableOption {
+    /// Creates an option from usages, preserving their order.
+    pub fn new(usages: Vec<ResourceUsage>) -> TableOption {
+        TableOption { usages }
+    }
+
+    /// Returns a canonical (sorted, deduplicated) copy of the usages.
+    ///
+    /// Two options are *semantically* equal when their canonical usages
+    /// match, even if check order differs.
+    pub fn canonical_usages(&self) -> Vec<ResourceUsage> {
+        let mut v = self.usages.clone();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// True if this option's usages are a (non-strict) superset of
+    /// `other`'s.
+    ///
+    /// Used by dominated-option elimination (Section 5): an option that
+    /// uses a superset of a higher-priority option's resources can never
+    /// be selected.
+    pub fn covers(&self, other: &TableOption) -> bool {
+        let mine = self.canonical_usages();
+        other
+            .canonical_usages()
+            .iter()
+            .all(|u| mine.binary_search(u).is_ok())
+    }
+
+    /// The earliest usage time in the option, if any usages exist.
+    pub fn earliest_time(&self) -> Option<i32> {
+        self.usages.iter().map(|u| u.time).min()
+    }
+
+    /// The latest usage time in the option, if any usages exist.
+    pub fn latest_time(&self) -> Option<i32> {
+        self.usages.iter().map(|u| u.time).max()
+    }
+}
+
+/// A prioritized list of reservation-table options (Figure 3a).
+///
+/// Option priority is list order: the checker tries `options[0]` first and
+/// selects the first whose resources are all available.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrTree {
+    /// Optional name from the high-level description (for diagnostics and
+    /// pretty-printing; does not affect semantics).
+    pub name: Option<String>,
+    /// Options in priority order (highest priority first).
+    pub options: Vec<OptionId>,
+}
+
+impl OrTree {
+    /// Creates an anonymous OR-tree.
+    pub fn new(options: Vec<OptionId>) -> OrTree {
+        OrTree {
+            name: None,
+            options,
+        }
+    }
+
+    /// Creates a named OR-tree.
+    pub fn named(name: impl Into<String>, options: Vec<OptionId>) -> OrTree {
+        OrTree {
+            name: Some(name.into()),
+            options,
+        }
+    }
+}
+
+/// An AND of OR-trees (Figure 3b): the operation needs one available option
+/// from *every* sub-OR-tree.
+///
+/// The order of `or_trees` is the check order, which the conflict-detection
+/// ordering transformation (Section 8) tunes so the tree most likely to
+/// conflict is checked first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AndOrTree {
+    /// Optional name from the high-level description.
+    pub name: Option<String>,
+    /// Sub-OR-trees, in check order.
+    pub or_trees: Vec<OrTreeId>,
+}
+
+impl AndOrTree {
+    /// Creates an anonymous AND/OR-tree.
+    pub fn new(or_trees: Vec<OrTreeId>) -> AndOrTree {
+        AndOrTree {
+            name: None,
+            or_trees,
+        }
+    }
+
+    /// Creates a named AND/OR-tree.
+    pub fn named(name: impl Into<String>, or_trees: Vec<OrTreeId>) -> AndOrTree {
+        AndOrTree {
+            name: Some(name.into()),
+            or_trees,
+        }
+    }
+}
+
+/// The resource constraint of an operation class: either a traditional
+/// OR-tree of full reservation tables, or an AND/OR-tree.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// Traditional representation (Section 2).
+    Or(OrTreeId),
+    /// The paper's proposed representation (Section 3).
+    AndOr(AndOrTreeId),
+}
+
+/// Operation latency information attached to a class.
+///
+/// `dest` is the cycle (relative to issue) at which the result is
+/// written; `src` is the cycle at which source operands are read (most
+/// machines read at issue, 0; a late-reading operand lets a consumer
+/// issue before its producer completes); `mem` is the latency seen by a
+/// dependent memory operation (models address-generation interlocks such
+/// as the SuperSPARC's).  A flow dependence therefore requires
+/// `consumer.issue + consumer.src ≥ producer.issue + producer.dest`,
+/// i.e. an edge latency of `producer.dest − consumer.src` (clamped
+/// non-negative) — the operand read/write-time model of MDES
+/// infrastructures.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Latency {
+    /// Result-write time in cycles after issue.
+    pub dest: i32,
+    /// Source-operand read time in cycles after issue (usually 0).
+    pub src: i32,
+    /// Memory-dependence latency in cycles.
+    pub mem: i32,
+}
+
+impl Latency {
+    /// Creates a latency record with `mem` equal to `dest` and sources
+    /// read at issue.
+    pub fn new(dest: i32) -> Latency {
+        Latency {
+            dest,
+            src: 0,
+            mem: dest,
+        }
+    }
+
+    /// Creates a latency record with a distinct memory-dependence latency.
+    pub fn with_mem(dest: i32, mem: i32) -> Latency {
+        Latency { dest, src: 0, mem }
+    }
+
+    /// Sets the source-operand read time.
+    pub fn with_src(mut self, src: i32) -> Latency {
+        self.src = src;
+        self
+    }
+}
+
+impl Default for Latency {
+    fn default() -> Latency {
+        Latency::new(1)
+    }
+}
+
+/// Semantic category flags for an operation class.
+///
+/// The scheduler substrate uses these for dependence construction (memory
+/// and control dependences); they do not affect resource checking.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct OpFlags {
+    /// Reads memory.
+    pub load: bool,
+    /// Writes memory.
+    pub store: bool,
+    /// Transfers control; acts as a scheduling barrier at block end.
+    pub branch: bool,
+    /// Must execute alone (serializing operation).
+    pub serial: bool,
+}
+
+impl OpFlags {
+    /// Flags for a plain register-to-register operation.
+    pub fn none() -> OpFlags {
+        OpFlags::default()
+    }
+
+    /// Flags for a memory load.
+    pub fn load() -> OpFlags {
+        OpFlags {
+            load: true,
+            ..OpFlags::default()
+        }
+    }
+
+    /// Flags for a memory store.
+    pub fn store() -> OpFlags {
+        OpFlags {
+            store: true,
+            ..OpFlags::default()
+        }
+    }
+
+    /// Flags for a branch.
+    pub fn branch() -> OpFlags {
+        OpFlags {
+            branch: true,
+            ..OpFlags::default()
+        }
+    }
+
+    /// Flags for a serializing operation.
+    pub fn serial() -> OpFlags {
+        OpFlags {
+            serial: true,
+            branch: true,
+            ..OpFlags::default()
+        }
+    }
+
+    /// True if the operation touches memory.
+    pub fn is_mem(&self) -> bool {
+        self.load || self.store
+    }
+}
+
+/// An operation class: the unit at which the MDES maps operations to
+/// resource constraints and latencies.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpClass {
+    /// Unique class name (e.g. `"ialu_2src"`).
+    pub name: String,
+    /// The class's resource constraint.
+    pub constraint: Constraint,
+    /// Latency information.
+    pub latency: Latency,
+    /// Semantic flags.
+    pub flags: OpFlags,
+}
+
+/// Report returned by [`MdesSpec::sweep_unreferenced`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Options removed because nothing referenced them.
+    pub options_removed: usize,
+    /// OR-trees removed because nothing referenced them.
+    pub or_trees_removed: usize,
+    /// AND/OR-trees removed because nothing referenced them.
+    pub and_or_trees_removed: usize,
+}
+
+impl SweepReport {
+    /// Total items removed.
+    pub fn total(&self) -> usize {
+        self.options_removed + self.or_trees_removed + self.and_or_trees_removed
+    }
+}
+
+/// The complete mid-level machine description.
+///
+/// # Examples
+///
+/// Building the SuperSPARC integer-load AND/OR-tree of Figure 3b:
+///
+/// ```
+/// use mdes_core::spec::{AndOrTree, Constraint, Latency, MdesSpec, OpFlags, OrTree, TableOption};
+/// use mdes_core::usage::ResourceUsage;
+///
+/// # fn main() -> Result<(), mdes_core::MdesError> {
+/// let mut spec = MdesSpec::new();
+/// let m = spec.resources_mut().add("M")?;
+/// let decoders = spec.resources_mut().add_indexed("Decoder", 3)?;
+/// let wrpts = spec.resources_mut().add_indexed("WrPt", 2)?;
+///
+/// let use_m = spec.add_option(TableOption::new(vec![ResourceUsage::new(m, 0)]));
+/// let m_tree = spec.add_or_tree(OrTree::named("UseM", vec![use_m]));
+///
+/// let wp_opts = wrpts.iter()
+///     .map(|&r| spec.add_option(TableOption::new(vec![ResourceUsage::new(r, 1)])))
+///     .collect();
+/// let wp_tree = spec.add_or_tree(OrTree::named("AnyWrPt", wp_opts));
+///
+/// let dec_opts = decoders.iter()
+///     .map(|&r| spec.add_option(TableOption::new(vec![ResourceUsage::new(r, -1)])))
+///     .collect();
+/// let dec_tree = spec.add_or_tree(OrTree::named("AnyDecoder", dec_opts));
+///
+/// let load = spec.add_and_or_tree(AndOrTree::named("Load", vec![m_tree, wp_tree, dec_tree]));
+/// spec.add_class("load", Constraint::AndOr(load), Latency::new(1), OpFlags::load())?;
+/// spec.validate()?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MdesSpec {
+    resources: ResourcePool,
+    options: Vec<TableOption>,
+    or_trees: Vec<OrTree>,
+    and_or_trees: Vec<AndOrTree>,
+    classes: Vec<OpClass>,
+    /// Opcode vocabulary: mnemonic → class, in declaration order.
+    opcodes: Vec<(String, ClassId)>,
+    /// Bypass/forwarding latency exceptions: (producer, consumer,
+    /// flow latency overriding the default `dest − src` computation).
+    bypasses: Vec<(ClassId, ClassId, i32)>,
+}
+
+impl MdesSpec {
+    /// Creates an empty machine description.
+    pub fn new() -> MdesSpec {
+        MdesSpec::default()
+    }
+
+    /// Shared access to the resource pool.
+    pub fn resources(&self) -> &ResourcePool {
+        &self.resources
+    }
+
+    /// Mutable access to the resource pool (declaration phase).
+    pub fn resources_mut(&mut self) -> &mut ResourcePool {
+        &mut self.resources
+    }
+
+    /// Adds a reservation-table option and returns its id.
+    pub fn add_option(&mut self, option: TableOption) -> OptionId {
+        let id = OptionId(self.options.len() as u32);
+        self.options.push(option);
+        id
+    }
+
+    /// Adds an OR-tree and returns its id.
+    pub fn add_or_tree(&mut self, tree: OrTree) -> OrTreeId {
+        let id = OrTreeId(self.or_trees.len() as u32);
+        self.or_trees.push(tree);
+        id
+    }
+
+    /// Adds an AND/OR-tree and returns its id.
+    pub fn add_and_or_tree(&mut self, tree: AndOrTree) -> AndOrTreeId {
+        let id = AndOrTreeId(self.and_or_trees.len() as u32);
+        self.and_or_trees.push(tree);
+        id
+    }
+
+    /// Declares an operation class.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdesError::DuplicateClass`] if a class of the same name
+    /// already exists.
+    pub fn add_class(
+        &mut self,
+        name: impl Into<String>,
+        constraint: Constraint,
+        latency: Latency,
+        flags: OpFlags,
+    ) -> Result<ClassId, MdesError> {
+        let name = name.into();
+        if self.classes.iter().any(|c| c.name == name) {
+            return Err(MdesError::DuplicateClass(name));
+        }
+        let id = ClassId(self.classes.len() as u32);
+        self.classes.push(OpClass {
+            name,
+            constraint,
+            latency,
+            flags,
+        });
+        Ok(id)
+    }
+
+    /// Returns the option for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a different spec.
+    pub fn option(&self, id: OptionId) -> &TableOption {
+        &self.options[id.index()]
+    }
+
+    /// Mutable access to the option for `id`.
+    pub fn option_mut(&mut self, id: OptionId) -> &mut TableOption {
+        &mut self.options[id.index()]
+    }
+
+    /// Returns the OR-tree for `id`.
+    pub fn or_tree(&self, id: OrTreeId) -> &OrTree {
+        &self.or_trees[id.index()]
+    }
+
+    /// Mutable access to the OR-tree for `id`.
+    pub fn or_tree_mut(&mut self, id: OrTreeId) -> &mut OrTree {
+        &mut self.or_trees[id.index()]
+    }
+
+    /// Returns the AND/OR-tree for `id`.
+    pub fn and_or_tree(&self, id: AndOrTreeId) -> &AndOrTree {
+        &self.and_or_trees[id.index()]
+    }
+
+    /// Mutable access to the AND/OR-tree for `id`.
+    pub fn and_or_tree_mut(&mut self, id: AndOrTreeId) -> &mut AndOrTree {
+        &mut self.and_or_trees[id.index()]
+    }
+
+    /// Returns the class for `id`.
+    pub fn class(&self, id: ClassId) -> &OpClass {
+        &self.classes[id.index()]
+    }
+
+    /// Mutable access to the class for `id`.
+    pub fn class_mut(&mut self, id: ClassId) -> &mut OpClass {
+        &mut self.classes[id.index()]
+    }
+
+    /// Declares an opcode mapping to a class — the paper's footnote-1
+    /// "mapping of this information to specific operations based on
+    /// their opcode".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdesError::DuplicateClass`] (reusing the class-name
+    /// namespace) if the mnemonic is already mapped, or
+    /// [`MdesError::UnknownClass`] if the class id is out of range.
+    pub fn add_opcode(
+        &mut self,
+        mnemonic: impl Into<String>,
+        class: ClassId,
+    ) -> Result<(), MdesError> {
+        let mnemonic = mnemonic.into();
+        if class.index() >= self.classes.len() {
+            return Err(MdesError::UnknownClass(mnemonic));
+        }
+        if self.opcodes.iter().any(|(m, _)| *m == mnemonic) {
+            return Err(MdesError::DuplicateClass(mnemonic));
+        }
+        self.opcodes.push((mnemonic, class));
+        Ok(())
+    }
+
+    /// The opcode vocabulary in declaration order.
+    pub fn opcodes(&self) -> &[(String, ClassId)] {
+        &self.opcodes
+    }
+
+    /// Declares a bypass/forwarding latency exception: a flow dependence
+    /// from `producer` to `consumer` costs exactly `latency` issue
+    /// cycles instead of the default `producer.dest − consumer.src`
+    /// (the paper's footnote-1 "modeling of bypassing and forwarding
+    /// effects").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdesError::UnknownClass`] if either class id is out of
+    /// range; a later declaration for the same pair replaces the
+    /// earlier one.
+    pub fn add_bypass(
+        &mut self,
+        producer: ClassId,
+        consumer: ClassId,
+        latency: i32,
+    ) -> Result<(), MdesError> {
+        for id in [producer, consumer] {
+            if id.index() >= self.classes.len() {
+                return Err(MdesError::UnknownClass(format!("{id:?}")));
+            }
+        }
+        if let Some(entry) = self
+            .bypasses
+            .iter_mut()
+            .find(|(p, c, _)| *p == producer && *c == consumer)
+        {
+            entry.2 = latency;
+        } else {
+            self.bypasses.push((producer, consumer, latency));
+        }
+        Ok(())
+    }
+
+    /// All bypass exceptions in declaration order.
+    pub fn bypasses(&self) -> &[(ClassId, ClassId, i32)] {
+        &self.bypasses
+    }
+
+    /// Resolves a mnemonic to its class.
+    pub fn opcode_class(&self, mnemonic: &str) -> Option<ClassId> {
+        self.opcodes
+            .iter()
+            .find(|(m, _)| m == mnemonic)
+            .map(|(_, c)| *c)
+    }
+
+    /// Mnemonics mapped to `class`, in declaration order.
+    pub fn opcodes_of_class(&self, class: ClassId) -> Vec<&str> {
+        self.opcodes
+            .iter()
+            .filter(|(_, c)| *c == class)
+            .map(|(m, _)| m.as_str())
+            .collect()
+    }
+
+    /// Looks an operation class up by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ClassId(i as u32))
+    }
+
+    /// Number of options in the pool (including unreferenced ones).
+    pub fn num_options(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Number of OR-trees in the pool.
+    pub fn num_or_trees(&self) -> usize {
+        self.or_trees.len()
+    }
+
+    /// Number of AND/OR-trees in the pool.
+    pub fn num_and_or_trees(&self) -> usize {
+        self.and_or_trees.len()
+    }
+
+    /// Number of operation classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Iterates over option ids.
+    pub fn option_ids(&self) -> impl Iterator<Item = OptionId> {
+        (0..self.options.len() as u32).map(OptionId)
+    }
+
+    /// Iterates over OR-tree ids.
+    pub fn or_tree_ids(&self) -> impl Iterator<Item = OrTreeId> {
+        (0..self.or_trees.len() as u32).map(OrTreeId)
+    }
+
+    /// Iterates over AND/OR-tree ids.
+    pub fn and_or_tree_ids(&self) -> impl Iterator<Item = AndOrTreeId> {
+        (0..self.and_or_trees.len() as u32).map(AndOrTreeId)
+    }
+
+    /// Iterates over class ids.
+    pub fn class_ids(&self) -> impl Iterator<Item = ClassId> {
+        (0..self.classes.len() as u32).map(ClassId)
+    }
+
+    /// Rewrites every option reference through `f`.
+    pub fn rewrite_option_refs(&mut self, mut f: impl FnMut(OptionId) -> OptionId) {
+        for tree in &mut self.or_trees {
+            for opt in &mut tree.options {
+                *opt = f(*opt);
+            }
+        }
+    }
+
+    /// Rewrites every OR-tree reference through `f`.
+    pub fn rewrite_or_tree_refs(&mut self, mut f: impl FnMut(OrTreeId) -> OrTreeId) {
+        for tree in &mut self.and_or_trees {
+            for or in &mut tree.or_trees {
+                *or = f(*or);
+            }
+        }
+        for class in &mut self.classes {
+            if let Constraint::Or(id) = &mut class.constraint {
+                *id = f(*id);
+            }
+        }
+    }
+
+    /// Rewrites every AND/OR-tree reference through `f`.
+    pub fn rewrite_and_or_tree_refs(&mut self, mut f: impl FnMut(AndOrTreeId) -> AndOrTreeId) {
+        for class in &mut self.classes {
+            if let Constraint::AndOr(id) = &mut class.constraint {
+                *id = f(*id);
+            }
+        }
+    }
+
+    /// Removes every option, OR-tree and AND/OR-tree not reachable from an
+    /// operation class, compacting the pools and fixing references.
+    ///
+    /// This is the paper's adaptation of dead-code removal (Section 5).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mdes_core::spec::{Constraint, Latency, MdesSpec, OpFlags, OrTree, TableOption};
+    /// use mdes_core::ResourceUsage;
+    ///
+    /// # fn main() -> Result<(), mdes_core::MdesError> {
+    /// let mut spec = MdesSpec::new();
+    /// let r = spec.resources_mut().add("R")?;
+    /// let live = spec.add_option(TableOption::new(vec![ResourceUsage::new(r, 0)]));
+    /// let tree = spec.add_or_tree(OrTree::new(vec![live]));
+    /// spec.add_class("alu", Constraint::Or(tree), Latency::new(1), OpFlags::none())?;
+    /// // An orphaned option nothing references.
+    /// spec.add_option(TableOption::new(vec![ResourceUsage::new(r, 5)]));
+    ///
+    /// let report = spec.sweep_unreferenced();
+    /// assert_eq!(report.options_removed, 1);
+    /// assert_eq!(spec.num_options(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn sweep_unreferenced(&mut self) -> SweepReport {
+        let mut live_andor = vec![false; self.and_or_trees.len()];
+        let mut live_or = vec![false; self.or_trees.len()];
+        let mut live_opt = vec![false; self.options.len()];
+
+        for class in &self.classes {
+            match class.constraint {
+                Constraint::Or(id) => live_or[id.index()] = true,
+                Constraint::AndOr(id) => live_andor[id.index()] = true,
+            }
+        }
+        for (i, tree) in self.and_or_trees.iter().enumerate() {
+            if live_andor[i] {
+                for or in &tree.or_trees {
+                    live_or[or.index()] = true;
+                }
+            }
+        }
+        for (i, tree) in self.or_trees.iter().enumerate() {
+            if live_or[i] {
+                for opt in &tree.options {
+                    live_opt[opt.index()] = true;
+                }
+            }
+        }
+
+        let (opt_map, options_removed) = compact(&mut self.options, &live_opt);
+        let (or_map, or_trees_removed) = compact(&mut self.or_trees, &live_or);
+        let (andor_map, and_or_trees_removed) = compact(&mut self.and_or_trees, &live_andor);
+
+        self.rewrite_option_refs(|id| OptionId(opt_map[id.index()]));
+        self.rewrite_or_tree_refs(|id| OrTreeId(or_map[id.index()]));
+        self.rewrite_and_or_tree_refs(|id| AndOrTreeId(andor_map[id.index()]));
+
+        SweepReport {
+            options_removed,
+            or_trees_removed,
+            and_or_trees_removed,
+        }
+    }
+
+    /// Checks internal consistency: every reference in range, no empty
+    /// options or trees, at least one class.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), MdesError> {
+        if self.classes.is_empty() {
+            return Err(MdesError::NoClasses);
+        }
+        for option in &self.options {
+            if option.usages.is_empty() {
+                return Err(MdesError::EmptyOption);
+            }
+            for usage in &option.usages {
+                self.resources.check(usage.resource)?;
+            }
+        }
+        for tree in &self.or_trees {
+            if tree.options.is_empty() {
+                return Err(MdesError::EmptyOrTree);
+            }
+            for opt in &tree.options {
+                if opt.index() >= self.options.len() {
+                    return Err(MdesError::UnknownOption(opt.0));
+                }
+            }
+        }
+        for tree in &self.and_or_trees {
+            if tree.or_trees.is_empty() {
+                return Err(MdesError::EmptyAndOrTree);
+            }
+            for or in &tree.or_trees {
+                if or.index() >= self.or_trees.len() {
+                    return Err(MdesError::UnknownOrTree(or.0));
+                }
+            }
+        }
+        for class in &self.classes {
+            match class.constraint {
+                Constraint::Or(id) => {
+                    if id.index() >= self.or_trees.len() {
+                        return Err(MdesError::UnknownOrTree(id.0));
+                    }
+                }
+                Constraint::AndOr(id) => {
+                    if id.index() >= self.and_or_trees.len() {
+                        return Err(MdesError::UnknownAndOrTree(id.0));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The number of OR-trees referenced (directly or via AND/OR-trees) by
+    /// each OR-tree id; used by the conflict-detection sort's "shared by
+    /// most AND/OR-trees" criterion.
+    pub fn or_tree_share_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.or_trees.len()];
+        for tree in &self.and_or_trees {
+            for or in &tree.or_trees {
+                counts[or.index()] += 1;
+            }
+        }
+        for class in &self.classes {
+            if let Constraint::Or(id) = class.constraint {
+                counts[id.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total number of reservation-table options reachable from `class`,
+    /// counting the cross product for AND/OR constraints.
+    ///
+    /// This is the "Number of Options" column of Tables 1–4.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// // The paper's Figure 1: 1 memory unit x 2 write ports x 3
+    /// // decoders = six reservation tables.
+    /// let spec = mdes_lang::compile("
+    ///     resource Decoder[3];
+    ///     resource WrPt[2];
+    ///     resource M;
+    ///     or_tree UseM   = first_of({ M @ 0 });
+    ///     or_tree AnyWr  = first_of(for w in 0..2: { WrPt[w] @ 1 });
+    ///     or_tree AnyDec = first_of(for d in 0..3: { Decoder[d] @ -1 });
+    ///     and_or_tree Load = all_of(UseM, AnyWr, AnyDec);
+    ///     class load { constraint = Load; flags = load; }
+    /// ").unwrap();
+    /// let load = spec.class_by_name("load").unwrap();
+    /// assert_eq!(spec.class_option_count(load), 6);
+    /// ```
+    pub fn class_option_count(&self, id: ClassId) -> usize {
+        match self.class(id).constraint {
+            Constraint::Or(or) => self.or_tree(or).options.len(),
+            Constraint::AndOr(andor) => self
+                .and_or_tree(andor)
+                .or_trees
+                .iter()
+                .map(|or| self.or_tree(*or).options.len())
+                .product(),
+        }
+    }
+}
+
+/// Compacts `items`, keeping only entries marked live, and returns the
+/// old-index → new-index map plus the number removed.  Dead slots map to
+/// `u32::MAX` (never dereferenced because nothing live points at them).
+fn compact<T>(items: &mut Vec<T>, live: &[bool]) -> (Vec<u32>, usize) {
+    let mut map = vec![u32::MAX; items.len()];
+    let mut next = 0u32;
+    for (i, &alive) in live.iter().enumerate() {
+        if alive {
+            map[i] = next;
+            next += 1;
+        }
+    }
+    let removed = items.len() - next as usize;
+    let mut index = 0usize;
+    items.retain(|_| {
+        let keep = live[index];
+        index += 1;
+        keep
+    });
+    (map, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceId;
+
+    fn usage(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    fn small_spec() -> MdesSpec {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("a").unwrap();
+        spec.resources_mut().add("b").unwrap();
+        let o1 = spec.add_option(TableOption::new(vec![usage(0, 0)]));
+        let o2 = spec.add_option(TableOption::new(vec![usage(1, 0)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![o1, o2]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec
+    }
+
+    #[test]
+    fn build_and_validate_round_trip() {
+        let spec = small_spec();
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.num_options(), 2);
+        assert_eq!(spec.num_or_trees(), 1);
+        assert_eq!(spec.num_classes(), 1);
+        let class = spec.class_by_name("op").unwrap();
+        assert_eq!(spec.class(class).name, "op");
+        assert_eq!(spec.class_option_count(class), 2);
+    }
+
+    #[test]
+    fn duplicate_class_rejected() {
+        let mut spec = small_spec();
+        let tree = OrTreeId::from_index(0);
+        let err = spec
+            .add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap_err();
+        assert_eq!(err, MdesError::DuplicateClass("op".into()));
+    }
+
+    #[test]
+    fn validate_rejects_empty_option() {
+        let mut spec = small_spec();
+        let empty = spec.add_option(TableOption::new(vec![]));
+        spec.or_tree_mut(OrTreeId::from_index(0)).options.push(empty);
+        assert_eq!(spec.validate(), Err(MdesError::EmptyOption));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_option_ref() {
+        let mut spec = small_spec();
+        spec.or_tree_mut(OrTreeId::from_index(0))
+            .options
+            .push(OptionId::from_index(99));
+        assert_eq!(spec.validate(), Err(MdesError::UnknownOption(99)));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_resource_in_usage() {
+        let mut spec = small_spec();
+        spec.option_mut(OptionId::from_index(0)).usages[0] = usage(9, 0);
+        assert_eq!(spec.validate(), Err(MdesError::UnknownResource(9)));
+    }
+
+    #[test]
+    fn validate_requires_a_class() {
+        let spec = MdesSpec::new();
+        assert_eq!(spec.validate(), Err(MdesError::NoClasses));
+    }
+
+    #[test]
+    fn covers_detects_identical_and_superset_options() {
+        let a = TableOption::new(vec![usage(0, 0), usage(1, 1)]);
+        let b = TableOption::new(vec![usage(1, 1), usage(0, 0)]); // same set, other order
+        let c = TableOption::new(vec![usage(0, 0)]);
+        assert!(a.covers(&b));
+        assert!(b.covers(&a));
+        assert!(a.covers(&c));
+        assert!(!c.covers(&a));
+    }
+
+    #[test]
+    fn sweep_removes_dead_items_and_fixes_refs() {
+        let mut spec = small_spec();
+        // Dead option, dead OR-tree, dead AND/OR-tree.
+        let dead_opt = spec.add_option(TableOption::new(vec![usage(0, 5)]));
+        let dead_or = spec.add_or_tree(OrTree::new(vec![dead_opt]));
+        spec.add_and_or_tree(AndOrTree::new(vec![dead_or]));
+
+        let report = spec.sweep_unreferenced();
+        assert_eq!(report.options_removed, 1);
+        assert_eq!(report.or_trees_removed, 1);
+        assert_eq!(report.and_or_trees_removed, 1);
+        assert_eq!(report.total(), 3);
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.num_options(), 2);
+    }
+
+    #[test]
+    fn sweep_keeps_items_reachable_via_and_or_trees() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("a").unwrap();
+        let opt = spec.add_option(TableOption::new(vec![usage(0, 0)]));
+        let or = spec.add_or_tree(OrTree::new(vec![opt]));
+        let andor = spec.add_and_or_tree(AndOrTree::new(vec![or]));
+        spec.add_class(
+            "op",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
+        let report = spec.sweep_unreferenced();
+        assert_eq!(report.total(), 0);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn sweep_compacts_ids_preserving_order() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("a").unwrap();
+        let dead = spec.add_option(TableOption::new(vec![usage(0, 9)]));
+        let live = spec.add_option(TableOption::new(vec![usage(0, 0)]));
+        assert_ne!(dead, live);
+        let or = spec.add_or_tree(OrTree::new(vec![live]));
+        spec.add_class("op", Constraint::Or(or), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec.sweep_unreferenced();
+        // The live option now has index 0 and the tree points at it.
+        assert_eq!(spec.num_options(), 1);
+        assert_eq!(
+            spec.or_tree(OrTreeId::from_index(0)).options,
+            vec![OptionId::from_index(0)]
+        );
+        assert_eq!(spec.option(OptionId::from_index(0)).usages, vec![usage(0, 0)]);
+    }
+
+    #[test]
+    fn class_option_count_multiplies_and_or_branches() {
+        let mut spec = MdesSpec::new();
+        for name in ["a", "b", "c"] {
+            spec.resources_mut().add(name).unwrap();
+        }
+        // 2 options x 3 options = 6 combinations.
+        let o = |spec: &mut MdesSpec, r: usize, t: i32| {
+            spec.add_option(TableOption::new(vec![usage(r, t)]))
+        };
+        let a0 = o(&mut spec, 0, 0);
+        let a1 = o(&mut spec, 1, 0);
+        let b0 = o(&mut spec, 2, 0);
+        let b1 = o(&mut spec, 2, 1);
+        let b2 = o(&mut spec, 2, 2);
+        let t1 = spec.add_or_tree(OrTree::new(vec![a0, a1]));
+        let t2 = spec.add_or_tree(OrTree::new(vec![b0, b1, b2]));
+        let andor = spec.add_and_or_tree(AndOrTree::new(vec![t1, t2]));
+        let class = spec
+            .add_class(
+                "op",
+                Constraint::AndOr(andor),
+                Latency::new(1),
+                OpFlags::none(),
+            )
+            .unwrap();
+        assert_eq!(spec.class_option_count(class), 6);
+    }
+
+    #[test]
+    fn share_counts_count_and_or_membership_and_class_refs() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("a").unwrap();
+        let opt = spec.add_option(TableOption::new(vec![usage(0, 0)]));
+        let shared = spec.add_or_tree(OrTree::new(vec![opt]));
+        let solo = spec.add_or_tree(OrTree::new(vec![opt]));
+        let t1 = spec.add_and_or_tree(AndOrTree::new(vec![shared]));
+        let t2 = spec.add_and_or_tree(AndOrTree::new(vec![shared, solo]));
+        spec.add_class("x", Constraint::AndOr(t1), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec.add_class("y", Constraint::AndOr(t2), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let counts = spec.or_tree_share_counts();
+        assert_eq!(counts[shared.index()], 2);
+        assert_eq!(counts[solo.index()], 1);
+    }
+
+    #[test]
+    fn earliest_and_latest_times() {
+        let opt = TableOption::new(vec![usage(0, -2), usage(1, 3)]);
+        assert_eq!(opt.earliest_time(), Some(-2));
+        assert_eq!(opt.latest_time(), Some(3));
+        assert_eq!(TableOption::new(vec![]).earliest_time(), None);
+    }
+}

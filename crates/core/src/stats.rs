@@ -1,0 +1,363 @@
+//! Scheduling-attempt statistics.
+//!
+//! The paper's evaluation is built on three counters gathered while the
+//! scheduler queries the MDES:
+//!
+//! * **scheduling attempts** — one `try_reserve` of one operation at one
+//!   candidate cycle (Table 5's "Avg. Sched. Attempts" divides these by
+//!   operations scheduled);
+//! * **options checked** — reservation-table options whose checks were
+//!   started during an attempt (the "Avg. Options/Attempt" columns);
+//! * **resource checks** — individual probes of the RU map (the
+//!   "Avg. Checks/Attempt" columns; one probe covers one usage in the
+//!   scalar encoding or one cycle's usages in the bit-vector encoding).
+//!
+//! [`CheckStats`] also records the Figure-2 histogram: the distribution of
+//! options checked per attempt.
+
+/// Histogram of a per-attempt quantity (e.g. options checked).
+///
+/// Buckets are exact counts; values beyond the configured capacity saturate
+/// into the last bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram able to distinguish counts `0..=max`.
+    pub fn new(max: usize) -> Histogram {
+        Histogram {
+            buckets: vec![0; max + 1],
+        }
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        let idx = value.min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of observations of exactly `value` (saturating bucket for the
+    /// maximum).
+    pub fn count(&self, value: usize) -> u64 {
+        self.buckets.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of observations equal to `value`, or 0 when empty.
+    pub fn fraction(&self, value: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of observations in `lo..=hi`.
+    pub fn fraction_range(&self, lo: usize, hi: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = (lo..=hi.min(self.buckets.len() - 1))
+            .map(|i| self.buckets[i])
+            .sum();
+        sum as f64 / total as f64
+    }
+
+    /// Iterates over `(value, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i, c))
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms have different capacities.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram capacities differ"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new(1024)
+    }
+}
+
+/// Counters for one scheduling run.
+///
+/// # Examples
+///
+/// ```
+/// use mdes_core::CheckStats;
+///
+/// let mut stats = CheckStats::new();
+/// stats.begin_attempt();
+/// stats.count_option();   // first option probed ...
+/// stats.count_check();    // ... with one RU-map check
+/// stats.end_attempt(true);
+/// stats.count_operation();
+/// assert_eq!(stats.attempts_per_op(), 1.0);
+/// assert_eq!(stats.checks_per_option(), 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckStats {
+    /// Operations successfully scheduled.
+    pub operations: u64,
+    /// Scheduling attempts (successful + failed `try_reserve`s).
+    pub attempts: u64,
+    /// Attempts that succeeded.
+    pub successes: u64,
+    /// Reservation-table options whose checks were started.
+    pub options_checked: u64,
+    /// RU-map probes performed.
+    pub resource_checks: u64,
+    /// Distribution of options checked per attempt (Figure 2).
+    pub options_per_attempt: Histogram,
+    /// Options checked so far in the current attempt.
+    current_attempt_options: usize,
+}
+
+impl CheckStats {
+    /// Creates zeroed counters.
+    pub fn new() -> CheckStats {
+        CheckStats {
+            operations: 0,
+            attempts: 0,
+            successes: 0,
+            options_checked: 0,
+            resource_checks: 0,
+            options_per_attempt: Histogram::default(),
+            current_attempt_options: 0,
+        }
+    }
+
+    /// Marks the start of a scheduling attempt.
+    pub fn begin_attempt(&mut self) {
+        self.attempts += 1;
+        self.current_attempt_options = 0;
+    }
+
+    /// Records that an option's checks were started.
+    pub fn count_option(&mut self) {
+        self.options_checked += 1;
+        self.current_attempt_options += 1;
+    }
+
+    /// Records one RU-map probe.
+    pub fn count_check(&mut self) {
+        self.resource_checks += 1;
+    }
+
+    /// Marks the end of a scheduling attempt.
+    pub fn end_attempt(&mut self, success: bool) {
+        if success {
+            self.successes += 1;
+        }
+        self.options_per_attempt.record(self.current_attempt_options);
+    }
+
+    /// Records one successfully scheduled operation.
+    pub fn count_operation(&mut self) {
+        self.operations += 1;
+    }
+
+    /// Average scheduling attempts per scheduled operation.
+    pub fn attempts_per_op(&self) -> f64 {
+        ratio(self.attempts, self.operations)
+    }
+
+    /// Average options checked per attempt.
+    pub fn options_per_attempt_avg(&self) -> f64 {
+        ratio(self.options_checked, self.attempts)
+    }
+
+    /// Average RU-map probes per attempt.
+    pub fn checks_per_attempt(&self) -> f64 {
+        ratio(self.resource_checks, self.attempts)
+    }
+
+    /// Average RU-map probes per option checked (Table 12's
+    /// "Checks/Option" column; 1.0 is the ideal).
+    pub fn checks_per_option(&self) -> f64 {
+        ratio(self.resource_checks, self.options_checked)
+    }
+
+    /// Merges counters from another run (e.g. per-block parallel stats).
+    pub fn merge(&mut self, other: &CheckStats) {
+        self.operations += other.operations;
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.options_checked += other.options_checked;
+        self.resource_checks += other.resource_checks;
+        self.options_per_attempt.merge(&other.options_per_attempt);
+    }
+}
+
+impl Default for CheckStats {
+    fn default() -> CheckStats {
+        CheckStats::new()
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Relative reduction `(from - to) / from`, as the paper's "% Checks
+/// Reduced" / "% Size Reduced" columns.  Negative when `to` exceeds `from`
+/// (e.g. the Pentium's AND-level overhead in Table 6).
+///
+/// # Examples
+///
+/// ```
+/// use mdes_core::stats::percent_reduced;
+/// assert_eq!(percent_reduced(35.49, 4.38), (35.49 - 4.38) / 35.49 * 100.0);
+/// assert!(percent_reduced(14824.0, 15416.0) < 0.0); // grew
+/// ```
+pub fn percent_reduced(from: f64, to: f64) -> f64 {
+    if from == 0.0 {
+        0.0
+    } else {
+        (from - to) / from * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_lifecycle_updates_all_counters() {
+        let mut stats = CheckStats::new();
+        stats.begin_attempt();
+        stats.count_option();
+        stats.count_check();
+        stats.count_check();
+        stats.end_attempt(false);
+
+        stats.begin_attempt();
+        stats.count_option();
+        stats.count_option();
+        stats.count_check();
+        stats.end_attempt(true);
+        stats.count_operation();
+
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(stats.successes, 1);
+        assert_eq!(stats.options_checked, 3);
+        assert_eq!(stats.resource_checks, 3);
+        assert_eq!(stats.operations, 1);
+        assert!((stats.attempts_per_op() - 2.0).abs() < 1e-12);
+        assert!((stats.options_per_attempt_avg() - 1.5).abs() < 1e-12);
+        assert!((stats.checks_per_attempt() - 1.5).abs() < 1e-12);
+        assert!((stats.checks_per_option() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.options_per_attempt.count(1), 1);
+        assert_eq!(stats.options_per_attempt.count(2), 1);
+    }
+
+    #[test]
+    fn ratios_are_zero_when_denominator_is_zero() {
+        let stats = CheckStats::new();
+        assert_eq!(stats.attempts_per_op(), 0.0);
+        assert_eq!(stats.options_per_attempt_avg(), 0.0);
+        assert_eq!(stats.checks_per_attempt(), 0.0);
+        assert_eq!(stats.checks_per_option(), 0.0);
+    }
+
+    #[test]
+    fn histogram_saturates_at_capacity() {
+        let mut h = Histogram::new(4);
+        h.record(3);
+        h.record(4);
+        h.record(400);
+        assert_eq!(h.count(3), 1);
+        assert_eq!(h.count(4), 2); // 400 saturated into the last bucket
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_fractions() {
+        let mut h = Histogram::new(10);
+        for _ in 0..3 {
+            h.record(1);
+        }
+        h.record(5);
+        assert!((h.fraction(1) - 0.75).abs() < 1e-12);
+        assert!((h.fraction_range(0, 4) - 0.75).abs() < 1e-12);
+        assert!((h.fraction_range(5, 10) - 0.25).abs() < 1e-12);
+        assert_eq!(Histogram::new(2).fraction(0), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CheckStats::new();
+        a.begin_attempt();
+        a.count_option();
+        a.count_check();
+        a.end_attempt(true);
+        a.count_operation();
+
+        let mut b = CheckStats::new();
+        b.begin_attempt();
+        b.count_option();
+        b.count_check();
+        b.end_attempt(false);
+
+        a.merge(&b);
+        assert_eq!(a.attempts, 2);
+        assert_eq!(a.options_checked, 2);
+        assert_eq!(a.resource_checks, 2);
+        assert_eq!(a.operations, 1);
+        assert_eq!(a.options_per_attempt.count(1), 2);
+    }
+
+    #[test]
+    fn percent_reduced_matches_paper_convention() {
+        assert!((percent_reduced(100.0, 50.0) - 50.0).abs() < 1e-12);
+        // Pentium Table 6: AND/OR slightly larger → negative reduction.
+        assert!(percent_reduced(14824.0, 15416.0) < 0.0);
+        assert_eq!(percent_reduced(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_iter_skips_empty_buckets() {
+        let mut h = Histogram::new(8);
+        h.record(2);
+        h.record(2);
+        h.record(7);
+        let items: Vec<(usize, u64)> = h.iter().collect();
+        assert_eq!(items, vec![(2, 2), (7, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram capacities differ")]
+    fn merging_mismatched_histograms_panics() {
+        let mut a = Histogram::new(2);
+        let b = Histogram::new(3);
+        a.merge(&b);
+    }
+}

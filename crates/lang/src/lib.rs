@@ -1,0 +1,44 @@
+//! HMDL — the high-level machine description language of the two-tier MDES
+//! model (the paper's Section 1 "high-level language" tier).
+//!
+//! HMDL lets a compiler writer describe execution constraints in an
+//! easy-to-understand, maintainable, retargetable form; [`compile`]
+//! translates it into the mid-level `MdesSpec`, which `mdes-opt` optimizes
+//! and `mdes-core` compiles into the low-level representation.
+//!
+//! # Example: the SuperSPARC integer load of the paper's Figure 3b
+//!
+//! ```
+//! let spec = mdes_lang::compile("
+//!     resource Decoder[3];
+//!     resource WrPt[2];
+//!     resource M;
+//!
+//!     or_tree UseM   = first_of({ M @ 0 });
+//!     or_tree AnyWr  = first_of(for w in 0..2: { WrPt[w] @ 1 });
+//!     or_tree AnyDec = first_of(for d in 0..3: { Decoder[d] @ -1 });
+//!
+//!     and_or_tree Load = all_of(UseM, AnyWr, AnyDec);
+//!     class load { constraint = Load; latency = 1; flags = load; }
+//! ").unwrap();
+//!
+//! let load = spec.class_by_name("load").unwrap();
+//! // 1 x 2 x 3 = the six reservation tables of the paper's Figure 1.
+//! assert_eq!(spec.class_option_count(load), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod elaborate;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use elaborate::{compile, elaborate};
+pub use error::LangError;
+pub use parser::parse;
+pub use printer::{print, structurally_equal};

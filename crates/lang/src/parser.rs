@@ -1,0 +1,619 @@
+//! Recursive-descent parser for HMDL.
+
+use crate::ast::{
+    BinOp, ClassBody, Expr, ForBinding, Item, OptionBody, OrItem, OrTreeBody, Program,
+    ResourceRef, UnOp, UsageAst,
+};
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+
+/// Parses HMDL source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its source span.
+///
+/// # Examples
+///
+/// ```
+/// use mdes_lang::parser::parse;
+///
+/// let program = parse(
+///     "resource M;\n\
+///      or_tree UseM = first_of({ M @ 0 });\n\
+///      class load { constraint = UseM; latency = 1; flags = load; }",
+/// ).unwrap();
+/// assert_eq!(program.items.len(), 3);
+/// ```
+pub fn parse(source: &str) -> Result<Program, LangError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let token = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, LangError> {
+        if self.peek_kind() == &kind {
+            Ok(self.advance())
+        } else {
+            Err(LangError::new(
+                format!("expected `{kind}`, found `{}`", self.peek_kind()),
+                self.peek().span,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), LangError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek().span;
+                self.advance();
+                Ok((name, span))
+            }
+            other => Err(LangError::new(
+                format!("expected {what}, found `{other}`"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut items = Vec::new();
+        while self.peek_kind() != &TokenKind::Eof {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, LangError> {
+        let start = self.peek().span;
+        match self.peek_kind() {
+            TokenKind::Let => {
+                self.advance();
+                let (name, _) = self.expect_ident("constant name")?;
+                self.expect(TokenKind::Eq)?;
+                let value = self.expr()?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Item::Let {
+                    name,
+                    value,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::Resource => {
+                self.advance();
+                let (name, _) = self.expect_ident("resource name")?;
+                let count = if self.eat(&TokenKind::LBracket) {
+                    let count = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    Some(count)
+                } else {
+                    None
+                };
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Item::Resource {
+                    name,
+                    count,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::Option => {
+                self.advance();
+                let (name, _) = self.expect_ident("option name")?;
+                self.expect(TokenKind::Eq)?;
+                let body = self.option_body()?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Item::Option {
+                    name,
+                    body,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::OrTree => {
+                self.advance();
+                let (name, _) = self.expect_ident("OR-tree name")?;
+                self.expect(TokenKind::Eq)?;
+                let body = self.or_tree_body()?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Item::OrTree {
+                    name,
+                    body,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::AndOrTree => {
+                self.advance();
+                let (name, _) = self.expect_ident("AND/OR-tree name")?;
+                self.expect(TokenKind::Eq)?;
+                self.expect(TokenKind::AllOf)?;
+                self.expect(TokenKind::LParen)?;
+                let mut trees = vec![self.expect_ident("OR-tree name")?];
+                while self.eat(&TokenKind::Comma) {
+                    trees.push(self.expect_ident("OR-tree name")?);
+                }
+                self.expect(TokenKind::RParen)?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Item::AndOrTree {
+                    name,
+                    trees,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::Op => {
+                self.advance();
+                let mut names = vec![self.expect_ident("opcode mnemonic")?];
+                while self.eat(&TokenKind::Comma) {
+                    names.push(self.expect_ident("opcode mnemonic")?);
+                }
+                self.expect(TokenKind::Eq)?;
+                let class = self.expect_ident("class name")?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Item::Opcode {
+                    names,
+                    class,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::Bypass => {
+                self.advance();
+                let producer = self.expect_ident("producer class name")?;
+                self.expect(TokenKind::Comma)?;
+                let consumer = self.expect_ident("consumer class name")?;
+                self.expect(TokenKind::Eq)?;
+                let latency = self.expr()?;
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Item::Bypass {
+                    producer,
+                    consumer,
+                    latency,
+                    span: start.to(end),
+                })
+            }
+            TokenKind::Class => {
+                self.advance();
+                let (name, _) = self.expect_ident("class name")?;
+                self.expect(TokenKind::LBrace)?;
+                let mut body = ClassBody::default();
+                while !self.eat(&TokenKind::RBrace) {
+                    self.class_field(&mut body)?;
+                }
+                let span = start.to(self.tokens[self.pos.saturating_sub(1)].span);
+                Ok(Item::Class { name, body, span })
+            }
+            other => Err(LangError::new(
+                format!("expected an item (let/resource/option/or_tree/and_or_tree/class), found `{other}`"),
+                start,
+            )),
+        }
+    }
+
+    fn class_field(&mut self, body: &mut ClassBody) -> Result<(), LangError> {
+        let (field, span) = self.expect_ident("class field name")?;
+        self.expect(TokenKind::Eq)?;
+        match field.as_str() {
+            "constraint" => {
+                let target = self.expect_ident("constraint tree name")?;
+                if body.constraint.replace(target).is_some() {
+                    return Err(LangError::new("duplicate `constraint` field", span));
+                }
+            }
+            "latency" => {
+                let value = self.expr()?;
+                if body.latency.replace(value).is_some() {
+                    return Err(LangError::new("duplicate `latency` field", span));
+                }
+            }
+            "mem_latency" => {
+                let value = self.expr()?;
+                if body.mem_latency.replace(value).is_some() {
+                    return Err(LangError::new("duplicate `mem_latency` field", span));
+                }
+            }
+            "src_time" => {
+                let value = self.expr()?;
+                if body.src_time.replace(value).is_some() {
+                    return Err(LangError::new("duplicate `src_time` field", span));
+                }
+            }
+            "flags" => {
+                loop {
+                    body.flags.push(self.expect_ident("flag name")?);
+                    if !self.eat(&TokenKind::Pipe) {
+                        break;
+                    }
+                }
+            }
+            other => {
+                return Err(LangError::new(
+                    format!(
+                        "unknown class field `{other}` (expected constraint, latency, mem_latency, src_time or flags)"
+                    ),
+                    span,
+                ));
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(())
+    }
+
+    fn or_tree_body(&mut self) -> Result<OrTreeBody, LangError> {
+        match self.peek_kind() {
+            TokenKind::FirstOf => {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                let mut items = vec![self.or_item()?];
+                while self.eat(&TokenKind::Comma) {
+                    items.push(self.or_item()?);
+                }
+                self.expect(TokenKind::RParen)?;
+                Ok(OrTreeBody::FirstOf(items))
+            }
+            TokenKind::Cross => {
+                let start = self.advance().span;
+                self.expect(TokenKind::LParen)?;
+                let mut trees = vec![self.expect_ident("OR-tree name")?];
+                while self.eat(&TokenKind::Comma) {
+                    trees.push(self.expect_ident("OR-tree name")?);
+                }
+                let end = self.expect(TokenKind::RParen)?.span;
+                Ok(OrTreeBody::Cross(trees, start.to(end)))
+            }
+            other => Err(LangError::new(
+                format!("expected `first_of` or `cross`, found `{other}`"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    fn or_item(&mut self) -> Result<OrItem, LangError> {
+        match self.peek_kind().clone() {
+            TokenKind::LBrace => Ok(OrItem::Inline(self.option_body()?)),
+            TokenKind::Ident(name) => {
+                let span = self.advance().span;
+                Ok(OrItem::Named(name, span))
+            }
+            TokenKind::For => {
+                let start = self.advance().span;
+                let mut bindings = vec![self.for_binding()?];
+                while self.eat(&TokenKind::Comma) {
+                    bindings.push(self.for_binding()?);
+                }
+                let guard = if self.eat(&TokenKind::If) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(TokenKind::Colon)?;
+                let body = Box::new(self.or_item()?);
+                let span = start.to(self.tokens[self.pos.saturating_sub(1)].span);
+                Ok(OrItem::For {
+                    bindings,
+                    guard,
+                    body,
+                    span,
+                })
+            }
+            other => Err(LangError::new(
+                format!("expected an option (`{{...}}`, a name, or `for`), found `{other}`"),
+                self.peek().span,
+            )),
+        }
+    }
+
+    fn for_binding(&mut self) -> Result<ForBinding, LangError> {
+        let (var, _) = self.expect_ident("loop variable")?;
+        self.expect(TokenKind::In)?;
+        let lo = self.expr()?;
+        self.expect(TokenKind::DotDot)?;
+        let hi = self.expr()?;
+        Ok(ForBinding { var, lo, hi })
+    }
+
+    fn option_body(&mut self) -> Result<OptionBody, LangError> {
+        let start = self.expect(TokenKind::LBrace)?.span;
+        let mut usages = vec![self.usage()?];
+        while self.eat(&TokenKind::Comma) {
+            usages.push(self.usage()?);
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        Ok(OptionBody {
+            usages,
+            span: start.to(end),
+        })
+    }
+
+    fn usage(&mut self) -> Result<UsageAst, LangError> {
+        let (name, span) = self.expect_ident("resource name")?;
+        let index = if self.eat(&TokenKind::LBracket) {
+            let index = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            Some(index)
+        } else {
+            None
+        };
+        self.expect(TokenKind::At)?;
+        let time = self.expr()?;
+        Ok(UsageAst {
+            resource: ResourceRef { name, index, span },
+            time,
+        })
+    }
+
+    // Expression grammar, lowest precedence first:
+    //   or  := and (|| and)*
+    //   and := cmp (&& cmp)*
+    //   cmp := add ((==|!=|<|<=|>|>=) add)?
+    //   add := mul ((+|-) mul)*
+    //   mul := unary ((*|/|%) unary)*
+    //   unary := - unary | atom
+    //   atom := INT | IDENT | ( expr )
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek_kind() == &TokenKind::OrOr {
+            self.advance();
+            let rhs = self.and_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek_kind() == &TokenKind::AndAnd {
+            self.advance();
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.add_expr()?;
+        let span = lhs.span().to(rhs.span());
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs), span))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        if self.peek_kind() == &TokenKind::Minus {
+            let start = self.advance().span;
+            let inner = self.unary_expr()?;
+            let span = start.to(inner.span());
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(inner), span));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(value) => {
+                let span = self.advance().span;
+                Ok(Expr::Int(value, span))
+            }
+            TokenKind::Ident(name) => {
+                let span = self.advance().span;
+                Ok(Expr::Var(name, span))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => Err(LangError::new(
+                format!("expected expression, found `{other}`"),
+                self.peek().span,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_resources_options_and_classes() {
+        let src = "
+            let N = 2;
+            resource Decoder[3];
+            resource M;
+            option UseM = { M @ 0 };
+            or_tree Mem = first_of(UseM);
+            or_tree AnyDec = first_of(for d in 0..3: { Decoder[d] @ -1 });
+            and_or_tree Load = all_of(Mem, AnyDec);
+            class load { constraint = Load; latency = N; flags = load; }
+        ";
+        let program = parse(src).unwrap();
+        assert_eq!(program.items.len(), 8);
+        match &program.items[6] {
+            Item::AndOrTree { name, trees, .. } => {
+                assert_eq!(name, "Load");
+                assert_eq!(trees.len(), 2);
+            }
+            other => panic!("expected and_or_tree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_with_guard_and_multiple_bindings() {
+        let src = "or_tree P = first_of(for i in 0..4, j in 0..4 if j > i: { RP[i] @ 0, RP[j] @ 0 });";
+        let program = parse(src).unwrap();
+        match &program.items[0] {
+            Item::OrTree {
+                body: OrTreeBody::FirstOf(items),
+                ..
+            } => match &items[0] {
+                OrItem::For {
+                    bindings, guard, ..
+                } => {
+                    assert_eq!(bindings.len(), 2);
+                    assert!(guard.is_some());
+                }
+                other => panic!("expected for, got {other:?}"),
+            },
+            other => panic!("expected first_of tree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cross_body() {
+        let program = parse("or_tree X = cross(A, B, C);").unwrap();
+        match &program.items[0] {
+            Item::OrTree {
+                body: OrTreeBody::Cross(trees, _),
+                ..
+            } => assert_eq!(trees.len(), 3),
+            other => panic!("expected cross tree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence_is_conventional() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3).
+        let program = parse("let x = 1 + 2 * 3;").unwrap();
+        match &program.items[0] {
+            Item::Let { value, .. } => match value {
+                Expr::Binary(BinOp::Add, _, rhs, _) => {
+                    assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _, _)));
+                }
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flags_accept_pipe_separated_list() {
+        let program =
+            parse("class br { constraint = T; flags = branch | serial; }").unwrap();
+        match &program.items[0] {
+            Item::Class { body, .. } => {
+                let names: Vec<&str> = body.flags.iter().map(|(n, _)| n.as_str()).collect();
+                assert_eq!(names, vec!["branch", "serial"]);
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_class_fields_are_rejected() {
+        let err = parse("class c { latency = 1; latency = 2; }").unwrap_err();
+        assert!(err.message.contains("duplicate `latency`"));
+    }
+
+    #[test]
+    fn unknown_class_field_is_rejected() {
+        let err = parse("class c { speed = 1; }").unwrap_err();
+        assert!(err.message.contains("unknown class field `speed`"));
+    }
+
+    #[test]
+    fn missing_semicolon_reports_expected_token() {
+        let err = parse("resource M").unwrap_err();
+        assert!(err.message.contains("expected `;`"));
+    }
+
+    #[test]
+    fn empty_option_body_is_a_parse_error() {
+        let err = parse("option x = { };").unwrap_err();
+        assert!(err.message.contains("expected resource name"));
+    }
+
+    #[test]
+    fn negative_times_parse_as_unary_minus() {
+        let program = parse("option x = { M @ -2 };").unwrap();
+        match &program.items[0] {
+            Item::Option { body, .. } => {
+                assert!(matches!(body.usages[0].time, Expr::Unary(UnOp::Neg, _, _)));
+            }
+            other => panic!("expected option, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_at_top_level_is_reported() {
+        let err = parse("42;").unwrap_err();
+        assert!(err.message.contains("expected an item"));
+    }
+}

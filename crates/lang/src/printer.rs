@@ -1,0 +1,335 @@
+//! Printing an `MdesSpec` back to flat HMDL source.
+//!
+//! The printer emits every pool option as a named `option`, every OR-tree
+//! as a `first_of` over those names, and so on — so author-specified (and
+//! transformation-created) sharing survives a print → parse round trip.
+//! Generated names are positional (`o0`, `t1`, `a2`); class names are
+//! preserved.  Round-tripping therefore preserves *structure*, which
+//! [`structurally_equal`] compares (ignoring item names).
+
+use std::fmt::Write as _;
+
+use mdes_core::spec::{Constraint, MdesSpec};
+
+use crate::error::LangError;
+use crate::token::Span;
+
+/// Renders `spec` as parseable HMDL source.
+///
+/// # Errors
+///
+/// Returns an error if a resource or class name cannot be represented in
+/// HMDL (it is not an identifier, and for resources not an
+/// `identifier[index]` family member covering `0..n`).
+///
+/// # Examples
+///
+/// ```
+/// let spec = mdes_lang::compile(
+///     "resource M;\n\
+///      or_tree T = first_of({ M @ 0 });\n\
+///      class oper { constraint = T; }",
+/// ).unwrap();
+/// let printed = mdes_lang::print(&spec).unwrap();
+/// let reparsed = mdes_lang::compile(&printed).unwrap();
+/// assert!(mdes_lang::structurally_equal(&spec, &reparsed));
+/// ```
+pub fn print(spec: &MdesSpec) -> Result<String, LangError> {
+    let mut out = String::new();
+
+    print_resources(spec, &mut out)?;
+
+    for id in spec.option_ids() {
+        let _ = write!(out, "option o{} = {{ ", id.index());
+        let usages = &spec.option(id).usages;
+        for (i, usage) in usages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{} @ {}",
+                spec.resources().name(usage.resource),
+                usage.time
+            );
+        }
+        out.push_str(" };\n");
+    }
+
+    for id in spec.or_tree_ids() {
+        let _ = write!(out, "or_tree t{} = first_of(", id.index());
+        for (i, opt) in spec.or_tree(id).options.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "o{}", opt.index());
+        }
+        out.push_str(");\n");
+    }
+
+    for id in spec.and_or_tree_ids() {
+        let _ = write!(out, "and_or_tree a{} = all_of(", id.index());
+        for (i, or) in spec.and_or_tree(id).or_trees.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "t{}", or.index());
+        }
+        out.push_str(");\n");
+    }
+
+    for id in spec.class_ids() {
+        let class = spec.class(id);
+        check_ident(&class.name)?;
+        let constraint = match class.constraint {
+            Constraint::Or(or) => format!("t{}", or.index()),
+            Constraint::AndOr(andor) => format!("a{}", andor.index()),
+        };
+        let _ = write!(
+            out,
+            "class {} {{ constraint = {constraint}; latency = {}; mem_latency = {};",
+            class.name, class.latency.dest, class.latency.mem
+        );
+        if class.latency.src != 0 {
+            let _ = write!(out, " src_time = {};", class.latency.src);
+        }
+        let mut flags = Vec::new();
+        if class.flags.serial {
+            flags.push("serial");
+        }
+        if class.flags.load {
+            flags.push("load");
+        }
+        if class.flags.store {
+            flags.push("store");
+        }
+        if class.flags.branch && !class.flags.serial {
+            flags.push("branch");
+        }
+        if !flags.is_empty() {
+            let _ = write!(out, " flags = {};", flags.join(" | "));
+        }
+        out.push_str(" }\n");
+    }
+
+    for (mnemonic, class) in spec.opcodes() {
+        check_ident(mnemonic)?;
+        let _ = writeln!(out, "op {mnemonic} = {};", spec.class(*class).name);
+    }
+
+    for (producer, consumer, latency) in spec.bypasses() {
+        let _ = writeln!(
+            out,
+            "bypass {}, {} = {latency};",
+            spec.class(*producer).name,
+            spec.class(*consumer).name
+        );
+    }
+
+    Ok(out)
+}
+
+/// Emits resource declarations, re-grouping `base[i]` families.
+fn print_resources(spec: &MdesSpec, out: &mut String) -> Result<(), LangError> {
+    let names: Vec<&str> = spec.resources().iter().map(|(_, n)| n).collect();
+    let mut i = 0;
+    while i < names.len() {
+        let name = names[i];
+        match split_indexed(name) {
+            None => {
+                check_ident(name)?;
+                let _ = writeln!(out, "resource {name};");
+                i += 1;
+            }
+            Some((base, first_idx)) => {
+                check_ident(base)?;
+                if first_idx != 0 {
+                    return Err(unprintable(name));
+                }
+                // Count the contiguous run base[0], base[1], ...
+                let mut count = 0;
+                while i + count < names.len()
+                    && split_indexed(names[i + count]) == Some((base, count))
+                {
+                    count += 1;
+                }
+                if count == 0 {
+                    return Err(unprintable(name));
+                }
+                let _ = writeln!(out, "resource {base}[{count}];");
+                i += count;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Splits `base[idx]` into its parts, if the name has that shape.
+fn split_indexed(name: &str) -> Option<(&str, usize)> {
+    let open = name.find('[')?;
+    let close = name.strip_suffix(']')?;
+    let idx: usize = close.get(open + 1..)?.parse().ok()?;
+    Some((&name[..open], idx))
+}
+
+fn check_ident(name: &str) -> Result<(), LangError> {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        Ok(())
+    } else {
+        Err(unprintable(name))
+    }
+}
+
+fn unprintable(name: &str) -> LangError {
+    LangError::new(
+        format!("name `{name}` cannot be printed as HMDL"),
+        Span::default(),
+    )
+}
+
+/// True if two specs are structurally identical: same resources (names and
+/// order), options (usages), OR-trees (option-id lists), AND/OR-trees and
+/// classes — ignoring option/tree *names*, which the printer regenerates.
+pub fn structurally_equal(a: &MdesSpec, b: &MdesSpec) -> bool {
+    if a.resources() != b.resources()
+        || a.num_options() != b.num_options()
+        || a.num_or_trees() != b.num_or_trees()
+        || a.num_and_or_trees() != b.num_and_or_trees()
+        || a.num_classes() != b.num_classes()
+    {
+        return false;
+    }
+    for id in a.option_ids() {
+        if a.option(id).usages != b.option(id).usages {
+            return false;
+        }
+    }
+    for id in a.or_tree_ids() {
+        if a.or_tree(id).options != b.or_tree(id).options {
+            return false;
+        }
+    }
+    for id in a.and_or_tree_ids() {
+        if a.and_or_tree(id).or_trees != b.and_or_tree(id).or_trees {
+            return false;
+        }
+    }
+    for id in a.class_ids() {
+        let (ca, cb) = (a.class(id), b.class(id));
+        if ca.name != cb.name
+            || ca.constraint != cb.constraint
+            || ca.latency != cb.latency
+            || ca.flags != cb.flags
+        {
+            return false;
+        }
+    }
+    a.opcodes() == b.opcodes() && a.bypasses() == b.bypasses()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elaborate::compile;
+
+    const DEMO: &str = "
+        resource Decoder[3];
+        resource M;
+        resource WrPt[2];
+        option UseM = { M @ 0 };
+        or_tree Mem = first_of(UseM);
+        or_tree AnyWr = first_of(for w in 0..2: { WrPt[w] @ 1 });
+        or_tree AnyDec = first_of(for d in 0..3: { Decoder[d] @ -1 });
+        and_or_tree Load = all_of(Mem, AnyWr, AnyDec);
+        class load { constraint = Load; latency = 1; flags = load; }
+        class branch { constraint = AnyDec; flags = branch; }
+    ";
+
+    #[test]
+    fn print_parse_round_trip_is_structurally_identical() {
+        let spec = compile(DEMO).unwrap();
+        let printed = print(&spec).unwrap();
+        let reparsed = compile(&printed).unwrap();
+        assert!(structurally_equal(&spec, &reparsed), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn printer_groups_resource_families() {
+        let spec = compile(DEMO).unwrap();
+        let printed = print(&spec).unwrap();
+        assert!(printed.contains("resource Decoder[3];"));
+        assert!(printed.contains("resource M;"));
+        assert!(printed.contains("resource WrPt[2];"));
+    }
+
+    #[test]
+    fn printer_preserves_sharing() {
+        let spec = compile(DEMO).unwrap();
+        let reparsed = compile(&print(&spec).unwrap()).unwrap();
+        // UseM is referenced by one tree; AnyDec shared by an AND/OR tree
+        // and a class — counts must survive.
+        assert_eq!(spec.num_options(), reparsed.num_options());
+        let shares_a = spec.or_tree_share_counts();
+        let shares_b = reparsed.or_tree_share_counts();
+        assert_eq!(shares_a, shares_b);
+    }
+
+    #[test]
+    fn printer_emits_negative_times() {
+        let spec = compile(DEMO).unwrap();
+        let printed = print(&spec).unwrap();
+        assert!(printed.contains("@ -1"));
+    }
+
+    #[test]
+    fn structural_equality_detects_differences() {
+        let a = compile(DEMO).unwrap();
+        let mut b = compile(DEMO).unwrap();
+        let first = b.option_ids().next().unwrap();
+        b.option_mut(first).usages[0].time += 1;
+        assert!(!structurally_equal(&a, &b));
+    }
+
+    #[test]
+    fn unprintable_resource_name_is_an_error() {
+        let mut spec = mdes_core::MdesSpec::new();
+        spec.resources_mut().add("weird name!").unwrap();
+        let err = print(&spec).unwrap_err();
+        assert!(err.message.contains("cannot be printed"));
+    }
+
+    #[test]
+    fn opcodes_round_trip_through_print() {
+        let src = "
+            resource M;
+            or_tree T = first_of({ M @ 0 });
+            class mem { constraint = T; flags = load; }
+            op LD = mem;
+            op ST = mem;
+        ";
+        let spec = compile(src).unwrap();
+        let printed = print(&spec).unwrap();
+        assert!(printed.contains("op LD = mem;"));
+        let reparsed = compile(&printed).unwrap();
+        assert!(structurally_equal(&spec, &reparsed));
+    }
+
+    #[test]
+    fn flags_round_trip_through_print() {
+        let src = "
+            resource M;
+            or_tree T = first_of({ M @ 0 });
+            class sync { constraint = T; flags = serial; }
+            class st { constraint = T; flags = store; }
+        ";
+        let spec = compile(src).unwrap();
+        let reparsed = compile(&print(&spec).unwrap()).unwrap();
+        assert!(structurally_equal(&spec, &reparsed));
+        let sync = reparsed.class(reparsed.class_by_name("sync").unwrap());
+        assert!(sync.flags.serial && sync.flags.branch);
+    }
+}

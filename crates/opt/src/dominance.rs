@@ -1,0 +1,178 @@
+//! Dominated-option elimination (Section 5).
+//!
+//! "An option can be removed from an OR-tree if its resource usages are
+//! identical to, or a superset of, the resource usages for a
+//! higher-priority option, since the higher-priority option will always be
+//! selected if these resources are available."
+//!
+//! The paper's motivating anecdote: during the PA7100 retargeting two
+//! reservation-table options for memory operations became identical, and
+//! "the MDES author never realized this since correct output was still
+//! generated" — this pass finds exactly such cases (Table 8).
+
+use mdes_core::spec::MdesSpec;
+
+/// What dominated-option elimination removed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DominanceReport {
+    /// Option references removed from OR-trees.
+    pub options_removed: usize,
+    /// OR-trees that had at least one dominated option.
+    pub trees_affected: usize,
+    /// Pool items freed by the follow-up dead-code sweep.
+    pub items_swept: usize,
+}
+
+/// Removes every OR-tree option dominated by a higher-priority option.
+///
+/// Domination is context-free (a property of the tree alone), so editing
+/// OR-trees shared by several AND/OR-trees is safe: the result is correct
+/// for every referent.
+///
+/// # Examples
+///
+/// ```
+/// let mut spec = mdes_lang::compile("
+///     resource R[2];
+///     // The second option needs a superset of the first's resources:
+///     // it can never win.
+///     or_tree T = first_of({ R[0] @ 0 }, { R[0] @ 0, R[1] @ 0 });
+///     class alu { constraint = T; }
+/// ").unwrap();
+/// let report = mdes_opt::eliminate_dominated_options(&mut spec);
+/// assert_eq!(report.options_removed, 1);
+/// ```
+pub fn eliminate_dominated_options(spec: &mut MdesSpec) -> DominanceReport {
+    let mut report = DominanceReport::default();
+
+    for tree_id in spec.or_tree_ids().collect::<Vec<_>>() {
+        let options = spec.or_tree(tree_id).options.clone();
+        let mut kept: Vec<mdes_core::OptionId> = Vec::with_capacity(options.len());
+        for candidate in options {
+            let dominated = kept.iter().any(|&winner| {
+                spec.option(candidate).covers(spec.option(winner))
+            });
+            if dominated {
+                report.options_removed += 1;
+            } else {
+                kept.push(candidate);
+            }
+        }
+        if kept.len() != spec.or_tree(tree_id).options.len() {
+            report.trees_affected += 1;
+            spec.or_tree_mut(tree_id).options = kept;
+        }
+    }
+
+    report.items_swept = spec.sweep_unreferenced().total();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::spec::{Constraint, Latency, OpFlags, OrTree, TableOption};
+    use mdes_core::usage::ResourceUsage;
+    use mdes_core::ResourceId;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    fn spec_with_tree(options: Vec<TableOption>) -> MdesSpec {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("r", 4).unwrap();
+        let ids: Vec<_> = options.into_iter().map(|o| spec.add_option(o)).collect();
+        let tree = spec.add_or_tree(OrTree::new(ids));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec
+    }
+
+    #[test]
+    fn identical_lower_priority_option_is_removed() {
+        // The PA7100 anecdote: a duplicated memory-op option.
+        let mut spec = spec_with_tree(vec![
+            TableOption::new(vec![u(0, 0)]),
+            TableOption::new(vec![u(0, 0)]),
+            TableOption::new(vec![u(1, 0)]),
+        ]);
+        let report = eliminate_dominated_options(&mut spec);
+        assert_eq!(report.options_removed, 1);
+        assert_eq!(report.trees_affected, 1);
+        let tree = spec.or_tree(spec.or_tree_ids().next().unwrap());
+        assert_eq!(tree.options.len(), 2);
+    }
+
+    #[test]
+    fn superset_option_is_removed() {
+        // Option 2 needs r0 and r1; option 1 needs only r0 and is higher
+        // priority: option 2 can never win.
+        let mut spec = spec_with_tree(vec![
+            TableOption::new(vec![u(0, 0)]),
+            TableOption::new(vec![u(0, 0), u(1, 0)]),
+        ]);
+        let report = eliminate_dominated_options(&mut spec);
+        assert_eq!(report.options_removed, 1);
+    }
+
+    #[test]
+    fn subset_in_lower_priority_is_kept() {
+        // Reverse order: the smaller option is *lower* priority, which is
+        // reachable (when r1 is busy the big option fails, small wins).
+        let mut spec = spec_with_tree(vec![
+            TableOption::new(vec![u(0, 0), u(1, 0)]),
+            TableOption::new(vec![u(0, 0)]),
+        ]);
+        let report = eliminate_dominated_options(&mut spec);
+        assert_eq!(report.options_removed, 0);
+    }
+
+    #[test]
+    fn usage_order_does_not_hide_domination() {
+        let mut spec = spec_with_tree(vec![
+            TableOption::new(vec![u(0, 0), u(1, 1)]),
+            TableOption::new(vec![u(1, 1), u(0, 0)]), // same set, reordered
+        ]);
+        let report = eliminate_dominated_options(&mut spec);
+        assert_eq!(report.options_removed, 1);
+    }
+
+    #[test]
+    fn distinct_options_survive() {
+        let mut spec = spec_with_tree(vec![
+            TableOption::new(vec![u(0, 0)]),
+            TableOption::new(vec![u(1, 0)]),
+            TableOption::new(vec![u(2, 0)]),
+        ]);
+        let report = eliminate_dominated_options(&mut spec);
+        assert_eq!(report.options_removed, 0);
+        assert_eq!(report.trees_affected, 0);
+    }
+
+    #[test]
+    fn duplicate_references_after_merging_collapse() {
+        // Redundancy elimination can leave one option referenced twice in
+        // the same tree; the second reference is trivially dominated.
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("r").unwrap();
+        let opt = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![opt, opt]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let report = eliminate_dominated_options(&mut spec);
+        assert_eq!(report.options_removed, 1);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn swept_options_reported() {
+        let mut spec = spec_with_tree(vec![
+            TableOption::new(vec![u(0, 0)]),
+            TableOption::new(vec![u(0, 0), u(1, 0)]),
+        ]);
+        let report = eliminate_dominated_options(&mut spec);
+        assert_eq!(report.items_swept, 1);
+        assert_eq!(spec.num_options(), 1);
+    }
+}

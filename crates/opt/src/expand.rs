@@ -1,0 +1,197 @@
+//! AND/OR → OR expansion.
+//!
+//! Rewrites every AND/OR constraint into the traditional representation:
+//! one OR-tree whose options are the lexicographic cross product of the
+//! sub-OR-trees' options (first sub-tree outermost), each option's usages
+//! concatenated in sub-tree order.
+//!
+//! This is the "MDES preprocessor that expanded out each AND/OR-tree
+//! specification into the corresponding OR-tree specification" the paper
+//! uses to generate the OR-tree baseline for every experiment (Section 4).
+//! When the sub-OR-trees of each AND/OR-tree use disjoint resources — true
+//! for all four machine models, and verified by the integration tests —
+//! the expanded description schedules identically.
+
+use mdes_core::spec::{Constraint, MdesSpec, OptionId, OrTree, TableOption};
+use mdes_core::usage::ResourceUsage;
+
+/// Report of one expansion.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExpandReport {
+    /// AND/OR-trees expanded.
+    pub trees_expanded: usize,
+    /// Cross-product options created.
+    pub options_created: usize,
+}
+
+/// Returns a copy of `spec` with every AND/OR constraint expanded into the
+/// equivalent OR-tree, plus the expansion report.
+///
+/// Classes sharing one AND/OR-tree share the expanded OR-tree, mirroring
+/// the author-specified sharing of the original description.
+///
+/// # Examples
+///
+/// ```
+/// let spec = mdes_lang::compile("
+///     resource D[3];
+///     resource W[2];
+///     or_tree AnyD = first_of(for d in 0..3: { D[d] @ -1 });
+///     or_tree AnyW = first_of(for w in 0..2: { W[w] @ 1 });
+///     and_or_tree Load = all_of(AnyW, AnyD);
+///     class load { constraint = Load; flags = load; }
+/// ").unwrap();
+/// let (expanded, report) = mdes_opt::expand_to_or(&spec);
+/// assert_eq!(report.options_created, 6); // 2 x 3 reservation tables
+/// assert_eq!(expanded.num_and_or_trees(), 0);
+/// ```
+pub fn expand_to_or(spec: &MdesSpec) -> (MdesSpec, ExpandReport) {
+    let mut out = spec.clone();
+    let mut report = ExpandReport::default();
+
+    // Expanded OR-tree per AND/OR-tree id (shared across classes).
+    let mut expansion: Vec<Option<mdes_core::OrTreeId>> = vec![None; spec.num_and_or_trees()];
+
+    for class_id in spec.class_ids().collect::<Vec<_>>() {
+        let Constraint::AndOr(andor) = out.class(class_id).constraint else {
+            continue;
+        };
+        let or_tree = match expansion[andor.index()] {
+            Some(existing) => existing,
+            None => {
+                let children = out.and_or_tree(andor).or_trees.clone();
+                let mut combos: Vec<Vec<ResourceUsage>> = vec![Vec::new()];
+                for child in &children {
+                    let options: Vec<OptionId> = out.or_tree(*child).options.clone();
+                    let mut next = Vec::with_capacity(combos.len() * options.len());
+                    for prefix in &combos {
+                        for opt in &options {
+                            let mut usages = prefix.clone();
+                            usages.extend_from_slice(&out.option(*opt).usages);
+                            next.push(usages);
+                        }
+                    }
+                    combos = next;
+                }
+                report.options_created += combos.len();
+                let option_ids: Vec<OptionId> = combos
+                    .into_iter()
+                    .map(|usages| out.add_option(TableOption::new(usages)))
+                    .collect();
+                let name = out
+                    .and_or_tree(andor)
+                    .name
+                    .clone()
+                    .map(|n| format!("{n}_expanded"));
+                let tree = out.add_or_tree(OrTree {
+                    name,
+                    options: option_ids,
+                });
+                expansion[andor.index()] = Some(tree);
+                report.trees_expanded += 1;
+                tree
+            }
+        };
+        out.class_mut(class_id).constraint = Constraint::Or(or_tree);
+    }
+
+    // The AND/OR-trees and their (now possibly unshared) pieces are dead.
+    out.sweep_unreferenced();
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::spec::{AndOrTree, Latency, OpFlags};
+    use mdes_core::ResourceId;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    fn andor_spec() -> MdesSpec {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("D", 2).unwrap(); // r0, r1
+        spec.resources_mut().add_indexed("W", 3).unwrap(); // r2..r4
+        let d_opts: Vec<OptionId> = (0..2)
+            .map(|d| spec.add_option(TableOption::new(vec![u(d, -1)])))
+            .collect();
+        let d = spec.add_or_tree(OrTree::named("D", d_opts));
+        let w_opts: Vec<OptionId> = (2..5)
+            .map(|w| spec.add_option(TableOption::new(vec![u(w, 1)])))
+            .collect();
+        let w = spec.add_or_tree(OrTree::named("W", w_opts));
+        let andor = spec.add_and_or_tree(AndOrTree::named("Op", vec![d, w]));
+        spec.add_class("op", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec
+    }
+
+    #[test]
+    fn expansion_builds_lexicographic_cross_product() {
+        let (expanded, report) = expand_to_or(&andor_spec());
+        assert_eq!(report.trees_expanded, 1);
+        assert_eq!(report.options_created, 6);
+
+        let class = expanded.class_by_name("op").unwrap();
+        let Constraint::Or(tree_id) = expanded.class(class).constraint else {
+            panic!("expected OR constraint after expansion");
+        };
+        let tree = expanded.or_tree(tree_id);
+        assert_eq!(tree.options.len(), 6);
+        // First option: D[0] + W[0]; options vary W fastest.
+        let first = expanded.option(tree.options[0]);
+        assert_eq!(first.usages, vec![u(0, -1), u(2, 1)]);
+        let second = expanded.option(tree.options[1]);
+        assert_eq!(second.usages, vec![u(0, -1), u(3, 1)]);
+        let fourth = expanded.option(tree.options[3]);
+        assert_eq!(fourth.usages, vec![u(1, -1), u(2, 1)]);
+    }
+
+    #[test]
+    fn expansion_sweeps_the_and_or_layer() {
+        let (expanded, _) = expand_to_or(&andor_spec());
+        assert_eq!(expanded.num_and_or_trees(), 0);
+        assert!(expanded.validate().is_ok());
+        // 6 cross options remain; the 5 building-block options are dead.
+        assert_eq!(expanded.num_options(), 6);
+    }
+
+    #[test]
+    fn classes_sharing_an_and_or_tree_share_the_expansion() {
+        let mut spec = andor_spec();
+        let andor = spec.and_or_tree_ids().next().unwrap();
+        spec.add_class("op2", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let (expanded, report) = expand_to_or(&spec);
+        assert_eq!(report.trees_expanded, 1);
+        let c1 = expanded.class(expanded.class_by_name("op").unwrap()).constraint;
+        let c2 = expanded.class(expanded.class_by_name("op2").unwrap()).constraint;
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn or_only_spec_is_unchanged() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("r").unwrap();
+        let opt = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![opt]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let (expanded, report) = expand_to_or(&spec);
+        assert_eq!(report.trees_expanded, 0);
+        assert_eq!(report.options_created, 0);
+        assert_eq!(expanded, spec);
+    }
+
+    #[test]
+    fn option_counts_match_class_option_count() {
+        let spec = andor_spec();
+        let class = spec.class_by_name("op").unwrap();
+        let before = spec.class_option_count(class);
+        let (expanded, _) = expand_to_or(&spec);
+        let after = expanded.class_option_count(expanded.class_by_name("op").unwrap());
+        assert_eq!(before, after);
+    }
+}

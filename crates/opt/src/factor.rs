@@ -1,0 +1,394 @@
+//! Common-usage factoring (Section 8, second transformation).
+//!
+//! "Remove resource usages that are common to all of the OR-tree options
+//! and place them in an OR-tree with just one option (creating one if
+//! necessary). … By pulling it out, this resource conflict can be detected
+//! earlier."
+//!
+//! Applying it blindly can *increase* the number of checks, so the paper's
+//! application heuristics are used:
+//!
+//! 1. if the AND/OR-tree already has a one-option OR-tree containing a
+//!    usage at the same usage time as the common usage, merge the common
+//!    usage into it — "with bit-vectors, this transformation cannot hurt
+//!    performance" (the mask grows, the check count does not);
+//! 2. otherwise, apply only if the common usage is the only usage at its
+//!    usage time in each option (each option then loses a whole check and
+//!    only one check is added).
+//!
+//! OR-trees and options are copied on write when shared, so factoring in
+//! the context of one AND/OR-tree never perturbs other trees; a follow-up
+//! redundancy pass re-merges anything that became identical.
+
+use mdes_core::spec::{AndOrTreeId, MdesSpec, OrTree, OrTreeId, TableOption};
+use mdes_core::usage::ResourceUsage;
+
+/// What common-usage factoring changed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FactorReport {
+    /// Common usages merged into an existing one-option OR-tree (rule 1).
+    pub usages_merged: usize,
+    /// New one-option OR-trees created (rule 2).
+    pub trees_created: usize,
+    /// AND/OR-trees affected.
+    pub trees_affected: usize,
+}
+
+/// Applies common-usage factoring to every AND/OR-tree, using the paper's
+/// application heuristics.
+///
+/// # Examples
+///
+/// ```
+/// let mut spec = mdes_lang::compile("
+///     resource Dec[2];
+///     resource Bus;
+///     resource M;
+///     // Every decoder option also grabs the issue bus.
+///     or_tree AnyDec = first_of(for d in 0..2: { Dec[d] @ 0, Bus @ 0 });
+///     or_tree UseM   = first_of({ M @ 0 });
+///     and_or_tree Load = all_of(AnyDec, UseM);
+///     class load { constraint = Load; flags = load; }
+/// ").unwrap();
+/// let report = mdes_opt::factor_common_usages(&mut spec);
+/// // Rule 1: the bus usage merges into the existing one-option M tree.
+/// assert_eq!(report.usages_merged, 1);
+/// ```
+pub fn factor_common_usages(spec: &mut MdesSpec) -> FactorReport {
+    let mut report = FactorReport::default();
+    for andor in spec.and_or_tree_ids().collect::<Vec<_>>() {
+        let mut affected = false;
+        // Re-scan this AND/OR-tree until no factoring applies.
+        loop {
+            match find_factoring(spec, andor) {
+                Some(Factoring::MergeIntoExisting { source, target, usage }) => {
+                    apply_merge(spec, andor, source, target, usage);
+                    report.usages_merged += 1;
+                    affected = true;
+                }
+                Some(Factoring::CreateTree { source, usage }) => {
+                    apply_create(spec, andor, source, usage);
+                    report.trees_created += 1;
+                    affected = true;
+                }
+                None => break,
+            }
+        }
+        if affected {
+            report.trees_affected += 1;
+        }
+    }
+    report
+}
+
+/// A factoring opportunity within one AND/OR-tree.  Positions index the
+/// tree's `or_trees` list.
+enum Factoring {
+    /// Rule 1: move `usage` out of the options at `source` into the single
+    /// option of the tree at `target`.
+    MergeIntoExisting {
+        source: usize,
+        target: usize,
+        usage: ResourceUsage,
+    },
+    /// Rule 2: move `usage` into a freshly created one-option OR-tree.
+    CreateTree { source: usize, usage: ResourceUsage },
+}
+
+fn find_factoring(spec: &MdesSpec, andor: AndOrTreeId) -> Option<Factoring> {
+    let children = &spec.and_or_tree(andor).or_trees;
+    for (pos, &tree_id) in children.iter().enumerate() {
+        let tree = spec.or_tree(tree_id);
+        if tree.options.len() < 2 {
+            continue;
+        }
+        for usage in common_usages(spec, tree_id) {
+            // Never factor a usage out of an option that consists of only
+            // that usage: the option would become empty (meaning "no
+            // resource needed"), which the representation forbids.
+            if tree
+                .options
+                .iter()
+                .any(|&opt| spec.option(opt).usages.len() == 1)
+            {
+                continue;
+            }
+            // Rule 1: an existing one-option OR-tree with a usage at the
+            // same usage time.
+            let target = children.iter().enumerate().position(|(q, &other)| {
+                q != pos
+                    && spec.or_tree(other).options.len() == 1
+                    && spec
+                        .option(spec.or_tree(other).options[0])
+                        .usages
+                        .iter()
+                        .any(|u| u.time == usage.time)
+            });
+            if let Some(target) = target {
+                return Some(Factoring::MergeIntoExisting {
+                    source: pos,
+                    target,
+                    usage,
+                });
+            }
+            // Rule 2: the common usage is the only usage at its time in
+            // each option.
+            let lone_at_time = tree.options.iter().all(|&opt| {
+                spec.option(opt)
+                    .usages
+                    .iter()
+                    .filter(|u| u.time == usage.time)
+                    .count()
+                    == 1
+            });
+            if lone_at_time {
+                return Some(Factoring::CreateTree { source: pos, usage });
+            }
+        }
+    }
+    None
+}
+
+/// Usages present in every option of `tree_id`, in first-option order.
+fn common_usages(spec: &MdesSpec, tree_id: OrTreeId) -> Vec<ResourceUsage> {
+    let tree = spec.or_tree(tree_id);
+    let first = match tree.options.first() {
+        Some(&opt) => spec.option(opt).usages.clone(),
+        None => return Vec::new(),
+    };
+    first
+        .into_iter()
+        .filter(|usage| {
+            tree.options[1..]
+                .iter()
+                .all(|&opt| spec.option(opt).usages.contains(usage))
+        })
+        .collect()
+}
+
+fn apply_merge(
+    spec: &mut MdesSpec,
+    andor: AndOrTreeId,
+    source: usize,
+    target: usize,
+    usage: ResourceUsage,
+) {
+    let source_tree = privatize_tree(spec, andor, source);
+    let target_tree = privatize_tree(spec, andor, target);
+    remove_usage_from_options(spec, source_tree, usage);
+    let target_opt = spec.or_tree(target_tree).options[0];
+    spec.option_mut(target_opt).usages.push(usage);
+}
+
+fn apply_create(spec: &mut MdesSpec, andor: AndOrTreeId, source: usize, usage: ResourceUsage) {
+    let source_tree = privatize_tree(spec, andor, source);
+    remove_usage_from_options(spec, source_tree, usage);
+    let new_opt = spec.add_option(TableOption::new(vec![usage]));
+    let new_tree = spec.add_or_tree(OrTree::new(vec![new_opt]));
+    spec.and_or_tree_mut(andor).or_trees.push(new_tree);
+}
+
+fn remove_usage_from_options(spec: &mut MdesSpec, tree_id: OrTreeId, usage: ResourceUsage) {
+    for opt in spec.or_tree(tree_id).options.clone() {
+        let usages = &mut spec.option_mut(opt).usages;
+        if let Some(idx) = usages.iter().position(|u| *u == usage) {
+            usages.remove(idx);
+        }
+    }
+}
+
+/// Ensures the OR-tree at `position` of `andor`, and each of its options,
+/// is referenced only from there — cloning whatever is shared — so
+/// mutation cannot leak into other trees.  Returns the (possibly new)
+/// tree id.
+fn privatize_tree(spec: &mut MdesSpec, andor: AndOrTreeId, position: usize) -> OrTreeId {
+    let mut tree_id = spec.and_or_tree(andor).or_trees[position];
+
+    if spec.or_tree_share_counts()[tree_id.index()] > 1 {
+        let cloned = spec.or_tree(tree_id).clone();
+        tree_id = spec.add_or_tree(OrTree {
+            name: cloned.name.map(|n| format!("{n}'")),
+            options: cloned.options,
+        });
+        spec.and_or_tree_mut(andor).or_trees[position] = tree_id;
+    }
+
+    let ref_counts = option_ref_counts(spec);
+    for slot in 0..spec.or_tree(tree_id).options.len() {
+        let opt = spec.or_tree(tree_id).options[slot];
+        if ref_counts[opt.index()] > 1 {
+            let cloned = spec.option(opt).clone();
+            let fresh = spec.add_option(cloned);
+            spec.or_tree_mut(tree_id).options[slot] = fresh;
+        }
+    }
+    tree_id
+}
+
+/// How many OR-tree slots reference each option.
+fn option_ref_counts(spec: &MdesSpec) -> Vec<usize> {
+    let mut counts = vec![0usize; spec.num_options()];
+    for tree_id in spec.or_tree_ids() {
+        for opt in &spec.or_tree(tree_id).options {
+            counts[opt.index()] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::spec::{AndOrTree, Constraint, Latency, OpFlags, OptionId};
+    use mdes_core::ResourceId;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    /// AND/OR-tree where every decoder option also uses the issue bus
+    /// (r3) at time 0, and an existing one-option tree uses M (r4) at 0.
+    fn rule1_spec() -> MdesSpec {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("Dec", 3).unwrap(); // r0..2
+        spec.resources_mut().add("Bus").unwrap(); // r3
+        spec.resources_mut().add("M").unwrap(); // r4
+        let dec_opts: Vec<OptionId> = (0..3)
+            .map(|d| spec.add_option(TableOption::new(vec![u(d, 0), u(3, 0)])))
+            .collect();
+        let dec = spec.add_or_tree(OrTree::named("AnyDec", dec_opts));
+        let m_opt = spec.add_option(TableOption::new(vec![u(4, 0)]));
+        let m = spec.add_or_tree(OrTree::named("UseM", vec![m_opt]));
+        let andor = spec.add_and_or_tree(AndOrTree::named("Load", vec![dec, m]));
+        spec.add_class("load", Constraint::AndOr(andor), Latency::new(1), OpFlags::load())
+            .unwrap();
+        spec
+    }
+
+    #[test]
+    fn rule1_merges_common_usage_into_existing_single_option_tree() {
+        let mut spec = rule1_spec();
+        let report = factor_common_usages(&mut spec);
+        assert_eq!(report.usages_merged, 1);
+        assert_eq!(report.trees_created, 0);
+
+        let andor = spec.and_or_tree(spec.and_or_tree_ids().next().unwrap()).clone();
+        // Decoder options no longer carry the bus usage.
+        let dec = spec.or_tree(andor.or_trees[0]);
+        for &opt in &dec.options {
+            assert_eq!(spec.option(opt).usages.len(), 1);
+        }
+        // The single-option tree now requires M and Bus.
+        let single = spec.or_tree(andor.or_trees[1]);
+        let usages = &spec.option(single.options[0]).usages;
+        assert!(usages.contains(&u(4, 0)));
+        assert!(usages.contains(&u(3, 0)));
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn rule2_creates_new_tree_when_usage_is_lone_at_its_time() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("Dec", 2).unwrap(); // r0, r1
+        spec.resources_mut().add("Bus").unwrap(); // r2
+        // Decoder usage at time 0, common bus usage at time 1 (lone at
+        // its time in each option).
+        let opts: Vec<OptionId> = (0..2)
+            .map(|d| spec.add_option(TableOption::new(vec![u(d, 0), u(2, 1)])))
+            .collect();
+        let dec = spec.add_or_tree(OrTree::new(opts));
+        let andor = spec.add_and_or_tree(AndOrTree::new(vec![dec]));
+        spec.add_class("op", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
+            .unwrap();
+
+        let report = factor_common_usages(&mut spec);
+        assert_eq!(report.trees_created, 1);
+        let children = &spec.and_or_tree(andor).or_trees;
+        assert_eq!(children.len(), 2);
+        let new_tree = spec.or_tree(children[1]);
+        assert_eq!(new_tree.options.len(), 1);
+        assert_eq!(spec.option(new_tree.options[0]).usages, vec![u(2, 1)]);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn rule2_does_not_fire_when_usage_shares_its_cycle() {
+        // Common usage at time 0, but each option also has its decoder at
+        // time 0: removing it would not save a (bit-vector) check.
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("Dec", 2).unwrap();
+        spec.resources_mut().add("Bus").unwrap();
+        let opts: Vec<OptionId> = (0..2)
+            .map(|d| spec.add_option(TableOption::new(vec![u(d, 0), u(2, 0)])))
+            .collect();
+        let dec = spec.add_or_tree(OrTree::new(opts));
+        let andor = spec.add_and_or_tree(AndOrTree::new(vec![dec]));
+        spec.add_class("op", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let report = factor_common_usages(&mut spec);
+        assert_eq!(report.trees_created, 0);
+        assert_eq!(report.usages_merged, 0);
+    }
+
+    #[test]
+    fn shared_or_tree_is_cloned_before_mutation() {
+        // Two AND/OR-trees share the decoder tree; only one has a
+        // single-option M tree to merge into.  The other must see its
+        // decoder options unchanged.
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("Dec", 2).unwrap();
+        spec.resources_mut().add("Bus").unwrap();
+        spec.resources_mut().add("M").unwrap(); // r3
+        let dec_opts: Vec<OptionId> = (0..2)
+            .map(|d| spec.add_option(TableOption::new(vec![u(d, 0), u(2, 0)])))
+            .collect();
+        let dec = spec.add_or_tree(OrTree::new(dec_opts.clone()));
+        let m_opt = spec.add_option(TableOption::new(vec![u(3, 0)]));
+        let m = spec.add_or_tree(OrTree::new(vec![m_opt]));
+        let with_m = spec.add_and_or_tree(AndOrTree::new(vec![dec, m]));
+        let without_m = spec.add_and_or_tree(AndOrTree::new(vec![dec]));
+        spec.add_class("a", Constraint::AndOr(with_m), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec.add_class("b", Constraint::AndOr(without_m), Latency::new(1), OpFlags::none())
+            .unwrap();
+
+        factor_common_usages(&mut spec);
+
+        // The un-factored AND/OR-tree still sees the bus usage inside its
+        // decoder options.
+        let untouched = spec.or_tree(spec.and_or_tree(without_m).or_trees[0]);
+        for &opt in &untouched.options {
+            assert!(spec.option(opt).usages.contains(&u(2, 0)));
+        }
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn single_usage_options_are_never_emptied() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("Bus").unwrap();
+        spec.resources_mut().add("M").unwrap();
+        // Both options consist solely of the common usage.
+        let o1 = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let o2 = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![o1, o2]));
+        let m_opt = spec.add_option(TableOption::new(vec![u(1, 0)]));
+        let m = spec.add_or_tree(OrTree::new(vec![m_opt]));
+        let andor = spec.add_and_or_tree(AndOrTree::new(vec![tree, m]));
+        spec.add_class("op", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let report = factor_common_usages(&mut spec);
+        assert_eq!(report.usages_merged + report.trees_created, 0);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn factoring_terminates_and_is_idempotent() {
+        let mut spec = rule1_spec();
+        factor_common_usages(&mut spec);
+        let snapshot = spec.clone();
+        let report = factor_common_usages(&mut spec);
+        assert_eq!(report.trees_affected, 0);
+        assert_eq!(spec, snapshot);
+    }
+}

@@ -1,0 +1,64 @@
+//! MDES transformations — the bridge between the easy-to-maintain
+//! high-level description and the efficient low-level representation
+//! (Sections 5, 7 and 8 of Gyllenhaal, Hwu & Rau, MICRO-29 1996).
+//!
+//! The individual passes:
+//!
+//! * [`redundancy`] — CSE / copy propagation / dead-code removal adapted
+//!   to the MDES domain;
+//! * [`dominance`] — removal of OR-tree options that can never win;
+//! * [`timeshift`] — the per-resource usage-time transformation;
+//! * [`sortzero`] — probe time zero first;
+//! * [`treesort`] — order AND/OR sub-trees for early conflict detection;
+//! * [`factor`] — hoist usages common to all options of an OR-tree;
+//! * [`expand`] — AND/OR → OR cross-product expansion (the traditional-
+//!   representation baseline of every experiment);
+//! * [`minimize`] — a conservative Eichenberger–Davidson-style
+//!   reservation-table minimizer (related-work ablation);
+//! * [`pipeline`] — the whole thing in the paper's order.
+//!
+//! # Example
+//!
+//! ```
+//! use mdes_opt::pipeline::{optimize, PipelineConfig};
+//!
+//! let mut spec = mdes_lang::compile("
+//!     resource Dec[2];
+//!     or_tree AnyDec = first_of(
+//!         { Dec[0] @ -1 },
+//!         { Dec[0] @ -1 },   // copy-paste duplicate
+//!         { Dec[1] @ -1 });
+//!     class alu { constraint = AnyDec; }
+//! ").unwrap();
+//!
+//! let report = optimize(&mut spec, &PipelineConfig::full());
+//! assert_eq!(report.redundancy.unwrap().options_merged, 1);
+//! assert_eq!(spec.num_options(), 2);
+//! // After the forward shift, decode usages sit at time zero.
+//! assert!(spec.option_ids().all(|id| spec.option(id).usages[0].time == 0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dominance;
+pub mod expand;
+pub mod factor;
+pub mod minimize;
+pub mod pipeline;
+pub mod redundancy;
+pub mod report;
+pub mod sortzero;
+pub mod timeshift;
+pub mod treesort;
+
+pub use dominance::eliminate_dominated_options;
+pub use expand::expand_to_or;
+pub use factor::factor_common_usages;
+pub use minimize::minimize_usages;
+pub use pipeline::{optimize, optimized, PipelineConfig, PipelineReport};
+pub use redundancy::eliminate_redundancy;
+pub use report::{staged_report, StageSnapshot};
+pub use sortzero::sort_checks_zero_first;
+pub use timeshift::{shift_usage_times, Direction};
+pub use treesort::sort_and_or_trees;

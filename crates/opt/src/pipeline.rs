@@ -1,0 +1,255 @@
+//! The full MDES transformation pipeline.
+//!
+//! Applies the paper's transformations in presentation order:
+//!
+//! 1. redundancy elimination (Section 5);
+//! 2. dominated-option elimination (Section 5);
+//! 3. usage-time shifting (Section 7);
+//! 4. check ordering, time zero first (Section 7);
+//! 5. AND/OR-tree conflict-detection ordering (Section 8);
+//! 6. common-usage factoring (Section 8);
+//!
+//! followed by a cleanup round (redundancy + check ordering) because
+//! factoring clones shared items and appends hoisted usages.
+//!
+//! Every stage preserves the exact schedule the description produces —
+//! "the exact same schedule is produced in each case, since all the
+//! execution constraints described in the machine descriptions are being
+//! preserved" (Section 4) — which the integration tests assert per
+//! machine and per stage.
+
+use mdes_core::spec::MdesSpec;
+
+use crate::dominance::{eliminate_dominated_options, DominanceReport};
+use crate::factor::{factor_common_usages, FactorReport};
+use crate::redundancy::{eliminate_redundancy, RedundancyReport};
+use crate::sortzero::{sort_checks_zero_first, SortReport};
+use crate::timeshift::{shift_usage_times, Direction, TimeShiftReport};
+use crate::treesort::{sort_and_or_trees, TreeSortReport};
+
+/// Which transformations to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Scheduler direction for the time-shift / check-order heuristics.
+    pub direction: Direction,
+    /// Run redundancy elimination.
+    pub redundancy: bool,
+    /// Run dominated-option elimination.
+    pub dominance: bool,
+    /// Run usage-time shifting.
+    pub timeshift: bool,
+    /// Run check ordering.
+    pub sortzero: bool,
+    /// Run AND/OR-tree ordering.
+    pub treesort: bool,
+    /// Run common-usage factoring.
+    pub factor: bool,
+}
+
+impl PipelineConfig {
+    /// Everything on, forward scheduling (the paper's configuration).
+    pub fn full() -> PipelineConfig {
+        PipelineConfig {
+            direction: Direction::Forward,
+            redundancy: true,
+            dominance: true,
+            timeshift: true,
+            sortzero: true,
+            treesort: true,
+            factor: true,
+        }
+    }
+
+    /// Only the Section-5 cleanups (for the Table 7/8 experiments).
+    pub fn section5() -> PipelineConfig {
+        PipelineConfig {
+            factor: false,
+            treesort: false,
+            timeshift: false,
+            sortzero: false,
+            ..PipelineConfig::full()
+        }
+    }
+
+    /// Sections 5 + 7 (for the Table 11/12 experiments).
+    pub fn through_section7() -> PipelineConfig {
+        PipelineConfig {
+            factor: false,
+            treesort: false,
+            ..PipelineConfig::full()
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig::full()
+    }
+}
+
+/// Per-stage results of one pipeline run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineReport {
+    /// First redundancy pass.
+    pub redundancy: Option<RedundancyReport>,
+    /// Dominated-option elimination.
+    pub dominance: Option<DominanceReport>,
+    /// Usage-time shifting.
+    pub timeshift: Option<TimeShiftReport>,
+    /// Check ordering.
+    pub sortzero: Option<SortReport>,
+    /// AND/OR-tree ordering.
+    pub treesort: Option<TreeSortReport>,
+    /// Common-usage factoring.
+    pub factor: Option<FactorReport>,
+    /// Cleanup redundancy pass after factoring.
+    pub cleanup: Option<RedundancyReport>,
+}
+
+/// Runs the configured transformations on `spec` in the paper's order.
+pub fn optimize(spec: &mut MdesSpec, config: &PipelineConfig) -> PipelineReport {
+    let mut report = PipelineReport::default();
+
+    if config.redundancy {
+        report.redundancy = Some(eliminate_redundancy(spec));
+    }
+    if config.dominance {
+        report.dominance = Some(eliminate_dominated_options(spec));
+    }
+    if config.timeshift {
+        report.timeshift = Some(shift_usage_times(spec, config.direction));
+    }
+    if config.sortzero {
+        report.sortzero = Some(sort_checks_zero_first(spec, config.direction));
+    }
+    if config.treesort {
+        report.treesort = Some(sort_and_or_trees(spec));
+    }
+    if config.factor {
+        let factor = factor_common_usages(spec);
+        if factor.trees_affected > 0 {
+            if config.redundancy {
+                report.cleanup = Some(eliminate_redundancy(spec));
+            }
+            if config.sortzero {
+                sort_checks_zero_first(spec, config.direction);
+            }
+            if config.treesort {
+                sort_and_or_trees(spec);
+            }
+        }
+        report.factor = Some(factor);
+    }
+
+    debug_assert!(spec.validate().is_ok(), "pipeline broke the spec");
+    report
+}
+
+/// Convenience: clone, optimize with the full pipeline, return the copy.
+pub fn optimized(spec: &MdesSpec) -> MdesSpec {
+    let mut copy = spec.clone();
+    optimize(&mut copy, &PipelineConfig::full());
+    copy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::spec::{AndOrTree, Constraint, Latency, OpFlags, OrTree, TableOption};
+    use mdes_core::usage::ResourceUsage;
+    use mdes_core::ResourceId;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    /// A deliberately messy description exercising every stage: duplicate
+    /// options, a dominated option, shiftable usage times, unsorted
+    /// checks, out-of-order AND/OR sub-trees and a factorable common
+    /// usage.
+    fn messy_spec() -> MdesSpec {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("Dec", 2).unwrap(); // r0 r1
+        spec.resources_mut().add("Bus").unwrap(); // r2
+        spec.resources_mut().add("M").unwrap(); // r3
+        spec.resources_mut().add("Wr").unwrap(); // r4
+
+        // Decoder tree with a duplicated option and common bus usage.
+        let d0 = spec.add_option(TableOption::new(vec![u(0, -1), u(2, -1)]));
+        let d0_dup = spec.add_option(TableOption::new(vec![u(0, -1), u(2, -1)]));
+        let d1 = spec.add_option(TableOption::new(vec![u(1, -1), u(2, -1)]));
+        let dec = spec.add_or_tree(OrTree::named("Dec", vec![d0, d0_dup, d1]));
+
+        // Memory tree: one option, M at 0 and write port at 2 (unsorted
+        // after shifting).
+        let m = spec.add_option(TableOption::new(vec![u(4, 2), u(3, 0)]));
+        let mem = spec.add_or_tree(OrTree::named("Mem", vec![m]));
+
+        let load = spec.add_and_or_tree(AndOrTree::named("Load", vec![dec, mem]));
+        spec.add_class("load", Constraint::AndOr(load), Latency::new(1), OpFlags::load())
+            .unwrap();
+        spec
+    }
+
+    #[test]
+    fn full_pipeline_applies_every_stage() {
+        let mut spec = messy_spec();
+        let report = optimize(&mut spec, &PipelineConfig::full());
+
+        let redundancy = report.redundancy.unwrap();
+        assert_eq!(redundancy.options_merged, 1);
+        let dominance = report.dominance.unwrap();
+        assert_eq!(dominance.options_removed, 1);
+        let timeshift = report.timeshift.unwrap();
+        assert!(timeshift.resources_shifted() >= 2); // decoders, bus at -1
+        assert!(report.treesort.is_some());
+        let factor = report.factor.unwrap();
+        assert!(factor.usages_merged + factor.trees_created > 0);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn pipeline_is_idempotent() {
+        let mut spec = messy_spec();
+        optimize(&mut spec, &PipelineConfig::full());
+        let snapshot = spec.clone();
+        optimize(&mut spec, &PipelineConfig::full());
+        assert_eq!(spec, snapshot);
+    }
+
+    #[test]
+    fn section5_config_leaves_usage_times_alone() {
+        let mut spec = messy_spec();
+        optimize(&mut spec, &PipelineConfig::section5());
+        // Decoder usages still at -1: no time shift ran.
+        let any_negative = spec
+            .option_ids()
+            .flat_map(|id| spec.option(id).usages.clone())
+            .any(|us| us.time < 0);
+        assert!(any_negative);
+    }
+
+    #[test]
+    fn through_section7_runs_shift_but_not_factoring() {
+        let mut spec = messy_spec();
+        let report = optimize(&mut spec, &PipelineConfig::through_section7());
+        assert!(report.timeshift.is_some());
+        assert!(report.factor.is_none());
+        // All usage times now >= 0.
+        let all_non_negative = spec
+            .option_ids()
+            .flat_map(|id| spec.option(id).usages.clone())
+            .all(|us| us.time >= 0);
+        assert!(all_non_negative);
+    }
+
+    #[test]
+    fn optimized_returns_a_fresh_spec() {
+        let spec = messy_spec();
+        let out = optimized(&spec);
+        assert_ne!(out, spec);
+        assert!(out.num_options() < spec.num_options());
+        assert!(spec.validate().is_ok());
+        assert!(out.validate().is_ok());
+    }
+}

@@ -1,0 +1,235 @@
+//! Redundancy elimination (Section 5).
+//!
+//! As machine descriptions evolve, "the amount of redundant and unused
+//! information in the MDES tends to grow, because … it is typically easier
+//! to just make a local copy of the information to be changed."  This pass
+//! adapts the classical compiler optimizations the paper names:
+//!
+//! * **common-subexpression elimination + copy propagation** — structurally
+//!   identical reservation-table options, OR-trees and AND/OR-trees are
+//!   merged so every reference points at one canonical copy;
+//! * **dead-code removal** — items no longer referenced by any operation
+//!   class are deleted.
+//!
+//! Options are compared by exact usage *sequence* (not just set) so the
+//! check order chosen by later transformations is never perturbed.
+
+use std::collections::HashMap;
+
+use mdes_core::spec::{AndOrTreeId, MdesSpec, OptionId, OrTreeId};
+
+/// What one redundancy-elimination run merged and swept.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RedundancyReport {
+    /// Duplicate options now sharing a canonical copy.
+    pub options_merged: usize,
+    /// Duplicate OR-trees now sharing a canonical copy.
+    pub or_trees_merged: usize,
+    /// Duplicate AND/OR-trees now sharing a canonical copy.
+    pub and_or_trees_merged: usize,
+    /// Items removed by the dead-code sweep.
+    pub items_swept: usize,
+}
+
+impl RedundancyReport {
+    /// Total redundant items eliminated.
+    pub fn total(&self) -> usize {
+        // Merged duplicates are subsequently swept, so `items_swept`
+        // already includes them; report it as the authoritative total.
+        self.items_swept
+    }
+}
+
+/// Merges structurally identical MDES items and sweeps unreferenced ones.
+///
+/// Merging is a fixpoint by construction: options are canonicalized first,
+/// which makes duplicate OR-trees textually identical, which in turn makes
+/// duplicate AND/OR-trees identical.
+///
+/// # Examples
+///
+/// ```
+/// let mut spec = mdes_lang::compile("
+///     resource M;
+///     or_tree T = first_of({ M @ 0 }, { M @ 0 }, { M @ 1 }); // copy-paste dup
+///     class mem { constraint = T; }
+/// ").unwrap();
+/// let report = mdes_opt::eliminate_redundancy(&mut spec);
+/// assert_eq!(report.options_merged, 1);
+/// assert_eq!(spec.num_options(), 2);
+/// ```
+pub fn eliminate_redundancy(spec: &mut MdesSpec) -> RedundancyReport {
+    let mut report = RedundancyReport::default();
+
+    // --- Options: canonical = first structurally identical option. ---
+    let mut canon_by_shape: HashMap<Vec<mdes_core::ResourceUsage>, OptionId> = HashMap::new();
+    let mut option_map: Vec<OptionId> = Vec::with_capacity(spec.num_options());
+    for id in spec.option_ids() {
+        let shape = spec.option(id).usages.clone();
+        match canon_by_shape.get(&shape) {
+            Some(&canon) => {
+                option_map.push(canon);
+                report.options_merged += 1;
+            }
+            None => {
+                canon_by_shape.insert(shape, id);
+                option_map.push(id);
+            }
+        }
+    }
+    spec.rewrite_option_refs(|id| option_map[id.index()]);
+
+    // --- OR-trees: compare by (rewritten) option lists. ---
+    let mut canon_tree: HashMap<Vec<OptionId>, OrTreeId> = HashMap::new();
+    let mut tree_map: Vec<OrTreeId> = Vec::with_capacity(spec.num_or_trees());
+    for id in spec.or_tree_ids() {
+        let shape = spec.or_tree(id).options.clone();
+        match canon_tree.get(&shape) {
+            Some(&canon) => {
+                tree_map.push(canon);
+                report.or_trees_merged += 1;
+            }
+            None => {
+                canon_tree.insert(shape, id);
+                tree_map.push(id);
+            }
+        }
+    }
+    spec.rewrite_or_tree_refs(|id| tree_map[id.index()]);
+
+    // --- AND/OR-trees: compare by (rewritten) OR-tree lists. ---
+    let mut canon_andor: HashMap<Vec<OrTreeId>, AndOrTreeId> = HashMap::new();
+    let mut andor_map: Vec<AndOrTreeId> = Vec::with_capacity(spec.num_and_or_trees());
+    for id in spec.and_or_tree_ids() {
+        let shape = spec.and_or_tree(id).or_trees.clone();
+        match canon_andor.get(&shape) {
+            Some(&canon) => {
+                andor_map.push(canon);
+                report.and_or_trees_merged += 1;
+            }
+            None => {
+                canon_andor.insert(shape, id);
+                andor_map.push(id);
+            }
+        }
+    }
+    spec.rewrite_and_or_tree_refs(|id| andor_map[id.index()]);
+
+    // --- Dead-code removal: sweep now-unreferenced duplicates and any
+    // information the MDES never used in the first place. ---
+    let sweep = spec.sweep_unreferenced();
+    report.items_swept = sweep.total();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::spec::{AndOrTree, Constraint, Latency, OpFlags, OrTree, TableOption};
+    use mdes_core::usage::ResourceUsage;
+    use mdes_core::ResourceId;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    #[test]
+    fn duplicate_options_are_merged_and_swept() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("r").unwrap();
+        let a = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let b = spec.add_option(TableOption::new(vec![u(0, 0)])); // duplicate
+        let tree = spec.add_or_tree(OrTree::new(vec![a, b]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+
+        let report = eliminate_redundancy(&mut spec);
+        assert_eq!(report.options_merged, 1);
+        assert_eq!(report.items_swept, 1);
+        assert_eq!(spec.num_options(), 1);
+        // The tree now references the canonical option twice (priority
+        // semantics unchanged; dominance elimination handles the repeat).
+        let tree = spec.or_tree(spec.or_tree_ids().next().unwrap());
+        assert_eq!(tree.options[0], tree.options[1]);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn options_differing_only_in_order_are_not_merged() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("r", 2).unwrap();
+        let a = spec.add_option(TableOption::new(vec![u(0, 0), u(1, 0)]));
+        let b = spec.add_option(TableOption::new(vec![u(1, 0), u(0, 0)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![a, b]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let report = eliminate_redundancy(&mut spec);
+        assert_eq!(report.options_merged, 0);
+        assert_eq!(spec.num_options(), 2);
+    }
+
+    #[test]
+    fn duplicate_or_trees_cascade_into_and_or_merging() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("r", 2).unwrap();
+        // Two structurally identical chains built with separate ids, as an
+        // MDES author copy-pasting would produce.
+        let o1 = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let o2 = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let t1 = spec.add_or_tree(OrTree::new(vec![o1]));
+        let t2 = spec.add_or_tree(OrTree::new(vec![o2]));
+        let a1 = spec.add_and_or_tree(AndOrTree::new(vec![t1]));
+        let a2 = spec.add_and_or_tree(AndOrTree::new(vec![t2]));
+        spec.add_class("x", Constraint::AndOr(a1), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec.add_class("y", Constraint::AndOr(a2), Latency::new(1), OpFlags::none())
+            .unwrap();
+
+        let report = eliminate_redundancy(&mut spec);
+        assert_eq!(report.options_merged, 1);
+        assert_eq!(report.or_trees_merged, 1);
+        assert_eq!(report.and_or_trees_merged, 1);
+        assert_eq!(spec.num_options(), 1);
+        assert_eq!(spec.num_or_trees(), 1);
+        assert_eq!(spec.num_and_or_trees(), 1);
+        // Both classes now share everything.
+        let cx = spec.class(spec.class_by_name("x").unwrap()).constraint;
+        let cy = spec.class(spec.class_by_name("y").unwrap()).constraint;
+        assert_eq!(cx, cy);
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn unused_information_is_swept() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("r").unwrap();
+        let live = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![live]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        // An orphaned subtree the vocabulary no longer references.
+        let dead_opt = spec.add_option(TableOption::new(vec![u(0, 7)]));
+        let dead_tree = spec.add_or_tree(OrTree::new(vec![dead_opt]));
+        spec.add_and_or_tree(AndOrTree::new(vec![dead_tree]));
+
+        let report = eliminate_redundancy(&mut spec);
+        assert_eq!(report.items_swept, 3);
+        assert_eq!(spec.num_options(), 1);
+        assert_eq!(spec.num_and_or_trees(), 0);
+    }
+
+    #[test]
+    fn idempotent_on_clean_spec() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("r").unwrap();
+        let opt = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![opt]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        eliminate_redundancy(&mut spec);
+        let before = spec.clone();
+        let report = eliminate_redundancy(&mut spec);
+        assert_eq!(report.total(), 0);
+        assert_eq!(spec, before);
+    }
+}

@@ -1,0 +1,185 @@
+//! Stage-by-stage pipeline reporting.
+//!
+//! [`staged_report`] runs the transformation pipeline one stage at a time
+//! and snapshots the compiled footprint after each — the data behind the
+//! `mdesc stats` command and the `optimize_pipeline` example, and a
+//! compact way to see where each of the paper's transformations earns its
+//! keep on a given description.
+
+use mdes_core::size::measure;
+use mdes_core::spec::MdesSpec;
+use mdes_core::{CompiledMdes, UsageEncoding};
+
+use crate::dominance::eliminate_dominated_options;
+use crate::factor::factor_common_usages;
+use crate::redundancy::eliminate_redundancy;
+use crate::sortzero::sort_checks_zero_first;
+use crate::timeshift::{shift_usage_times, Direction};
+use crate::treesort::sort_and_or_trees;
+
+/// One snapshot of the compiled footprint after a pipeline stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSnapshot {
+    /// Stage label (e.g. `"redundancy elimination"`).
+    pub stage: String,
+    /// Usage encoding the snapshot was measured under.
+    pub encoding: UsageEncoding,
+    /// Options in the compiled pool.
+    pub options: usize,
+    /// Bytes under the paper's 4-byte-word memory model.
+    pub bytes: usize,
+    /// Stored RU-map probes.
+    pub checks: usize,
+}
+
+fn snapshot(stage: &str, spec: &MdesSpec, encoding: UsageEncoding) -> StageSnapshot {
+    let compiled = CompiledMdes::compile(spec, encoding).expect("spec stays valid");
+    let memory = measure(&compiled);
+    StageSnapshot {
+        stage: stage.to_string(),
+        encoding,
+        options: memory.num_options,
+        bytes: memory.total(),
+        checks: memory.num_checks,
+    }
+}
+
+/// Runs the full pipeline stage by stage on a copy of `spec`, returning a
+/// snapshot after every stage (the first entry is the description as
+/// authored, under the scalar encoding; bit-vector snapshots follow the
+/// Section-6 step).
+///
+/// # Examples
+///
+/// ```
+/// let spec = mdes_lang::compile("
+///     resource D[2];
+///     or_tree T = first_of({ D[0] @ 0 }, { D[0] @ 0 }, { D[1] @ 0 });
+///     class alu { constraint = T; }
+/// ").unwrap();
+/// let stages = mdes_opt::staged_report(&spec, mdes_opt::Direction::Forward);
+/// assert_eq!(stages.first().unwrap().options, 3);
+/// // The duplicate option is merged and the dominated reference removed.
+/// assert!(stages.last().unwrap().options < 3);
+/// ```
+pub fn staged_report(spec: &MdesSpec, direction: Direction) -> Vec<StageSnapshot> {
+    let mut spec = spec.clone();
+    let mut stages = Vec::with_capacity(8);
+
+    stages.push(snapshot("as authored", &spec, UsageEncoding::Scalar));
+
+    let redundancy = eliminate_redundancy(&mut spec);
+    stages.push(snapshot(
+        &format!("redundancy elimination ({} removed)", redundancy.total()),
+        &spec,
+        UsageEncoding::Scalar,
+    ));
+
+    let dominance = eliminate_dominated_options(&mut spec);
+    stages.push(snapshot(
+        &format!("dominated options ({} removed)", dominance.options_removed),
+        &spec,
+        UsageEncoding::Scalar,
+    ));
+
+    stages.push(snapshot("bit-vector encoding", &spec, UsageEncoding::BitVector));
+
+    let shift = shift_usage_times(&mut spec, direction);
+    stages.push(snapshot(
+        &format!("usage-time shift ({} resources)", shift.resources_shifted()),
+        &spec,
+        UsageEncoding::BitVector,
+    ));
+
+    let sort = sort_checks_zero_first(&mut spec, direction);
+    stages.push(snapshot(
+        &format!("zero-first check order ({} options)", sort.options_reordered),
+        &spec,
+        UsageEncoding::BitVector,
+    ));
+
+    let trees = sort_and_or_trees(&mut spec);
+    stages.push(snapshot(
+        &format!("AND/OR ordering ({} trees)", trees.trees_reordered),
+        &spec,
+        UsageEncoding::BitVector,
+    ));
+
+    let factor = factor_common_usages(&mut spec);
+    if factor.trees_affected > 0 {
+        eliminate_redundancy(&mut spec);
+        sort_checks_zero_first(&mut spec, direction);
+        sort_and_or_trees(&mut spec);
+    }
+    stages.push(snapshot(
+        &format!(
+            "common-usage factoring ({} merged, {} created)",
+            factor.usages_merged, factor.trees_created
+        ),
+        &spec,
+        UsageEncoding::BitVector,
+    ));
+
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::spec::{Constraint, Latency, OpFlags, OrTree, TableOption};
+    use mdes_core::usage::ResourceUsage;
+    use mdes_core::ResourceId;
+
+    fn messy_spec() -> MdesSpec {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("r", 3).unwrap();
+        let u = |r: usize, t: i32| ResourceUsage::new(ResourceId::from_index(r), t);
+        let a = spec.add_option(TableOption::new(vec![u(0, -1), u(1, 0)]));
+        let a_dup = spec.add_option(TableOption::new(vec![u(0, -1), u(1, 0)]));
+        let b = spec.add_option(TableOption::new(vec![u(2, 1)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![a, a_dup, b]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec
+    }
+
+    #[test]
+    fn report_covers_every_stage_in_order() {
+        let stages = staged_report(&messy_spec(), Direction::Forward);
+        assert_eq!(stages.len(), 8);
+        assert_eq!(stages[0].stage, "as authored");
+        assert!(stages[1].stage.starts_with("redundancy"));
+        assert!(stages[3].stage.contains("bit-vector"));
+        assert!(stages.last().unwrap().stage.contains("factoring"));
+    }
+
+    #[test]
+    fn bytes_never_increase_along_the_pipeline() {
+        // Within each encoding regime bytes are monotone non-increasing;
+        // the scalar → bit-vector step also only shrinks.
+        let stages = staged_report(&messy_spec(), Direction::Forward);
+        for window in stages.windows(2) {
+            assert!(
+                window[1].bytes <= window[0].bytes,
+                "{} grew: {} -> {}",
+                window[1].stage,
+                window[0].bytes,
+                window[1].bytes
+            );
+        }
+    }
+
+    #[test]
+    fn original_spec_is_untouched() {
+        let spec = messy_spec();
+        let before = spec.clone();
+        let _ = staged_report(&spec, Direction::Forward);
+        assert_eq!(spec, before);
+    }
+
+    #[test]
+    fn works_for_backward_direction_too() {
+        let stages = staged_report(&messy_spec(), Direction::Backward);
+        assert_eq!(stages.len(), 8);
+    }
+}

@@ -1,0 +1,225 @@
+//! The resource usage-time transformation (Section 7, Figure 5).
+//!
+//! For each resource, a strategically selected constant is subtracted from
+//! its usage times in *every* reservation-table option.  By the
+//! collision-vector argument (see `mdes_core::collision`), only the
+//! *differences* between usage times of a common resource matter, so this
+//! never changes which schedules are legal — but it concentrates usages at
+//! time zero, which:
+//!
+//! * makes bit-vector packing effective (usages land in the same word);
+//! * concentrates conflicts at time zero, so checking time zero first
+//!   detects conflicts almost immediately.
+//!
+//! The paper's heuristic: for a forward-scheduling list scheduler pick the
+//! constant as the *earliest* usage time of the resource across all
+//! options (so its earliest usage becomes zero); for a backward scheduler
+//! pick the *latest*.
+
+use std::collections::HashMap;
+
+use mdes_core::spec::MdesSpec;
+use mdes_core::ResourceId;
+
+/// Scheduler direction, which selects the shift heuristic.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Forward cycle scheduling: earliest usage per resource becomes 0.
+    #[default]
+    Forward,
+    /// Backward cycle scheduling: latest usage per resource becomes 0.
+    Backward,
+}
+
+/// Report of one usage-time transformation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimeShiftReport {
+    /// Per-resource constants that were subtracted.
+    pub shifts: Vec<(ResourceId, i32)>,
+}
+
+impl TimeShiftReport {
+    /// Number of resources whose usages actually moved.
+    pub fn resources_shifted(&self) -> usize {
+        self.shifts.iter().filter(|(_, s)| *s != 0).count()
+    }
+}
+
+/// Computes the per-resource shift constants without applying them.
+pub fn shift_constants(spec: &MdesSpec, direction: Direction) -> HashMap<ResourceId, i32> {
+    let mut constants: HashMap<ResourceId, i32> = HashMap::new();
+    for id in spec.option_ids() {
+        for usage in &spec.option(id).usages {
+            let entry = constants.entry(usage.resource).or_insert(usage.time);
+            match direction {
+                Direction::Forward => *entry = (*entry).min(usage.time),
+                Direction::Backward => *entry = (*entry).max(usage.time),
+            }
+        }
+    }
+    constants
+}
+
+/// Applies the usage-time transformation in place.
+///
+/// After a [`Direction::Forward`] run every resource's earliest usage time
+/// is zero (so all usage times are ≥ 0); after a backward run every
+/// resource's latest usage time is zero (times ≤ 0).
+///
+/// # Examples
+///
+/// ```
+/// use mdes_opt::timeshift::{shift_usage_times, Direction};
+///
+/// let mut spec = mdes_lang::compile("
+///     resource Dec;
+///     resource Wr;
+///     or_tree T = first_of({ Dec @ -1, Wr @ 1 });
+///     class alu { constraint = T; }
+/// ").unwrap();
+/// let report = shift_usage_times(&mut spec, Direction::Forward);
+/// assert_eq!(report.resources_shifted(), 2);
+/// // Decode (-1) and write-back (+1) usages both land at time 0.
+/// let opt = spec.option_ids().next().unwrap();
+/// assert!(spec.option(opt).usages.iter().all(|u| u.time == 0));
+/// ```
+pub fn shift_usage_times(spec: &mut MdesSpec, direction: Direction) -> TimeShiftReport {
+    let constants = shift_constants(spec, direction);
+    for id in spec.option_ids().collect::<Vec<_>>() {
+        for usage in &mut spec.option_mut(id).usages {
+            if let Some(&constant) = constants.get(&usage.resource) {
+                usage.time -= constant;
+            }
+        }
+    }
+    let mut shifts: Vec<(ResourceId, i32)> = constants.into_iter().collect();
+    shifts.sort_unstable_by_key(|(r, _)| *r);
+    TimeShiftReport { shifts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::collision::forbidden_latencies;
+    use mdes_core::spec::{Constraint, Latency, OpFlags, OrTree, TableOption};
+    use mdes_core::usage::ResourceUsage;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    /// Figure-3a-style spec: decoder at -1, M at 0, write port at 1.
+    fn load_spec() -> MdesSpec {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("Dec").unwrap();
+        spec.resources_mut().add("M").unwrap();
+        spec.resources_mut().add("WrPt").unwrap();
+        let opt = spec.add_option(TableOption::new(vec![u(0, -1), u(1, 0), u(2, 1)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![opt]));
+        spec.add_class("load", Constraint::Or(tree), Latency::new(1), OpFlags::load())
+            .unwrap();
+        spec
+    }
+
+    #[test]
+    fn forward_shift_moves_every_resource_to_time_zero() {
+        let mut spec = load_spec();
+        let report = shift_usage_times(&mut spec, Direction::Forward);
+        let usages = &spec.option(spec.option_ids().next().unwrap()).usages;
+        // All three usages now at their per-resource zero — the Figure 5
+        // effect: one usage per resource, all at time 0.
+        assert!(usages.iter().all(|us| us.time == 0));
+        assert_eq!(report.resources_shifted(), 2); // Dec (-1) and WrPt (+1)
+    }
+
+    #[test]
+    fn backward_shift_moves_latest_usages_to_zero() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("Div").unwrap();
+        let opt = spec.add_option(TableOption::new(vec![u(0, 0), u(0, 1), u(0, 2)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![opt]));
+        spec.add_class("div", Constraint::Or(tree), Latency::new(3), OpFlags::none())
+            .unwrap();
+        shift_usage_times(&mut spec, Direction::Backward);
+        let times: Vec<i32> = spec
+            .option(spec.option_ids().next().unwrap())
+            .usages
+            .iter()
+            .map(|us| us.time)
+            .collect();
+        assert_eq!(times, vec![-2, -1, 0]);
+    }
+
+    #[test]
+    fn shift_constant_is_global_across_options_of_all_classes() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("r").unwrap();
+        // Class A uses r at time 2; class B uses r at time 5.  The
+        // constant must be the global earliest (2) — shifting per class
+        // would break cross-class collision vectors.
+        let a = spec.add_option(TableOption::new(vec![u(0, 2)]));
+        let b = spec.add_option(TableOption::new(vec![u(0, 5)]));
+        let ta = spec.add_or_tree(OrTree::new(vec![a]));
+        let tb = spec.add_or_tree(OrTree::new(vec![b]));
+        spec.add_class("a", Constraint::Or(ta), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec.add_class("b", Constraint::Or(tb), Latency::new(1), OpFlags::none())
+            .unwrap();
+        shift_usage_times(&mut spec, Direction::Forward);
+        let times: Vec<i32> = spec
+            .option_ids()
+            .map(|id| spec.option(id).usages[0].time)
+            .collect();
+        assert_eq!(times, vec![0, 3]);
+    }
+
+    #[test]
+    fn collision_vectors_are_preserved() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("r", 3).unwrap();
+        let a = spec.add_option(TableOption::new(vec![u(0, -1), u(1, 0), u(2, 4)]));
+        let b = spec.add_option(TableOption::new(vec![u(0, 2), u(2, 3)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![a, b]));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+
+        let ids: Vec<_> = spec.option_ids().collect();
+        let matrix = |s: &MdesSpec| -> Vec<_> {
+            ids.iter()
+                .flat_map(|&x| {
+                    ids.iter()
+                        .map(|&y| forbidden_latencies(s.option(x), s.option(y)))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        let before = matrix(&spec);
+
+        let mut shifted = spec.clone();
+        shift_usage_times(&mut shifted, Direction::Forward);
+        let after = matrix(&shifted);
+
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn forward_shift_is_idempotent() {
+        let mut spec = load_spec();
+        shift_usage_times(&mut spec, Direction::Forward);
+        let snapshot = spec.clone();
+        let report = shift_usage_times(&mut spec, Direction::Forward);
+        assert_eq!(report.resources_shifted(), 0);
+        assert_eq!(spec, snapshot);
+    }
+
+    #[test]
+    fn unused_resources_are_untouched() {
+        let mut spec = load_spec();
+        spec.resources_mut().add("idle").unwrap();
+        let report = shift_usage_times(&mut spec, Direction::Forward);
+        assert!(report
+            .shifts
+            .iter()
+            .all(|(r, _)| spec.resources().name(*r) != "idle"));
+    }
+}

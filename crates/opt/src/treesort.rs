@@ -1,0 +1,181 @@
+//! AND/OR-tree conflict-detection ordering (Section 8, Figure 6).
+//!
+//! Sorts the sub-OR-trees of every AND/OR-tree so the tree most likely to
+//! have a resource conflict is checked first, using the paper's
+//! heuristic sort criteria:
+//!
+//! 1. earliest usage time in each OR-tree (after the usage-time
+//!    transformation, most conflicts occur at usage time zero);
+//! 2. fewest options (a one-option OR-tree on a contended resource fails
+//!    fastest);
+//! 3. shared by the most AND/OR-trees ("this gives an indication of which
+//!    OR-trees have resources that are heavily used");
+//! 4. the original order, to break remaining ties (stable sort).
+
+use mdes_core::spec::MdesSpec;
+
+/// Report of one AND/OR-tree ordering pass.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeSortReport {
+    /// AND/OR-trees whose sub-tree order changed.
+    pub trees_reordered: usize,
+}
+
+/// Sorts the sub-OR-trees of every AND/OR-tree by the paper's criteria.
+///
+/// # Examples
+///
+/// ```
+/// let mut spec = mdes_lang::compile("
+///     resource Dec[3];
+///     resource M;
+///     or_tree AnyDec = first_of(for d in 0..3: { Dec[d] @ 0 });
+///     or_tree UseM   = first_of({ M @ 0 });
+///     and_or_tree Load = all_of(AnyDec, UseM);  // authored decoder-first
+///     class load { constraint = Load; flags = load; }
+/// ").unwrap();
+/// let report = mdes_opt::sort_and_or_trees(&mut spec);
+/// assert_eq!(report.trees_reordered, 1);
+/// // The one-option memory tree is now checked first (Figure 6).
+/// let andor = spec.and_or_tree_ids().next().unwrap();
+/// let first = spec.and_or_tree(andor).or_trees[0];
+/// assert_eq!(spec.or_tree(first).options.len(), 1);
+/// ```
+pub fn sort_and_or_trees(spec: &mut MdesSpec) -> TreeSortReport {
+    let share_counts = spec.or_tree_share_counts();
+
+    // Pre-compute per-OR-tree sort keys.
+    let keys: Vec<(i32, usize, isize)> = spec
+        .or_tree_ids()
+        .map(|id| {
+            let tree = spec.or_tree(id);
+            let earliest = tree
+                .options
+                .iter()
+                .filter_map(|&opt| spec.option(opt).earliest_time())
+                .min()
+                .unwrap_or(i32::MAX);
+            let num_options = tree.options.len();
+            let shared = -(share_counts[id.index()] as isize); // more shared first
+            (earliest, num_options, shared)
+        })
+        .collect();
+
+    let mut report = TreeSortReport::default();
+    for id in spec.and_or_tree_ids().collect::<Vec<_>>() {
+        let children = &mut spec.and_or_tree_mut(id).or_trees;
+        let before = children.clone();
+        children.sort_by_key(|or| keys[or.index()]);
+        if *children != before {
+            report.trees_reordered += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::spec::{AndOrTree, Constraint, Latency, OpFlags, OrTree, OrTreeId, TableOption};
+    use mdes_core::usage::ResourceUsage;
+    use mdes_core::ResourceId;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    /// Builds the Figure-6 situation: decoder tree (3 options, time 0)
+    /// listed before M (1 option, time 0) and write-port tree (2 options,
+    /// time 1); sorting must yield M, decoders, write ports?  No — the
+    /// paper sorts by earliest time first, then option count: M (t=0, 1
+    /// option), Decoder (t=0, 3 options), WrPt (t=1, 2 options).
+    fn figure6_spec() -> (MdesSpec, OrTreeId, OrTreeId, OrTreeId) {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("Dec", 3).unwrap(); // r0..r2
+        spec.resources_mut().add("M").unwrap(); // r3
+        spec.resources_mut().add_indexed("WrPt", 2).unwrap(); // r4..r5
+
+        let dec_opts: Vec<_> = (0..3)
+            .map(|d| spec.add_option(TableOption::new(vec![u(d, 0)])))
+            .collect();
+        let dec = spec.add_or_tree(OrTree::named("AnyDec", dec_opts));
+
+        let wr_opts: Vec<_> = (4..6)
+            .map(|w| spec.add_option(TableOption::new(vec![u(w, 1)])))
+            .collect();
+        let wr = spec.add_or_tree(OrTree::named("AnyWr", wr_opts));
+
+        let m_opt = spec.add_option(TableOption::new(vec![u(3, 0)]));
+        let m = spec.add_or_tree(OrTree::named("UseM", vec![m_opt]));
+
+        let andor = spec.add_and_or_tree(AndOrTree::named("Load", vec![dec, wr, m]));
+        spec.add_class("load", Constraint::AndOr(andor), Latency::new(1), OpFlags::load())
+            .unwrap();
+        (spec, dec, wr, m)
+    }
+
+    #[test]
+    fn sorts_by_earliest_time_then_fewest_options() {
+        let (mut spec, dec, wr, m) = figure6_spec();
+        let report = sort_and_or_trees(&mut spec);
+        assert_eq!(report.trees_reordered, 1);
+        let order = &spec
+            .and_or_tree(spec.and_or_tree_ids().next().unwrap())
+            .or_trees;
+        // M first (t=0, 1 option), then decoders (t=0, 3 options), then
+        // write ports (t=1).
+        assert_eq!(order, &vec![m, dec, wr]);
+    }
+
+    #[test]
+    fn share_count_breaks_ties() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("r", 4).unwrap();
+        // Two OR-trees with equal earliest time and option count; `shared`
+        // is referenced by two AND/OR-trees, `solo` by one.
+        let s0 = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let s1 = spec.add_option(TableOption::new(vec![u(1, 0)]));
+        let shared = spec.add_or_tree(OrTree::new(vec![s0, s1]));
+        let p0 = spec.add_option(TableOption::new(vec![u(2, 0)]));
+        let p1 = spec.add_option(TableOption::new(vec![u(3, 0)]));
+        let solo = spec.add_or_tree(OrTree::new(vec![p0, p1]));
+
+        let main = spec.add_and_or_tree(AndOrTree::new(vec![solo, shared]));
+        let other = spec.add_and_or_tree(AndOrTree::new(vec![shared]));
+        spec.add_class("a", Constraint::AndOr(main), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec.add_class("b", Constraint::AndOr(other), Latency::new(1), OpFlags::none())
+            .unwrap();
+
+        sort_and_or_trees(&mut spec);
+        let order = &spec.and_or_tree(main).or_trees;
+        assert_eq!(order, &vec![shared, solo]);
+    }
+
+    #[test]
+    fn original_order_breaks_remaining_ties() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("r", 2).unwrap();
+        let a = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let b = spec.add_option(TableOption::new(vec![u(1, 0)]));
+        let ta = spec.add_or_tree(OrTree::new(vec![a]));
+        let tb = spec.add_or_tree(OrTree::new(vec![b]));
+        let andor = spec.add_and_or_tree(AndOrTree::new(vec![tb, ta]));
+        spec.add_class("op", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let report = sort_and_or_trees(&mut spec);
+        // Identical keys: stable sort keeps the specified order.
+        assert_eq!(report.trees_reordered, 0);
+        assert_eq!(spec.and_or_tree(andor).or_trees, vec![tb, ta]);
+    }
+
+    #[test]
+    fn sort_is_idempotent() {
+        let (mut spec, ..) = figure6_spec();
+        sort_and_or_trees(&mut spec);
+        let snapshot = spec.clone();
+        let report = sort_and_or_trees(&mut spec);
+        assert_eq!(report.trees_reordered, 0);
+        assert_eq!(spec, snapshot);
+    }
+}

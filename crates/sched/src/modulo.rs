@@ -1,0 +1,607 @@
+//! Iterative modulo scheduling (Rau, MICRO-27 1994 — the paper's
+//! reference \[12\]).
+//!
+//! The paper argues (Section 10) that reservation-table representations,
+//! unlike finite-state automata, support "advanced scheduling techniques,
+//! such as iterative modulo scheduling, that unschedule operations in
+//! order to remove the resource conflicts" — because a kept `Choice` can
+//! be released from the RU map.  This module exercises exactly that:
+//! operations are evicted from the modulo reservation table when a
+//! higher-priority operation is forced into their slot.
+//!
+//! The implementation follows the classic shape: compute MII =
+//! max(ResMII, RecMII); try each candidate II with a budgeted iterative
+//! scheduler; on budget exhaustion increase II.
+
+use mdes_core::{ClassId, CompiledMdes, RuMap};
+
+use crate::depgraph::{DepGraph, Edge};
+use crate::operation::Block;
+use crate::CheckStats;
+
+/// A loop to software-pipeline: a body block plus loop-carried
+/// dependences (`from` in iteration *i* to `to` in iteration
+/// *i + distance*).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoopBlock {
+    /// The loop body.
+    pub body: Block,
+    /// Loop-carried dependences: (from, to, latency, distance ≥ 1).
+    pub carried: Vec<(usize, usize, i32, u32)>,
+}
+
+/// A modulo schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModuloSchedule {
+    /// The achieved initiation interval.
+    pub ii: i32,
+    /// Issue cycle of each operation within the flat schedule.
+    pub cycles: Vec<i32>,
+    /// Selected compiled-option index per OR-tree per operation.
+    pub selections: Vec<Vec<u32>>,
+}
+
+impl ModuloSchedule {
+    /// Verifies dependences (including carried ones at this II) and
+    /// modulo resource usage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn verify(&self, looped: &LoopBlock, mdes: &CompiledMdes) -> Result<(), String> {
+        let graph = DepGraph::build(&looped.body, mdes);
+        for edges in &graph.succs {
+            for edge in edges {
+                if self.cycles[edge.to] < self.cycles[edge.from] + edge.latency {
+                    return Err(format!(
+                        "intra-iteration dependence {}→{} violated",
+                        edge.from, edge.to
+                    ));
+                }
+            }
+        }
+        for &(from, to, latency, distance) in &looped.carried {
+            if self.cycles[to] + self.ii * (distance as i32) < self.cycles[from] + latency {
+                return Err(format!("carried dependence {from}→{to} violated at II {}", self.ii));
+            }
+        }
+        // Modulo resource check.
+        let mut mrt = RuMap::new();
+        for (op, selection) in self.selections.iter().enumerate() {
+            for &opt_idx in selection {
+                let option = &mdes.options()[opt_idx as usize];
+                for check in &option.checks {
+                    let slot = (self.cycles[op] + check.time).rem_euclid(self.ii);
+                    if !mrt.is_free(slot, check.mask) {
+                        return Err(format!(
+                            "operation {op} conflicts in MRT slot {slot} at II {}",
+                            self.ii
+                        ));
+                    }
+                    mrt.reserve(slot, check.mask);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The iterative modulo scheduler.
+#[derive(Copy, Clone, Debug)]
+pub struct ModuloScheduler<'a> {
+    mdes: &'a CompiledMdes,
+    /// Scheduling-attempt budget per operation per II candidate.
+    budget_per_op: usize,
+}
+
+impl<'a> ModuloScheduler<'a> {
+    /// Creates a scheduler with the conventional budget (6 attempts per
+    /// operation per II).
+    pub fn new(mdes: &'a CompiledMdes) -> ModuloScheduler<'a> {
+        ModuloScheduler {
+            mdes,
+            budget_per_op: 6,
+        }
+    }
+
+    /// Overrides the scheduling budget.
+    pub fn with_budget(mut self, budget_per_op: usize) -> ModuloScheduler<'a> {
+        self.budget_per_op = budget_per_op.max(1);
+        self
+    }
+
+    /// Lower bound on II from resource usage: for each resource, the
+    /// number of times it is used per iteration (taking each class's
+    /// highest-priority selection).
+    pub fn res_mii(&self, looped: &LoopBlock) -> i32 {
+        let mut per_resource = std::collections::HashMap::new();
+        for op in &looped.body.ops {
+            for &tree_idx in &self.mdes.class(op.class).or_trees {
+                let tree = &self.mdes.or_trees()[tree_idx as usize];
+                let opt = &self.mdes.options()[tree.options[0] as usize];
+                for check in &opt.checks {
+                    let mut mask = check.mask;
+                    while mask != 0 {
+                        let bit = mask.trailing_zeros();
+                        *per_resource.entry(bit).or_insert(0i32) += 1;
+                        mask &= mask - 1;
+                    }
+                }
+            }
+        }
+        per_resource.values().copied().max().unwrap_or(1).max(1)
+    }
+
+    /// Lower bound on II from recurrences: smallest II for which no
+    /// dependence cycle has positive latency-minus-II×distance weight.
+    pub fn rec_mii(&self, looped: &LoopBlock) -> i32 {
+        let graph = DepGraph::build(&looped.body, self.mdes);
+        let n = looped.body.ops.len();
+        if n == 0 {
+            return 1;
+        }
+        let mut ii = 1i32;
+        'outer: loop {
+            // Bellman-Ford-style longest path with weights lat - ii*dist;
+            // a positive cycle means this II is infeasible.
+            let mut dist = vec![vec![i64::MIN; n]; n];
+            let mut edges: Vec<(usize, usize, i64)> = Vec::new();
+            for edge_list in &graph.succs {
+                for e in edge_list {
+                    edges.push((e.from, e.to, e.latency as i64));
+                }
+            }
+            for &(from, to, latency, distance) in &looped.carried {
+                edges.push((from, to, latency as i64 - ii as i64 * distance as i64));
+            }
+            for &(from, to, w) in &edges {
+                if w > dist[from][to] {
+                    dist[from][to] = w;
+                }
+            }
+
+            // Floyd-Warshall longest paths.
+            for k in 0..n {
+                for i in 0..n {
+                    if dist[i][k] == i64::MIN {
+                        continue;
+                    }
+                    for j in 0..n {
+                        if dist[k][j] == i64::MIN {
+                            continue;
+                        }
+                        let candidate = dist[i][k] + dist[k][j];
+                        if candidate > dist[i][j] {
+                            dist[i][j] = candidate;
+                        }
+                    }
+                }
+            }
+            if (0..n).any(|i| dist[i][i] > 0) {
+                ii += 1;
+                assert!(
+                    ii <= 1 << 16,
+                    "recurrence MII diverged: malformed carried dependences"
+                );
+                continue 'outer;
+            }
+            return ii;
+        }
+    }
+
+    /// Finds a modulo schedule, starting at MII and increasing II until
+    /// the budgeted scheduler succeeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no schedule is found by II = MII + 64 · span, which for a
+    /// valid machine description cannot happen (at a large enough II the
+    /// loop degenerates to a list schedule).
+    pub fn schedule(&self, looped: &LoopBlock, stats: &mut CheckStats) -> ModuloSchedule {
+        let mii = self.res_mii(looped).max(self.rec_mii(looped));
+        let span = (self.mdes.max_check_time() - self.mdes.min_check_time() + 1).max(1);
+        let n = looped.body.ops.len() as i32;
+        let limit = mii + 64 * span + n;
+        for ii in mii..=limit {
+            if let Some(schedule) = self.try_ii(looped, ii, stats) {
+                return schedule;
+            }
+        }
+        panic!("no modulo schedule found up to II {limit}");
+    }
+
+    /// One budgeted scheduling attempt at a fixed II.
+    fn try_ii(&self, looped: &LoopBlock, ii: i32, stats: &mut CheckStats) -> Option<ModuloSchedule> {
+        let body = &looped.body;
+        let n = body.ops.len();
+        if n == 0 {
+            return Some(ModuloSchedule {
+                ii,
+                cycles: Vec::new(),
+                selections: Vec::new(),
+            });
+        }
+        let graph = DepGraph::build(body, self.mdes);
+        let heights = graph.heights();
+
+        let mut cycles: Vec<Option<i32>> = vec![None; n];
+        let mut selections: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut last_forced: Vec<i32> = vec![-1; n];
+        let mut mrt = RuMap::new();
+        let mut budget = self.budget_per_op * n;
+
+        // Worklist in priority order: height desc, program order asc.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(heights[i]), i));
+
+        loop {
+            let Some(&op) = order.iter().find(|&&i| cycles[i].is_none()) else {
+                let cycles: Vec<i32> = cycles.into_iter().map(Option::unwrap).collect();
+                let schedule = ModuloSchedule {
+                    ii,
+                    cycles,
+                    selections,
+                };
+                debug_assert!(schedule.verify(looped, self.mdes).is_ok());
+                return Some(schedule);
+            };
+            if budget == 0 {
+                return None;
+            }
+            budget -= 1;
+
+            let est = self.earliest_start(op, &graph, looped, &cycles, ii);
+
+            // Try every slot in one II window.
+            let mut placed = false;
+            for slot in est..est + ii {
+                stats.begin_attempt();
+                if let Some(selection) = self.try_reserve_modulo(&mut mrt, body.ops[op].class, slot, ii, stats) {
+                    stats.end_attempt(true);
+                    cycles[op] = Some(slot);
+                    selections[op] = selection;
+                    placed = true;
+                    break;
+                }
+                stats.end_attempt(false);
+            }
+
+            if !placed {
+                // Force placement and evict conflicting operations —
+                // the unscheduling that reservation tables make possible.
+                let slot = est.max(last_forced[op] + 1);
+                last_forced[op] = slot;
+                self.force_place(op, slot, ii, body, &mut mrt, &mut cycles, &mut selections);
+                cycles[op] = Some(slot);
+            }
+
+            // Evict scheduled operations whose dependences the new
+            // placement violates; they will be rescheduled.
+            let placed_cycle = cycles[op].unwrap();
+            let mut evict: Vec<usize> = Vec::new();
+            for edge in &graph.succs[op] {
+                if let Some(to_cycle) = cycles[edge.to] {
+                    if to_cycle < placed_cycle + edge.latency {
+                        evict.push(edge.to);
+                    }
+                }
+            }
+            for edge in &graph.preds[op] {
+                if let Some(from_cycle) = cycles[edge.from] {
+                    if placed_cycle < from_cycle + edge.latency {
+                        evict.push(edge.from);
+                    }
+                }
+            }
+            for &(from, to, latency, distance) in &looped.carried {
+                if from == op || to == op {
+                    if let (Some(fc), Some(tc)) = (cycles[from], cycles[to]) {
+                        if tc + ii * (distance as i32) < fc + latency {
+                            evict.push(if from == op { to } else { from });
+                        }
+                    }
+                }
+            }
+            for victim in evict {
+                if victim != op {
+                    self.unschedule(victim, ii, &mut mrt, &mut cycles, &mut selections);
+                }
+            }
+        }
+    }
+
+    /// Earliest start given currently scheduled predecessors (intra and
+    /// carried).
+    fn earliest_start(
+        &self,
+        op: usize,
+        graph: &DepGraph,
+        looped: &LoopBlock,
+        cycles: &[Option<i32>],
+        ii: i32,
+    ) -> i32 {
+        let mut est = 0i32;
+        let consider = |est: &mut i32, edge: &Edge, cycles: &[Option<i32>]| {
+            if let Some(from_cycle) = cycles[edge.from] {
+                *est = (*est).max(from_cycle + edge.latency);
+            }
+        };
+        for edge in &graph.preds[op] {
+            consider(&mut est, edge, cycles);
+        }
+        for &(from, to, latency, distance) in &looped.carried {
+            if to == op {
+                if let Some(from_cycle) = cycles[from] {
+                    est = est.max(from_cycle + latency - ii * (distance as i32));
+                }
+            }
+        }
+        est.max(0)
+    }
+
+    /// Modulo-wrapped variant of the core checker: probes and reserves in
+    /// MRT slots `(time + check.time) mod ii`.
+    fn try_reserve_modulo(
+        &self,
+        mrt: &mut RuMap,
+        class: ClassId,
+        time: i32,
+        ii: i32,
+        stats: &mut CheckStats,
+    ) -> Option<Vec<u32>> {
+        let compiled = self.mdes.class(class);
+        let mut selected: Vec<u32> = Vec::with_capacity(compiled.or_trees.len());
+        for &tree_idx in &compiled.or_trees {
+            let tree = &self.mdes.or_trees()[tree_idx as usize];
+            let mut found = None;
+            'options: for &opt_idx in &tree.options {
+                stats.count_option();
+                let option = &self.mdes.options()[opt_idx as usize];
+                for check in &option.checks {
+                    stats.count_check();
+                    if !mrt.is_free((time + check.time).rem_euclid(ii), check.mask) {
+                        continue 'options;
+                    }
+                }
+                found = Some(opt_idx);
+                break;
+            }
+            match found {
+                Some(opt_idx) => {
+                    self.apply_modulo(mrt, opt_idx, time, ii, true);
+                    selected.push(opt_idx);
+                }
+                None => {
+                    for &opt_idx in &selected {
+                        self.apply_modulo(mrt, opt_idx, time, ii, false);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(selected)
+    }
+
+    fn apply_modulo(&self, mrt: &mut RuMap, opt_idx: u32, time: i32, ii: i32, set: bool) {
+        let option = &self.mdes.options()[opt_idx as usize];
+        for check in &option.checks {
+            let slot = (time + check.time).rem_euclid(ii);
+            if set {
+                mrt.reserve(slot, check.mask);
+            } else {
+                mrt.release(slot, check.mask);
+            }
+        }
+    }
+
+    /// Places `op` at `slot` unconditionally, evicting every scheduled
+    /// operation whose reservations collide with the op's
+    /// highest-priority selection.
+    #[allow(clippy::too_many_arguments)]
+    fn force_place(
+        &self,
+        op: usize,
+        slot: i32,
+        ii: i32,
+        body: &Block,
+        mrt: &mut RuMap,
+        cycles: &mut [Option<i32>],
+        selections: &mut [Vec<u32>],
+    ) {
+        // The forced selection: highest-priority option of every tree.
+        let compiled = self.mdes.class(body.ops[op].class);
+        let forced: Vec<u32> = compiled
+            .or_trees
+            .iter()
+            .map(|&t| self.mdes.or_trees()[t as usize].options[0])
+            .collect();
+
+        // Evict conflicting ops.
+        let conflicts = |selection: &[u32], at: i32| -> bool {
+            for &mine in &forced {
+                let my_option = &self.mdes.options()[mine as usize];
+                for my_check in &my_option.checks {
+                    let my_slot = (slot + my_check.time).rem_euclid(ii);
+                    for &theirs in selection {
+                        let their_option = &self.mdes.options()[theirs as usize];
+                        for their_check in &their_option.checks {
+                            let their_slot = (at + their_check.time).rem_euclid(ii);
+                            if my_slot == their_slot && my_check.mask & their_check.mask != 0 {
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+            false
+        };
+        let victims: Vec<usize> = (0..cycles.len())
+            .filter(|&i| {
+                i != op
+                    && cycles[i].is_some()
+                    && conflicts(&selections[i], cycles[i].unwrap())
+            })
+            .collect();
+        for victim in victims {
+            self.unschedule(victim, ii, mrt, cycles, selections);
+        }
+
+        for &opt_idx in &forced {
+            self.apply_modulo(mrt, opt_idx, slot, ii, true);
+        }
+        selections[op] = forced;
+    }
+
+    fn unschedule(
+        &self,
+        op: usize,
+        ii: i32,
+        mrt: &mut RuMap,
+        cycles: &mut [Option<i32>],
+        selections: &mut [Vec<u32>],
+    ) {
+        if let Some(cycle) = cycles[op].take() {
+            for &opt_idx in &selections[op] {
+                self.apply_modulo(mrt, opt_idx, cycle, ii, false);
+            }
+            selections[op].clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operation::{Op, Reg};
+    use mdes_core::spec::{Constraint, Latency, MdesSpec, OpFlags, OrTree, TableOption};
+    use mdes_core::usage::ResourceUsage;
+    use mdes_core::UsageEncoding;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(mdes_core::ResourceId::from_index(r), t)
+    }
+
+    /// One memory unit + two ALUs, all single-cycle issue.
+    fn pipe_mdes() -> CompiledMdes {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("M").unwrap(); // r0
+        spec.resources_mut().add_indexed("ALU", 2).unwrap(); // r1 r2
+        let m = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let mem = spec.add_or_tree(OrTree::new(vec![m]));
+        let alu_opts: Vec<_> = (1..3)
+            .map(|a| spec.add_option(TableOption::new(vec![u(a, 0)])))
+            .collect();
+        let alu = spec.add_or_tree(OrTree::new(alu_opts));
+        spec.add_class(
+            "load",
+            Constraint::Or(mem),
+            Latency::with_mem(2, 1),
+            OpFlags::load(),
+        )
+        .unwrap();
+        spec.add_class("alu", Constraint::Or(alu), Latency::new(1), OpFlags::none())
+            .unwrap();
+        CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap()
+    }
+
+    fn simple_loop(mdes: &CompiledMdes, loads: usize, alus: usize) -> LoopBlock {
+        let load = mdes.class_by_name("load").unwrap();
+        let alu = mdes.class_by_name("alu").unwrap();
+        let mut body = Block::new();
+        for i in 0..loads {
+            body.push(Op::new(load, vec![Reg(i as u32)], vec![Reg(100)]));
+        }
+        for i in 0..alus {
+            body.push(Op::new(
+                alu,
+                vec![Reg(50 + i as u32)],
+                vec![Reg((i % loads.max(1)) as u32)],
+            ));
+        }
+        LoopBlock {
+            body,
+            carried: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn res_mii_is_driven_by_the_busiest_resource() {
+        let mdes = pipe_mdes();
+        let scheduler = ModuloScheduler::new(&mdes);
+        // 3 loads on one memory unit → ResMII 3; 4 ALU ops on two ALUs
+        // contribute 4 uses of ALU[0] first option... ResMII counts the
+        // first option, so ALU[1] is never counted: 4 loads of ALU[0].
+        let looped = simple_loop(&mdes, 3, 2);
+        assert!(scheduler.res_mii(&looped) >= 3);
+    }
+
+    #[test]
+    fn achieves_res_mii_on_resource_bound_loop() {
+        let mdes = pipe_mdes();
+        let scheduler = ModuloScheduler::new(&mdes);
+        let looped = simple_loop(&mdes, 3, 0);
+        let mut stats = CheckStats::new();
+        let schedule = scheduler.schedule(&looped, &mut stats);
+        assert_eq!(schedule.ii, 3);
+        schedule.verify(&looped, &mdes).unwrap();
+    }
+
+    #[test]
+    fn rec_mii_accounts_for_carried_recurrences() {
+        let mdes = pipe_mdes();
+        let alu = mdes.class_by_name("alu").unwrap();
+        let mut body = Block::new();
+        // r1 = r1 + 1 chain of 3 ops, carried back with distance 1.
+        body.push(Op::new(alu, vec![Reg(1)], vec![Reg(0)]));
+        body.push(Op::new(alu, vec![Reg(2)], vec![Reg(1)]));
+        body.push(Op::new(alu, vec![Reg(3)], vec![Reg(2)]));
+        let looped = LoopBlock {
+            body,
+            carried: vec![(2, 0, 1, 1)], // op2 feeds op0 next iteration
+        };
+        let scheduler = ModuloScheduler::new(&mdes);
+        // Cycle: 0→1→2 (lat 1 each) then 2→0 carried lat 1 = total 3 over
+        // distance 1 → RecMII 3.
+        assert_eq!(scheduler.rec_mii(&looped), 3);
+        let mut stats = CheckStats::new();
+        let schedule = scheduler.schedule(&looped, &mut stats);
+        assert_eq!(schedule.ii, 3);
+        schedule.verify(&looped, &mdes).unwrap();
+    }
+
+    #[test]
+    fn contended_loop_forces_evictions_and_still_verifies() {
+        let mdes = pipe_mdes();
+        let scheduler = ModuloScheduler::new(&mdes).with_budget(8);
+        // Heavy contention: 4 loads + 4 dependent ALUs.
+        let looped = simple_loop(&mdes, 4, 4);
+        let mut stats = CheckStats::new();
+        let schedule = scheduler.schedule(&looped, &mut stats);
+        assert!(schedule.ii >= 4, "memory unit bounds II at 4");
+        schedule.verify(&looped, &mdes).unwrap();
+    }
+
+    #[test]
+    fn empty_loop_schedules_at_ii_one() {
+        let mdes = pipe_mdes();
+        let scheduler = ModuloScheduler::new(&mdes);
+        let looped = LoopBlock::default();
+        let mut stats = CheckStats::new();
+        let schedule = scheduler.schedule(&looped, &mut stats);
+        assert_eq!(schedule.ii, 1);
+        assert!(schedule.cycles.is_empty());
+    }
+
+    #[test]
+    fn verify_rejects_broken_modulo_schedules() {
+        let mdes = pipe_mdes();
+        let scheduler = ModuloScheduler::new(&mdes);
+        let looped = simple_loop(&mdes, 2, 0);
+        let mut stats = CheckStats::new();
+        let mut schedule = scheduler.schedule(&looped, &mut stats);
+        schedule.verify(&looped, &mdes).unwrap();
+        // Collapse both loads into one MRT slot.
+        schedule.cycles[1] = schedule.cycles[0];
+        assert!(schedule.verify(&looped, &mdes).is_err());
+    }
+}

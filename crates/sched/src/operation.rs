@@ -1,0 +1,114 @@
+//! The operation and basic-block model the schedulers consume.
+//!
+//! An operation is deliberately minimal: an MDES class (which carries the
+//! resource constraint, latency and semantic flags), destination and
+//! source registers, and an optional mnemonic for diagnostics.  Everything
+//! the scheduler needs to know about *how* the operation executes lives in
+//! the machine description — that is the point of the MDES model.
+
+use mdes_core::ClassId;
+
+/// A virtual or architectural register number.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(pub u32);
+
+/// One operation of a basic block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Op {
+    /// MDES operation class.
+    pub class: ClassId,
+    /// Destination registers (written).
+    pub dests: Vec<Reg>,
+    /// Source registers (read).
+    pub srcs: Vec<Reg>,
+    /// Mnemonic for diagnostics (does not affect scheduling).
+    pub mnemonic: String,
+}
+
+impl Op {
+    /// Creates an operation.
+    pub fn new(class: ClassId, dests: Vec<Reg>, srcs: Vec<Reg>) -> Op {
+        Op {
+            class,
+            dests,
+            srcs,
+            mnemonic: String::new(),
+        }
+    }
+
+    /// Attaches a mnemonic for diagnostics.
+    pub fn with_mnemonic(mut self, mnemonic: impl Into<String>) -> Op {
+        self.mnemonic = mnemonic.into();
+        self
+    }
+}
+
+/// A basic block: operations in original program order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Block {
+    /// Operations in source order.
+    pub ops: Vec<Op>,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new() -> Block {
+        Block::default()
+    }
+
+    /// Appends an operation and returns its index.
+    pub fn push(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the block has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl FromIterator<Op> for Block {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Block {
+        Block {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_push_returns_indices_in_order() {
+        let class = ClassId::from_index(0);
+        let mut block = Block::new();
+        assert!(block.is_empty());
+        let a = block.push(Op::new(class, vec![Reg(1)], vec![]));
+        let b = block.push(Op::new(class, vec![Reg(2)], vec![Reg(1)]));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(block.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_collects_ops() {
+        let class = ClassId::from_index(0);
+        let block: Block = (0..3).map(|i| Op::new(class, vec![Reg(i)], vec![])).collect();
+        assert_eq!(block.len(), 3);
+    }
+
+    #[test]
+    fn mnemonic_is_cosmetic() {
+        let class = ClassId::from_index(0);
+        let plain = Op::new(class, vec![], vec![Reg(0)]);
+        let named = plain.clone().with_mnemonic("ld");
+        assert_eq!(named.mnemonic, "ld");
+        assert_eq!(named.class, plain.class);
+    }
+}

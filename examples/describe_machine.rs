@@ -1,0 +1,69 @@
+//! Inspect one of the bundled machine descriptions: per-class option
+//! counts (the paper's Tables 1–4 "Number of Options" column), the
+//! constraint trees of a chosen class rendered as reservation tables, and
+//! the memory footprint before/after the optimization pipeline.
+//!
+//! Run with: `cargo run --example describe_machine -- SuperSPARC load`
+
+use mdes::core::size::measure;
+use mdes::core::{pretty, CompiledMdes, UsageEncoding};
+use mdes::machines::Machine;
+use mdes::opt::pipeline::{optimize, PipelineConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let machine_name = args.first().map(String::as_str).unwrap_or("SuperSPARC");
+    let class_name = args.get(1).map(String::as_str).unwrap_or("load");
+
+    let machine = Machine::all()
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(machine_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown machine `{machine_name}` (PA7100, Pentium, SuperSPARC, K5)");
+            std::process::exit(2);
+        });
+
+    let spec = machine.spec();
+    println!("=== {} ===", machine.name());
+    println!(
+        "{} resources, {} options, {} OR-trees, {} AND/OR-trees, {} classes\n",
+        spec.resources().len(),
+        spec.num_options(),
+        spec.num_or_trees(),
+        spec.num_and_or_trees(),
+        spec.num_classes()
+    );
+
+    println!("class                 options");
+    println!("---------------------+--------");
+    for id in spec.class_ids() {
+        println!(
+            "{:<21}| {:>6}",
+            spec.class(id).name,
+            spec.class_option_count(id)
+        );
+    }
+
+    println!("\nconstraint of class `{class_name}`:");
+    match pretty::class_constraint(&spec, class_name) {
+        Some(rendered) => println!("{rendered}"),
+        None => println!("  (class `{class_name}` not found)"),
+    }
+
+    // Memory footprint before and after optimization.
+    let original = CompiledMdes::compile(&spec, UsageEncoding::Scalar).unwrap();
+    let mut optimized_spec = spec.clone();
+    optimize(&mut optimized_spec, &PipelineConfig::full());
+    let optimized = CompiledMdes::compile(&optimized_spec, UsageEncoding::BitVector).unwrap();
+    let before = measure(&original);
+    let after = measure(&optimized);
+    println!(
+        "memory: {} bytes as authored (scalar) -> {} bytes fully optimized (bit-vector)",
+        before.total(),
+        after.total()
+    );
+    println!(
+        "options in pool: {} -> {}; RU-map probes stored: {} -> {}",
+        before.num_options, after.num_options, before.num_checks, after.num_checks
+    );
+}

@@ -1,0 +1,94 @@
+//! Walk the MDES transformation pipeline stage by stage on one machine,
+//! showing what each of the paper's transformations contributes to the
+//! size of the low-level representation.
+//!
+//! Run with: `cargo run --example optimize_pipeline -- K5`
+
+use mdes::core::size::measure;
+use mdes::core::{CompiledMdes, UsageEncoding};
+use mdes::machines::Machine;
+use mdes::opt::timeshift::Direction;
+
+fn main() {
+    let machine_name = std::env::args().nth(1).unwrap_or_else(|| "K5".to_string());
+    let machine = Machine::all()
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(&machine_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown machine `{machine_name}` (PA7100, Pentium, SuperSPARC, K5)");
+            std::process::exit(2);
+        });
+
+    let mut spec = machine.spec();
+    println!("=== {} — transformation pipeline ===\n", machine.name());
+
+    let snapshot = |label: &str, spec: &mdes::core::MdesSpec, encoding: UsageEncoding| {
+        let compiled = CompiledMdes::compile(spec, encoding).unwrap();
+        let memory = measure(&compiled);
+        println!(
+            "{label:<42} {:>5} options {:>7} bytes ({} probes stored)",
+            memory.num_options,
+            memory.total(),
+            memory.num_checks
+        );
+    };
+
+    snapshot("as authored (scalar encoding)", &spec, UsageEncoding::Scalar);
+
+    let redundancy = mdes::opt::eliminate_redundancy(&mut spec);
+    snapshot(
+        &format!(
+            "+ redundancy elimination ({} merged/swept)",
+            redundancy.total()
+        ),
+        &spec,
+        UsageEncoding::Scalar,
+    );
+
+    let dominance = mdes::opt::eliminate_dominated_options(&mut spec);
+    snapshot(
+        &format!("+ dominated options ({} removed)", dominance.options_removed),
+        &spec,
+        UsageEncoding::Scalar,
+    );
+
+    snapshot("+ bit-vector encoding", &spec, UsageEncoding::BitVector);
+
+    let shift = mdes::opt::shift_usage_times(&mut spec, Direction::Forward);
+    snapshot(
+        &format!(
+            "+ usage-time shifting ({} resources moved)",
+            shift.resources_shifted()
+        ),
+        &spec,
+        UsageEncoding::BitVector,
+    );
+
+    let sort = mdes::opt::sort_checks_zero_first(&mut spec, Direction::Forward);
+    snapshot(
+        &format!("+ zero-first check order ({} reordered)", sort.options_reordered),
+        &spec,
+        UsageEncoding::BitVector,
+    );
+
+    let tree_sort = mdes::opt::sort_and_or_trees(&mut spec);
+    snapshot(
+        &format!(
+            "+ AND/OR conflict-detect order ({} trees)",
+            tree_sort.trees_reordered
+        ),
+        &spec,
+        UsageEncoding::BitVector,
+    );
+
+    let factor = mdes::opt::factor_common_usages(&mut spec);
+    mdes::opt::eliminate_redundancy(&mut spec);
+    snapshot(
+        &format!(
+            "+ common-usage factoring ({} merged, {} new trees)",
+            factor.usages_merged, factor.trees_created
+        ),
+        &spec,
+        UsageEncoding::BitVector,
+    );
+}

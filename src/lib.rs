@@ -1,0 +1,22 @@
+//! Umbrella crate for the MDES reproduction: re-exports every subsystem so
+//! examples and downstream users can depend on one crate.
+//!
+//! See the individual crates for full documentation:
+//!
+//! * [`core`] — representations, checker, RU map, stats, memory model;
+//! * [`lang`] — the high-level machine-description language (HMDL);
+//! * [`opt`] — the MDES transformation pipeline;
+//! * [`machines`] — the four processor descriptions from the paper;
+//! * [`sched`] — dependence graphs and the list / modulo schedulers;
+//! * [`workload`] — synthetic SPEC CINT92-equivalent workload generators;
+//! * [`automata`] — the finite-state-automaton baseline.
+
+#![forbid(unsafe_code)]
+
+pub use mdes_automata as automata;
+pub use mdes_core as core;
+pub use mdes_lang as lang;
+pub use mdes_machines as machines;
+pub use mdes_opt as opt;
+pub use mdes_sched as sched;
+pub use mdes_workload as workload;

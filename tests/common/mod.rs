@@ -1,0 +1,136 @@
+//! Shared helpers and proptest strategies for the integration tests.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use mdes::core::spec::{AndOrTree, Constraint, Latency, MdesSpec, OpFlags, OrTree, TableOption};
+use mdes::core::{ResourceId, ResourceUsage};
+use mdes::sched::{Block, Op, Reg};
+use proptest::prelude::*;
+
+/// Blueprint for one resource group of a generated machine: the options
+/// of the group's OR-tree, each a list of (resource-within-group, time).
+pub type GroupPlan = Vec<Vec<(usize, i32)>>;
+
+/// Blueprint for a whole machine: groups plus classes (set of group
+/// indices, latency).
+#[derive(Clone, Debug)]
+pub struct SpecPlan {
+    /// Resources per group.
+    pub group_sizes: Vec<usize>,
+    /// OR-tree options per group.
+    pub groups: Vec<GroupPlan>,
+    /// Classes: which groups each class requires, and its latency.
+    pub classes: Vec<(Vec<usize>, i32)>,
+}
+
+/// Strategy for machine blueprints whose AND/OR sub-trees are
+/// resource-disjoint (each sub-tree draws from its own group), the
+/// condition under which greedy AND/OR checking equals the expanded
+/// cross-product OR-tree.
+pub fn arb_spec_plan() -> impl Strategy<Value = SpecPlan> {
+    // 2..=4 groups of 1..=3 resources.
+    let group_sizes = prop::collection::vec(1usize..=3, 2..=4);
+    group_sizes.prop_flat_map(|sizes| {
+        let groups: Vec<_> = sizes
+            .iter()
+            .map(|&size| {
+                // 1..=3 options per group; each option 1..=2 usages on the
+                // group's resources at times -2..=3.
+                prop::collection::vec(
+                    prop::collection::vec((0..size, -2i32..=3), 1..=2),
+                    1..=3,
+                )
+            })
+            .collect();
+        let num_groups = sizes.len();
+        let classes = prop::collection::vec(
+            (
+                prop::collection::btree_set(0..num_groups, 1..=num_groups.min(3)),
+                1i32..=3,
+            ),
+            1..=3,
+        );
+        (Just(sizes), groups, classes).prop_map(|(group_sizes, groups, classes)| SpecPlan {
+            group_sizes,
+            groups,
+            classes: classes
+                .into_iter()
+                .map(|(set, lat)| (set.into_iter().collect(), lat))
+                .collect(),
+        })
+    })
+}
+
+/// Materializes a blueprint into a validated spec.
+pub fn build_spec(plan: &SpecPlan) -> MdesSpec {
+    let mut spec = MdesSpec::new();
+    let mut group_resources: Vec<Vec<ResourceId>> = Vec::new();
+    for (g, &size) in plan.group_sizes.iter().enumerate() {
+        group_resources.push(
+            spec.resources_mut()
+                .add_indexed(&format!("g{g}"), size)
+                .expect("group resources"),
+        );
+    }
+    let mut group_trees = Vec::new();
+    for (g, options) in plan.groups.iter().enumerate() {
+        let ids: Vec<_> = options
+            .iter()
+            .map(|usages| {
+                let mut list: Vec<ResourceUsage> = usages
+                    .iter()
+                    .map(|&(r, t)| ResourceUsage::new(group_resources[g][r], t))
+                    .collect();
+                // Duplicate (resource, time) pairs within one option are
+                // legal but make expansion/minimization comparisons
+                // noisy; drop duplicates while preserving order.
+                let mut seen = Vec::new();
+                list.retain(|u| {
+                    if seen.contains(u) {
+                        false
+                    } else {
+                        seen.push(*u);
+                        true
+                    }
+                });
+                spec.add_option(TableOption::new(list))
+            })
+            .collect();
+        group_trees.push(spec.add_or_tree(OrTree::named(format!("t{g}"), ids)));
+    }
+    for (c, (groups, latency)) in plan.classes.iter().enumerate() {
+        let trees: Vec<_> = groups.iter().map(|&g| group_trees[g]).collect();
+        let constraint = if trees.len() == 1 {
+            Constraint::Or(trees[0])
+        } else {
+            let andor = spec.add_and_or_tree(AndOrTree::named(format!("a{c}"), trees));
+            Constraint::AndOr(andor)
+        };
+        spec.add_class(format!("c{c}"), constraint, Latency::new(*latency), OpFlags::none())
+            .expect("unique class names");
+    }
+    spec.validate().expect("generated spec is valid");
+    spec
+}
+
+/// Strategy for a small block over `num_classes` classes: per op a class
+/// index, a destination register and two source registers from a pool of
+/// six.
+pub fn arb_block_plan(num_classes: usize) -> impl Strategy<Value = Vec<(usize, u32, u32, u32)>> {
+    prop::collection::vec(
+        (0..num_classes, 0u32..6, 0u32..6, 0u32..6),
+        1..=12,
+    )
+}
+
+/// Materializes a block blueprint.
+pub fn build_block(plan: &[(usize, u32, u32, u32)]) -> Block {
+    plan.iter()
+        .map(|&(class, dest, s1, s2)| {
+            Op::new(
+                mdes::core::ClassId::from_index(class),
+                vec![Reg(dest)],
+                vec![Reg(s1), Reg(s2)],
+            )
+        })
+        .collect()
+}

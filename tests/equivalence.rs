@@ -1,0 +1,113 @@
+//! The paper's central correctness invariant (Section 4): "the exact same
+//! schedule is produced in each case, since all the execution constraints
+//! described in the machine descriptions are being preserved" — across
+//! representations (OR vs AND/OR), transformation stages, and usage
+//! encodings, on all four bundled machines *and* on randomly generated
+//! machines.
+
+mod common;
+
+use common::{arb_block_plan, arb_spec_plan, build_block, build_spec};
+use mdes::core::{CheckStats, CompiledMdes, UsageEncoding};
+use mdes::machines::Machine;
+use mdes::opt::expand::expand_to_or;
+use mdes::opt::pipeline::{optimize, PipelineConfig};
+use mdes::sched::ListScheduler;
+use mdes::workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
+
+/// Schedules a whole workload and returns all issue cycles.
+fn schedule_all(
+    spec: &mdes::core::MdesSpec,
+    workload: &mdes::workload::Workload,
+    encoding: UsageEncoding,
+) -> Vec<i32> {
+    let compiled = CompiledMdes::compile(spec, encoding).expect("compiles");
+    let scheduler = ListScheduler::new(&compiled);
+    let mut stats = CheckStats::new();
+    let mut cycles = Vec::new();
+    for block in &workload.blocks {
+        cycles.extend(scheduler.schedule(block, &mut stats).cycles());
+    }
+    cycles
+}
+
+#[test]
+fn bundled_machines_schedule_identically_across_all_configurations() {
+    for machine in Machine::all() {
+        let authored = machine.spec();
+        let config = WorkloadConfig::paper_default(machine).with_total_ops(1_200);
+        let workload = generate(machine, &authored, &config);
+
+        let reference = schedule_all(&authored, &workload, UsageEncoding::Scalar);
+
+        let mut variants: Vec<(String, mdes::core::MdesSpec)> = Vec::new();
+        variants.push(("expanded OR".into(), expand_to_or(&authored).0));
+        for (label, cfg) in [
+            ("section 5", PipelineConfig::section5()),
+            ("section 7", PipelineConfig::through_section7()),
+            ("full", PipelineConfig::full()),
+        ] {
+            let mut spec = authored.clone();
+            optimize(&mut spec, &cfg);
+            variants.push((format!("AND/OR {label}"), spec));
+
+            let mut or_spec = expand_to_or(&authored).0;
+            optimize(&mut or_spec, &cfg);
+            variants.push((format!("OR {label}"), or_spec));
+        }
+
+        for (label, spec) in &variants {
+            for encoding in [UsageEncoding::Scalar, UsageEncoding::BitVector] {
+                let cycles = schedule_all(spec, &workload, encoding);
+                assert_eq!(
+                    cycles,
+                    reference,
+                    "{}: `{label}` with {encoding:?} diverged",
+                    machine.name()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random resource-disjoint machines: greedy AND/OR checking equals
+    /// the expanded cross-product OR-tree, before and after the full
+    /// pipeline, under both encodings.
+    #[test]
+    fn random_machines_schedule_identically(
+        plan in arb_spec_plan(),
+        block_seed in arb_block_plan(8),
+    ) {
+        let spec = build_spec(&plan);
+        let block_plan: Vec<_> = block_seed
+            .into_iter()
+            .map(|(c, d, s1, s2)| (c % plan.classes.len(), d, s1, s2))
+            .collect();
+        let block = build_block(&block_plan);
+
+        let schedule = |spec: &mdes::core::MdesSpec, encoding: UsageEncoding| -> Vec<i32> {
+            let compiled = CompiledMdes::compile(spec, encoding).unwrap();
+            let mut stats = CheckStats::new();
+            ListScheduler::new(&compiled).schedule(&block, &mut stats).cycles()
+        };
+
+        let reference = schedule(&spec, UsageEncoding::Scalar);
+
+        let (expanded, _) = expand_to_or(&spec);
+        prop_assert_eq!(&schedule(&expanded, UsageEncoding::Scalar), &reference);
+        prop_assert_eq!(&schedule(&expanded, UsageEncoding::BitVector), &reference);
+
+        let mut optimized = spec.clone();
+        optimize(&mut optimized, &PipelineConfig::full());
+        prop_assert_eq!(&schedule(&optimized, UsageEncoding::Scalar), &reference);
+        prop_assert_eq!(&schedule(&optimized, UsageEncoding::BitVector), &reference);
+
+        let mut optimized_or = expanded.clone();
+        optimize(&mut optimized_or, &PipelineConfig::full());
+        prop_assert_eq!(&schedule(&optimized_or, UsageEncoding::BitVector), &reference);
+    }
+}

@@ -1,0 +1,70 @@
+//! HMDL round-trip tests: printing a spec and re-parsing it must yield a
+//! structurally identical spec — for the bundled machine descriptions and
+//! for randomly generated machines.
+
+mod common;
+
+use common::{arb_spec_plan, build_spec};
+use mdes::lang::{compile, print, structurally_equal};
+use mdes::machines::Machine;
+use proptest::prelude::*;
+
+#[test]
+fn bundled_machines_round_trip() {
+    for machine in Machine::all() {
+        let spec = machine.spec();
+        let printed = print(&spec).expect("bundled specs are printable");
+        let reparsed = compile(&printed)
+            .unwrap_or_else(|e| panic!("{}: {}", machine.name(), e.render(&printed)));
+        assert!(
+            structurally_equal(&spec, &reparsed),
+            "{} round trip changed the description",
+            machine.name()
+        );
+    }
+}
+
+#[test]
+fn bundled_machines_round_trip_is_a_fixpoint() {
+    // print(parse(print(spec))) == print(spec): the flat form is stable.
+    for machine in Machine::all() {
+        let spec = machine.spec();
+        let first = print(&spec).unwrap();
+        let second = print(&compile(&first).unwrap()).unwrap();
+        assert_eq!(first, second, "{} printing is not a fixpoint", machine.name());
+    }
+}
+
+#[test]
+fn optimized_machines_still_round_trip() {
+    // Transformed specs (factored trees, shifted times) must also be
+    // expressible in the language.
+    for machine in Machine::all() {
+        let mut spec = machine.spec();
+        mdes::opt::optimize(&mut spec, &mdes::opt::PipelineConfig::full());
+        let printed = print(&spec).expect("optimized specs are printable");
+        let reparsed = compile(&printed).expect("optimized specs reparse");
+        assert!(structurally_equal(&spec, &reparsed), "{}", machine.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_specs_round_trip(plan in arb_spec_plan()) {
+        let spec = build_spec(&plan);
+        let printed = print(&spec).expect("generated specs are printable");
+        let reparsed = compile(&printed).expect("generated specs reparse");
+        prop_assert!(structurally_equal(&spec, &reparsed), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn random_specs_survive_optimize_then_round_trip(plan in arb_spec_plan()) {
+        let mut spec = build_spec(&plan);
+        mdes::opt::optimize(&mut spec, &mdes::opt::PipelineConfig::full());
+        let printed = print(&spec).expect("printable");
+        let reparsed = compile(&printed).expect("reparses");
+        prop_assert!(structurally_equal(&spec, &reparsed));
+    }
+}

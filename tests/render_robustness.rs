@@ -1,0 +1,83 @@
+//! Rendering robustness: the pretty-printer, DOT exporter and occupancy
+//! chart must handle arbitrary machines and schedules without panicking,
+//! and must mention everything they claim to render.
+
+mod common;
+
+use common::{arb_block_plan, arb_spec_plan, build_block, build_spec};
+use mdes::core::spec::Constraint;
+use mdes::core::{pretty, CheckStats, CompiledMdes, UsageEncoding};
+use mdes::sched::{occupancy_chart, resource_utilization, ListScheduler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pretty_renders_every_class_of_random_machines(plan in arb_spec_plan()) {
+        let spec = build_spec(&plan);
+        for id in spec.class_ids() {
+            let name = spec.class(id).name.clone();
+            let text = pretty::class_constraint(&spec, &name).unwrap();
+            let header = format!("class {name}:");
+            prop_assert!(text.contains(&header));
+            // Every option of the constraint is numbered.
+            match spec.class(id).constraint {
+                Constraint::Or(or) => {
+                    let count = spec.or_tree(or).options.len();
+                    let label = format!("Option {count}:");
+                    prop_assert!(text.contains(&label));
+                }
+                Constraint::AndOr(andor) => {
+                    let subtrees = spec.and_or_tree(andor).or_trees.len();
+                    let label = format!("({subtrees} sub-OR-trees)");
+                    prop_assert!(text.contains(&label), "{}", text);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_export_is_well_formed_for_random_machines(plan in arb_spec_plan()) {
+        let spec = build_spec(&plan);
+        for id in spec.class_ids() {
+            let name = spec.class(id).name.clone();
+            let dot = mdes::core::dot::class_constraint(&spec, &name).unwrap();
+            prop_assert!(dot.starts_with("digraph"));
+            let closed = dot.trim_end().ends_with('}');
+            prop_assert!(closed);
+            // Balanced braces and quotes.
+            prop_assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+            prop_assert_eq!(dot.matches('"').count() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn occupancy_chart_and_utilization_agree(
+        plan in arb_spec_plan(),
+        block_seed in arb_block_plan(8),
+    ) {
+        let spec = build_spec(&plan);
+        let block_plan: Vec<_> = block_seed
+            .into_iter()
+            .map(|(c, d, s1, s2)| (c % plan.classes.len(), d, s1, s2))
+            .collect();
+        let block = build_block(&block_plan);
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let mut stats = CheckStats::new();
+        let schedule = ListScheduler::new(&compiled).schedule(&block, &mut stats);
+
+        let chart = occupancy_chart(&spec, &compiled, &block, &schedule);
+        let util = resource_utilization(&compiled, &schedule);
+        prop_assert_eq!(util.len(), spec.resources().len());
+
+        // A resource appears as a chart row iff its utilization is
+        // non-zero, and all utilizations are valid fractions.
+        for (id, name) in spec.resources().iter() {
+            let in_chart = chart.lines().any(|l| l.trim_start().starts_with(&format!("{name} |")));
+            let used = util[id.index()] > 0.0;
+            prop_assert_eq!(in_chart, used, "resource {}", name);
+            prop_assert!((0.0..=1.0).contains(&util[id.index()]));
+        }
+    }
+}

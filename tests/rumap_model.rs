@@ -1,0 +1,91 @@
+//! Model-based property test: the RU map must behave exactly like a set
+//! of (cycle, resource) pairs under any interleaving of reserve, release
+//! and query operations.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use mdes::core::RuMap;
+
+#[derive(Clone, Debug)]
+enum Action {
+    Reserve(i32, u64),
+    Release(i32, u64),
+    Query(i32, u64),
+    Clear,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    let cycle = -20i32..40;
+    let mask = 0u64..(1 << 12);
+    prop_oneof![
+        4 => (cycle.clone(), mask.clone()).prop_map(|(c, m)| Action::Reserve(c, m)),
+        3 => (cycle.clone(), mask.clone()).prop_map(|(c, m)| Action::Release(c, m)),
+        4 => (cycle, mask).prop_map(|(c, m)| Action::Query(c, m)),
+        1 => Just(Action::Clear),
+    ]
+}
+
+/// Reference model: explicit set of reserved (cycle, bit) pairs.
+#[derive(Default)]
+struct Model {
+    reserved: HashSet<(i32, u32)>,
+}
+
+impl Model {
+    fn apply(&mut self, action: &Action) {
+        match *action {
+            Action::Reserve(cycle, mask) => {
+                for bit in 0..64 {
+                    if mask & (1 << bit) != 0 {
+                        self.reserved.insert((cycle, bit));
+                    }
+                }
+            }
+            Action::Release(cycle, mask) => {
+                for bit in 0..64 {
+                    if mask & (1 << bit) != 0 {
+                        self.reserved.remove(&(cycle, bit));
+                    }
+                }
+            }
+            Action::Clear => self.reserved.clear(),
+            Action::Query(..) => {}
+        }
+    }
+
+    fn is_free(&self, cycle: i32, mask: u64) -> bool {
+        (0..64).all(|bit| mask & (1 << bit) == 0 || !self.reserved.contains(&(cycle, bit)))
+    }
+
+    fn population(&self) -> usize {
+        self.reserved.len()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rumap_matches_the_set_model(actions in prop::collection::vec(arb_action(), 1..80)) {
+        let mut ru = RuMap::new();
+        let mut model = Model::default();
+        for action in &actions {
+            match *action {
+                Action::Reserve(cycle, mask) => ru.reserve(cycle, mask),
+                Action::Release(cycle, mask) => ru.release(cycle, mask),
+                Action::Clear => ru.clear(),
+                Action::Query(cycle, mask) => {
+                    prop_assert_eq!(ru.is_free(cycle, mask), model.is_free(cycle, mask));
+                }
+            }
+            model.apply(action);
+            prop_assert_eq!(ru.population(), model.population());
+        }
+        // Min/max reserved cycles agree with the model.
+        let model_min = model.reserved.iter().map(|&(c, _)| c).min();
+        let model_max = model.reserved.iter().map(|&(c, _)| c).max();
+        prop_assert_eq!(ru.min_reserved_cycle(), model_min);
+        prop_assert_eq!(ru.max_reserved_cycle(), model_max);
+    }
+}
