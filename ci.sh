@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 gate: build, test, and formatting. Run from the repo root.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo fmt --check

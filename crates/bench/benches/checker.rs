@@ -33,10 +33,30 @@ fn bench_checker(c: &mut Criterion) {
     let mut group = c.benchmark_group("checker");
     for machine in [Machine::SuperSparc, Machine::K5] {
         for (label, rep, stage, encoding) in [
-            ("or-unopt-scalar", Rep::OrTree, Stage::Original, UsageEncoding::Scalar),
-            ("or-full-bitvec", Rep::OrTree, Stage::Full, UsageEncoding::BitVector),
-            ("andor-unopt-scalar", Rep::AndOr, Stage::Original, UsageEncoding::Scalar),
-            ("andor-full-bitvec", Rep::AndOr, Stage::Full, UsageEncoding::BitVector),
+            (
+                "or-unopt-scalar",
+                Rep::OrTree,
+                Stage::Original,
+                UsageEncoding::Scalar,
+            ),
+            (
+                "or-full-bitvec",
+                Rep::OrTree,
+                Stage::Full,
+                UsageEncoding::BitVector,
+            ),
+            (
+                "andor-unopt-scalar",
+                Rep::AndOr,
+                Stage::Original,
+                UsageEncoding::Scalar,
+            ),
+            (
+                "andor-full-bitvec",
+                Rep::AndOr,
+                Stage::Full,
+                UsageEncoding::BitVector,
+            ),
         ] {
             let spec = prepare_spec(machine, rep, stage);
             let compiled = CompiledMdes::compile(&spec, encoding).unwrap();

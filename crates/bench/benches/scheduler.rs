@@ -16,9 +16,24 @@ fn bench_scheduler(c: &mut Criterion) {
     let mut group = c.benchmark_group("scheduler");
     for machine in Machine::all() {
         for (label, rep, stage, encoding) in [
-            ("or-unopt", Rep::OrTree, Stage::Original, UsageEncoding::Scalar),
-            ("or-full", Rep::OrTree, Stage::Full, UsageEncoding::BitVector),
-            ("andor-full", Rep::AndOr, Stage::Full, UsageEncoding::BitVector),
+            (
+                "or-unopt",
+                Rep::OrTree,
+                Stage::Original,
+                UsageEncoding::Scalar,
+            ),
+            (
+                "or-full",
+                Rep::OrTree,
+                Stage::Full,
+                UsageEncoding::BitVector,
+            ),
+            (
+                "andor-full",
+                Rep::AndOr,
+                Stage::Full,
+                UsageEncoding::BitVector,
+            ),
         ] {
             let spec = prepare_spec(machine, rep, stage);
             let workload = generate(machine, &spec, &default_workload(machine, OPS));

@@ -4,18 +4,27 @@
 //!
 //! ```text
 //! paper_tables [all|t1|t2|...|t15|ablation-fsa|ablation-ed] [--ops N]
+//!              [--metrics <path>]
 //! ```
 //!
 //! `--ops` sets the synthetic-workload size per machine (default 40000;
 //! the paper schedules 201k–282k static operations per platform).
+//!
+//! `--metrics` additionally runs the full instrumented pipeline on every
+//! machine and writes the per-stage telemetry breakdown (the same JSON
+//! schema as `mdes --metrics`) alongside the table text.
 
+use mdes_bench::experiment::{self, Rep, Stage};
 use mdes_bench::tables::{self, TableConfig};
+use mdes_core::UsageEncoding;
 use mdes_machines::Machine;
+use mdes_telemetry::Telemetry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut selection: Vec<String> = Vec::new();
     let mut config = TableConfig::default();
+    let mut metrics_path: Option<String> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -27,9 +36,15 @@ fn main() {
                     .unwrap_or_else(|| die("--ops requires a positive integer"));
                 config.total_ops = value;
             }
+            "--metrics" => {
+                let path = iter
+                    .next()
+                    .unwrap_or_else(|| die("--metrics requires a path"));
+                metrics_path = Some(path.clone());
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: paper_tables [all|t1..t15|ablation-fsa|ablation-ed|ablation-accuracy] [--ops N]"
+                    "usage: paper_tables [all|t1..t15|ablation-fsa|ablation-ed|ablation-accuracy] [--ops N] [--metrics <path>]"
                 );
                 return;
             }
@@ -44,9 +59,28 @@ fn main() {
         match name.as_str() {
             "all" => {
                 for table in [
-                    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10", "t11", "t12",
-                    "t13", "t14", "t15", "ablation-fsa", "ablation-ed", "ablation-accuracy",
-                    "ablation-backward", "ablation-opsched", "ablation-ilp", "ablation-nextgen",
+                    "t1",
+                    "t2",
+                    "t3",
+                    "t4",
+                    "t5",
+                    "t6",
+                    "t7",
+                    "t8",
+                    "t9",
+                    "t10",
+                    "t11",
+                    "t12",
+                    "t13",
+                    "t14",
+                    "t15",
+                    "ablation-fsa",
+                    "ablation-ed",
+                    "ablation-accuracy",
+                    "ablation-backward",
+                    "ablation-opsched",
+                    "ablation-ilp",
+                    "ablation-nextgen",
                 ] {
                     emit(table, &config);
                 }
@@ -54,6 +88,33 @@ fn main() {
             other => emit(other, &config),
         }
     }
+
+    if let Some(path) = metrics_path {
+        write_metrics(&path, &config);
+    }
+}
+
+/// Runs the full instrumented pipeline (AND/OR representation, all
+/// transformations, bit-vector encoding) on every machine and writes one
+/// combined telemetry report.
+fn write_metrics(path: &str, config: &TableConfig) {
+    let tel = Telemetry::new();
+    for machine in Machine::all() {
+        let workload = experiment::default_workload(machine, config.total_ops);
+        experiment::run_with_telemetry(
+            machine,
+            Rep::AndOr,
+            Stage::Full,
+            UsageEncoding::BitVector,
+            &workload,
+            &tel,
+        );
+    }
+    let json = tel.report().to_json();
+    if let Err(e) = std::fs::write(path, json) {
+        die(&format!("cannot write metrics to `{path}`: {e}"));
+    }
+    eprintln!("wrote per-stage telemetry to {path}");
 }
 
 fn emit(name: &str, config: &TableConfig) {

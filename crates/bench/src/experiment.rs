@@ -14,9 +14,10 @@ use mdes_core::size::{measure, MemoryReport};
 use mdes_core::spec::{AndOrTree, Constraint, MdesSpec, OrTreeId};
 use mdes_core::{CheckStats, CompiledMdes, UsageEncoding};
 use mdes_machines::Machine;
-use mdes_opt::pipeline::{optimize, PipelineConfig};
 use mdes_opt::expand::expand_to_or;
+use mdes_opt::pipeline::{optimize, optimize_with_telemetry, PipelineConfig};
 use mdes_sched::ListScheduler;
+use mdes_telemetry::Telemetry;
 use mdes_workload::{generate, Workload, WorkloadConfig};
 
 /// Which constraint representation to measure.
@@ -150,8 +151,65 @@ pub fn run_on(spec: &MdesSpec, workload: &Workload, encoding: UsageEncoding) -> 
     }
 }
 
+/// [`run`] with the full flow instrumented into `tel`, grouped under a
+/// span named for the machine: per-stage pipeline spans
+/// (`<machine>/pipeline/redundancy`, …), compile-phase spans, and the
+/// workload's scheduler query counters published under
+/// `<machine>/sched/list/…` — the same JSON schema the CLI's `--metrics`
+/// flag produces.
+pub fn run_with_telemetry(
+    machine: Machine,
+    rep: Rep,
+    stage: Stage,
+    encoding: UsageEncoding,
+    workload_config: &WorkloadConfig,
+    tel: &Telemetry,
+) -> RunResult {
+    let _machine_span = tel.span(machine.name());
+    let mut spec = machine.spec();
+    match rep {
+        Rep::OrTree => {
+            spec = expand_to_or(&spec).0;
+        }
+        Rep::AndOr => {
+            wrap_or_classes(&mut spec);
+        }
+    }
+    if let Some(config) = stage.pipeline() {
+        optimize_with_telemetry(&mut spec, &config, tel);
+    }
+    let workload = generate(machine, &spec, workload_config);
+
+    let compiled = CompiledMdes::compile_with_telemetry(&spec, encoding, tel)
+        .expect("experiment spec must compile");
+    let scheduler = ListScheduler::new(&compiled);
+    let mut stats = CheckStats::new();
+    let mut hash: u64 = 0xcbf29ce484222325;
+    {
+        let _sched_span = tel.span("sched/list");
+        for block in &workload.blocks {
+            let schedule = scheduler.schedule(block, &mut stats);
+            for cycle in schedule.cycles() {
+                hash ^= cycle as u32 as u64;
+                hash = hash.wrapping_mul(0x100000001b3);
+            }
+        }
+    }
+    stats.publish(tel, &format!("{}/sched/list", machine.name()));
+    RunResult {
+        stats,
+        memory: measure(&compiled),
+        schedule_hash: hash,
+    }
+}
+
 /// Memory-only measurement (for the size tables, which need no workload).
-pub fn measure_only(machine: Machine, rep: Rep, stage: Stage, encoding: UsageEncoding) -> MemoryReport {
+pub fn measure_only(
+    machine: Machine,
+    rep: Rep,
+    stage: Stage,
+    encoding: UsageEncoding,
+) -> MemoryReport {
     let spec = prepare_spec(machine, rep, stage);
     let compiled = CompiledMdes::compile(&spec, encoding).expect("experiment spec must compile");
     measure(&compiled)
@@ -191,8 +249,20 @@ mod tests {
     fn and_or_reduces_checks_on_flexible_machines() {
         let machine = Machine::K5;
         let config = default_workload(machine, 1_000);
-        let or = run(machine, Rep::OrTree, Stage::Original, UsageEncoding::Scalar, &config);
-        let andor = run(machine, Rep::AndOr, Stage::Original, UsageEncoding::Scalar, &config);
+        let or = run(
+            machine,
+            Rep::OrTree,
+            Stage::Original,
+            UsageEncoding::Scalar,
+            &config,
+        );
+        let andor = run(
+            machine,
+            Rep::AndOr,
+            Stage::Original,
+            UsageEncoding::Scalar,
+            &config,
+        );
         assert!(
             andor.stats.checks_per_attempt() < or.stats.checks_per_attempt() / 2.0,
             "AND/OR {} vs OR {}",
@@ -204,8 +274,18 @@ mod tests {
 
     #[test]
     fn and_or_shrinks_flexible_machines_but_grows_pentium() {
-        let k5_or = measure_only(Machine::K5, Rep::OrTree, Stage::Original, UsageEncoding::Scalar);
-        let k5_andor = measure_only(Machine::K5, Rep::AndOr, Stage::Original, UsageEncoding::Scalar);
+        let k5_or = measure_only(
+            Machine::K5,
+            Rep::OrTree,
+            Stage::Original,
+            UsageEncoding::Scalar,
+        );
+        let k5_andor = measure_only(
+            Machine::K5,
+            Rep::AndOr,
+            Stage::Original,
+            UsageEncoding::Scalar,
+        );
         assert!(
             (k5_andor.total() as f64) < k5_or.total() as f64 / 20.0,
             "K5: AND/OR {} vs OR {}",
@@ -213,8 +293,18 @@ mod tests {
             k5_or.total()
         );
 
-        let p_or = measure_only(Machine::Pentium, Rep::OrTree, Stage::Original, UsageEncoding::Scalar);
-        let p_andor = measure_only(Machine::Pentium, Rep::AndOr, Stage::Original, UsageEncoding::Scalar);
+        let p_or = measure_only(
+            Machine::Pentium,
+            Rep::OrTree,
+            Stage::Original,
+            UsageEncoding::Scalar,
+        );
+        let p_andor = measure_only(
+            Machine::Pentium,
+            Rep::AndOr,
+            Stage::Original,
+            UsageEncoding::Scalar,
+        );
         assert!(
             p_andor.total() > p_or.total(),
             "Pentium AND/OR must be slightly larger ({} vs {})",
@@ -240,10 +330,46 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_run_matches_plain_run() {
+        let machine = Machine::Pa7100;
+        let config = default_workload(machine, 500);
+        let tel = Telemetry::new();
+        let instrumented = run_with_telemetry(
+            machine,
+            Rep::AndOr,
+            Stage::Full,
+            UsageEncoding::BitVector,
+            &config,
+            &tel,
+        );
+        let plain = run(
+            machine,
+            Rep::AndOr,
+            Stage::Full,
+            UsageEncoding::BitVector,
+            &config,
+        );
+        assert_eq!(instrumented.schedule_hash, plain.schedule_hash);
+        let report = tel.report();
+        assert!(report.span("PA7100/pipeline/redundancy").is_some());
+        assert!(report.span("PA7100/compile/packing").is_some());
+        assert_eq!(
+            report.counter("PA7100/sched/list/attempts"),
+            Some(instrumented.stats.attempts)
+        );
+    }
+
+    #[test]
     fn time_shift_reduces_checks_per_option_to_near_one() {
         let machine = Machine::SuperSparc;
         let config = default_workload(machine, 1_500);
-        let shifted = run(machine, Rep::OrTree, Stage::Shifted, UsageEncoding::BitVector, &config);
+        let shifted = run(
+            machine,
+            Rep::OrTree,
+            Stage::Shifted,
+            UsageEncoding::BitVector,
+            &config,
+        );
         let ratio = shifted.stats.checks_per_option();
         assert!(
             (1.0..1.3).contains(&ratio),

@@ -75,13 +75,16 @@ pub const TABLE6_OR_BYTES: [Option<usize>; 4] =
 pub const TABLE6_ANDOR_BYTES: [Option<usize>; 4] = [None, Some(15416), Some(2624), Some(4316)];
 
 /// Table 7: OR-tree bytes after redundancy elimination.
-pub const TABLE7_OR_BYTES: [Option<usize>; 4] = [Some(1712), Some(10814), Some(14752), Some(266_034)];
+pub const TABLE7_OR_BYTES: [Option<usize>; 4] =
+    [Some(1712), Some(10814), Some(14752), Some(266_034)];
 
 /// Table 7: AND/OR-tree bytes after redundancy elimination.
-pub const TABLE7_ANDOR_BYTES: [Option<usize>; 4] = [Some(1232), Some(11296), Some(1846), Some(3502)];
+pub const TABLE7_ANDOR_BYTES: [Option<usize>; 4] =
+    [Some(1232), Some(11296), Some(1846), Some(3502)];
 
 /// Table 9: OR-tree bytes after bit-vector packing.
-pub const TABLE9_OR_BYTES: [Option<usize>; 4] = [Some(1404), Some(3224), Some(11152), Some(183_280)];
+pub const TABLE9_OR_BYTES: [Option<usize>; 4] =
+    [Some(1404), Some(3224), Some(11152), Some(183_280)];
 
 /// Table 9: AND/OR-tree bytes after bit-vector packing.
 pub const TABLE9_ANDOR_BYTES: [Option<usize>; 4] = [Some(1128), Some(3704), Some(1640), Some(3136)];
@@ -93,10 +96,12 @@ pub const TABLE10_OR_CHECKS: [Option<f64>; 4] = [Some(2.18), Some(2.31), Some(26
 pub const TABLE10_ANDOR_CHECKS: [Option<f64>; 4] = [Some(1.76), Some(2.31), Some(4.62), Some(5.80)];
 
 /// Table 11: OR-tree bytes after usage-time shifting.
-pub const TABLE11_OR_BYTES: [Option<usize>; 4] = [Some(1168), Some(3080), Some(7016), Some(125_488)];
+pub const TABLE11_OR_BYTES: [Option<usize>; 4] =
+    [Some(1168), Some(3080), Some(7016), Some(125_488)];
 
 /// Table 11: AND/OR-tree bytes after usage-time shifting.
-pub const TABLE11_ANDOR_BYTES: [Option<usize>; 4] = [Some(1032), Some(3560), Some(1584), Some(3096)];
+pub const TABLE11_ANDOR_BYTES: [Option<usize>; 4] =
+    [Some(1032), Some(3560), Some(1584), Some(3096)];
 
 /// Table 12: OR-tree checks/attempt after shifting + zero-first ordering.
 pub const TABLE12_OR_CHECKS: [Option<f64>; 4] = [Some(1.59), Some(1.57), Some(21.59), Some(19.87)];
@@ -121,16 +126,19 @@ pub const TABLE13_OPTIONS_AFTER: [Option<f64>; 4] =
     [Some(1.38), Some(1.49), Some(2.97), Some(4.32)];
 
 /// Table 13: AND/OR checks/attempt before.
-pub const TABLE13_CHECKS_BEFORE: [Option<f64>; 4] = [Some(1.55), Some(1.57), Some(4.49), Some(5.25)];
+pub const TABLE13_CHECKS_BEFORE: [Option<f64>; 4] =
+    [Some(1.55), Some(1.57), Some(4.49), Some(5.25)];
 
 /// Table 13: AND/OR checks/attempt after.
 pub const TABLE13_CHECKS_AFTER: [Option<f64>; 4] = [Some(1.55), Some(1.57), Some(3.08), Some(4.38)];
 
 /// Table 14: fully optimized OR-tree bytes (with bit-vectors).
-pub const TABLE14_OR_BYTES: [Option<usize>; 4] = [Some(1168), Some(3080), Some(7016), Some(125_488)];
+pub const TABLE14_OR_BYTES: [Option<usize>; 4] =
+    [Some(1168), Some(3080), Some(7016), Some(125_488)];
 
 /// Table 14: fully optimized AND/OR-tree bytes.
-pub const TABLE14_ANDOR_BYTES: [Option<usize>; 4] = [Some(1032), Some(3560), Some(1584), Some(3096)];
+pub const TABLE14_ANDOR_BYTES: [Option<usize>; 4] =
+    [Some(1032), Some(3560), Some(1584), Some(3096)];
 
 /// Table 15: unoptimized OR-tree checks/attempt.
 pub const TABLE15_UNOPT: [Option<f64>; 4] = [Some(2.47), Some(3.99), Some(31.09), Some(35.49)];

@@ -35,7 +35,10 @@ impl Default for TableConfig {
 
 /// Per-class scheduling attempts, grouped by option count — the engine
 /// behind Tables 1–4.
-fn attempt_breakdown(machine: Machine, config: &TableConfig) -> BTreeMap<usize, (f64, Vec<String>)> {
+fn attempt_breakdown(
+    machine: Machine,
+    config: &TableConfig,
+) -> BTreeMap<usize, (f64, Vec<String>)> {
     // Use the authored AND/OR spec: option counts are the cross products.
     let spec = machine.spec();
     let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
@@ -124,8 +127,20 @@ pub fn table5(config: &TableConfig) -> String {
     for machine in Machine::all() {
         let i = paper::idx(machine);
         let workload = default_workload(machine, config.total_ops);
-        let or = run(machine, Rep::OrTree, Stage::Original, UsageEncoding::Scalar, &workload);
-        let andor = run(machine, Rep::AndOr, Stage::Original, UsageEncoding::Scalar, &workload);
+        let or = run(
+            machine,
+            Rep::OrTree,
+            Stage::Original,
+            UsageEncoding::Scalar,
+            &workload,
+        );
+        let andor = run(
+            machine,
+            Rep::AndOr,
+            Stage::Original,
+            UsageEncoding::Scalar,
+            &workload,
+        );
         assert_eq!(or.schedule_hash, andor.schedule_hash, "schedules diverged");
         table.row([
             machine.name().to_string(),
@@ -216,7 +231,10 @@ pub fn table6() -> String {
             pct(percent_reduced(or.total() as f64, andor.total() as f64)),
         ]);
     }
-    format!("Table 6: original MDES memory requirements\n{}", table.render())
+    format!(
+        "Table 6: original MDES memory requirements\n{}",
+        table.render()
+    )
 }
 
 /// Table 7: memory after eliminating redundant and unused information.
@@ -245,13 +263,18 @@ pub fn table7() -> String {
 pub fn table8(config: &TableConfig) -> String {
     let machine = Machine::Pa7100;
     let workload = default_workload(machine, config.total_ops);
-    let mut table = TextTable::new([
-        "Configuration",
-        "Opt/Att",
-        "Chk/Att",
-    ]);
-    for (label, stage) in [("original", Stage::Original), ("deduplicated", Stage::Cleaned)] {
-        let or = run(machine, Rep::OrTree, stage, UsageEncoding::Scalar, &workload);
+    let mut table = TextTable::new(["Configuration", "Opt/Att", "Chk/Att"]);
+    for (label, stage) in [
+        ("original", Stage::Original),
+        ("deduplicated", Stage::Cleaned),
+    ] {
+        let or = run(
+            machine,
+            Rep::OrTree,
+            stage,
+            UsageEncoding::Scalar,
+            &workload,
+        );
         let andor = run(machine, Rep::AndOr, stage, UsageEncoding::Scalar, &workload);
         table.row([
             format!("OR-tree, {label}"),
@@ -390,8 +413,20 @@ pub fn table12(config: &TableConfig) -> String {
         for machine in Machine::all() {
             let i = paper::idx(machine);
             let workload = default_workload(machine, config.total_ops);
-            let b = run(machine, rep, Stage::Cleaned, UsageEncoding::BitVector, &workload);
-            let a = run(machine, rep, Stage::Shifted, UsageEncoding::BitVector, &workload);
+            let b = run(
+                machine,
+                rep,
+                Stage::Cleaned,
+                UsageEncoding::BitVector,
+                &workload,
+            );
+            let a = run(
+                machine,
+                rep,
+                Stage::Shifted,
+                UsageEncoding::BitVector,
+                &workload,
+            );
             table.row([
                 machine.name().to_string(),
                 f2(b.stats.checks_per_attempt()),
@@ -430,8 +465,20 @@ pub fn table13(config: &TableConfig) -> String {
     for machine in Machine::all() {
         let i = paper::idx(machine);
         let workload = default_workload(machine, config.total_ops);
-        let b = run(machine, Rep::AndOr, Stage::Shifted, UsageEncoding::BitVector, &workload);
-        let a = run(machine, Rep::AndOr, Stage::Full, UsageEncoding::BitVector, &workload);
+        let b = run(
+            machine,
+            Rep::AndOr,
+            Stage::Shifted,
+            UsageEncoding::BitVector,
+            &workload,
+        );
+        let a = run(
+            machine,
+            Rep::AndOr,
+            Stage::Full,
+            UsageEncoding::BitVector,
+            &workload,
+        );
         table.row([
             machine.name().to_string(),
             f2(b.stats.options_per_attempt_avg()),
@@ -489,22 +536,32 @@ pub fn table14() -> String {
 /// Table 15: aggregate effect of all transformations on checks/attempt.
 pub fn table15(config: &TableConfig) -> String {
     let mut table = TextTable::new([
-        "MDES",
-        "Unopt OR",
-        "paper",
-        "Full OR",
-        "paper",
-        "Red.",
-        "Full A/O",
-        "paper",
-        "Red.",
+        "MDES", "Unopt OR", "paper", "Full OR", "paper", "Red.", "Full A/O", "paper", "Red.",
     ]);
     for machine in Machine::all() {
         let i = paper::idx(machine);
         let workload = default_workload(machine, config.total_ops);
-        let unopt = run(machine, Rep::OrTree, Stage::Original, UsageEncoding::Scalar, &workload);
-        let or = run(machine, Rep::OrTree, Stage::Full, UsageEncoding::BitVector, &workload);
-        let andor = run(machine, Rep::AndOr, Stage::Full, UsageEncoding::BitVector, &workload);
+        let unopt = run(
+            machine,
+            Rep::OrTree,
+            Stage::Original,
+            UsageEncoding::Scalar,
+            &workload,
+        );
+        let or = run(
+            machine,
+            Rep::OrTree,
+            Stage::Full,
+            UsageEncoding::BitVector,
+            &workload,
+        );
+        let andor = run(
+            machine,
+            Rep::AndOr,
+            Stage::Full,
+            UsageEncoding::BitVector,
+            &workload,
+        );
         table.row([
             machine.name().to_string(),
             f2(unopt.stats.checks_per_attempt()),
@@ -596,7 +653,11 @@ pub fn ablation_accuracy(config: &TableConfig) -> String {
     let approx_spec = mdes_machines::approximate_superspark();
     let accurate = CompiledMdes::compile(&accurate_spec, UsageEncoding::BitVector).unwrap();
     let approx = CompiledMdes::compile(&approx_spec, UsageEncoding::BitVector).unwrap();
-    let workload = generate(machine, &accurate_spec, &default_workload(machine, config.total_ops));
+    let workload = generate(
+        machine,
+        &accurate_spec,
+        &default_workload(machine, config.total_ops),
+    );
 
     let mut table = TextTable::new([
         "Scheduler MDES",
@@ -631,8 +692,7 @@ pub fn ablation_accuracy(config: &TableConfig) -> String {
             format!("{:.2}", workload.total_ops as f64 / simulated as f64),
         ]);
         if label == "approximate" {
-            let vs_accurate =
-                (simulated - baseline_cycles) as f64 / baseline_cycles as f64 * 100.0;
+            let vs_accurate = (simulated - baseline_cycles) as f64 / baseline_cycles as f64 * 100.0;
             let vs_promise = (simulated - planned) as f64 / planned as f64 * 100.0;
             table.row([
                 "unexpected cycles vs own promise".to_string(),
@@ -799,8 +859,7 @@ pub fn ablation_ilp(config: &TableConfig) -> String {
     ]);
     for scale in [1.0f64, 2.0, 4.0] {
         let authored = machine.spec();
-        let workload_config = default_workload(machine, config.total_ops / 2)
-            .with_ilp_scale(scale);
+        let workload_config = default_workload(machine, config.total_ops / 2).with_ilp_scale(scale);
         let workload = generate(machine, &authored, &workload_config);
 
         let run_with = |spec: &mdes_core::MdesSpec, encoding: UsageEncoding| {
@@ -883,7 +942,10 @@ pub fn ablation_nextgen(config: &TableConfig) -> String {
     ]);
     table.row([
         "reduction".to_string(),
-        pct(percent_reduced(unopt_mem.total() as f64, andor_mem.total() as f64)),
+        pct(percent_reduced(
+            unopt_mem.total() as f64,
+            andor_mem.total() as f64,
+        )),
         String::new(),
         pct(percent_reduced(
             unopt_stats.checks_per_attempt(),
@@ -910,14 +972,26 @@ pub fn ablation_ed(config: &TableConfig) -> String {
     ]);
     for machine in Machine::all() {
         let workload = default_workload(machine, config.total_ops);
-        let cleaned = run(machine, Rep::OrTree, Stage::Cleaned, UsageEncoding::BitVector, &workload);
+        let cleaned = run(
+            machine,
+            Rep::OrTree,
+            Stage::Cleaned,
+            UsageEncoding::BitVector,
+            &workload,
+        );
 
         let mut ed_spec = prepare_spec(machine, Rep::OrTree, Stage::Cleaned);
         mdes_opt::minimize_usages(&mut ed_spec);
         let ed_workload = generate(machine, &ed_spec, &workload);
         let ed = crate::experiment::run_on(&ed_spec, &ed_workload, UsageEncoding::BitVector);
 
-        let shifted = run(machine, Rep::OrTree, Stage::Shifted, UsageEncoding::BitVector, &workload);
+        let shifted = run(
+            machine,
+            Rep::OrTree,
+            Stage::Shifted,
+            UsageEncoding::BitVector,
+            &workload,
+        );
         table.row([
             machine.name().to_string(),
             f2(cleaned.stats.checks_per_option()),
@@ -945,7 +1019,10 @@ mod tests {
     fn breakdown_tables_cover_paper_option_counts() {
         let text = table_breakdown(Machine::SuperSparc, &small());
         for count in ["1", "3", "6", "12", "24", "36", "48", "72"] {
-            assert!(text.lines().any(|l| l.trim_start().starts_with(count)), "missing {count}\n{text}");
+            assert!(
+                text.lines().any(|l| l.trim_start().starts_with(count)),
+                "missing {count}\n{text}"
+            );
         }
     }
 
@@ -979,15 +1056,18 @@ mod tests {
     fn ablation_accuracy_shows_unexpected_cycles() {
         let text = ablation_accuracy(&small());
         // The accurate schedule's in-order simulation matches its plan.
-        let accurate = text.lines().find(|l| l.trim_start().starts_with("accurate")).unwrap();
+        let accurate = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("accurate"))
+            .unwrap();
         let cells: Vec<&str> = accurate.split_whitespace().collect();
-        assert_eq!(cells[1], cells[2], "accurate plan must simulate exactly: {accurate}");
+        assert_eq!(
+            cells[1], cells[2],
+            "accurate plan must simulate exactly: {accurate}"
+        );
         // The approximate schedule pays for its optimism.
         assert!(text.contains("unexpected cycles vs own promise"));
-        let promise_line = text
-            .lines()
-            .find(|l| l.contains("own promise"))
-            .unwrap();
+        let promise_line = text.lines().find(|l| l.contains("own promise")).unwrap();
         assert!(promise_line.contains('+'), "{promise_line}");
     }
 

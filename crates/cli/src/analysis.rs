@@ -54,7 +54,10 @@ pub fn lint(spec: &MdesSpec) -> Vec<Finding> {
     // Dominated options within each OR-tree.
     for tree_id in spec.or_tree_ids() {
         let tree = spec.or_tree(tree_id);
-        let name = tree.name.clone().unwrap_or_else(|| format!("#{}", tree_id.index()));
+        let name = tree
+            .name
+            .clone()
+            .unwrap_or_else(|| format!("#{}", tree_id.index()));
         for (i, &candidate) in tree.options.iter().enumerate() {
             let dominated = tree.options[..i]
                 .iter()
@@ -163,8 +166,7 @@ pub fn diff(old: &MdesSpec, new: &MdesSpec) -> String {
                     let _ = writeln!(
                         out,
                         "~ class {name}: options {} -> {}, latency {}/{}/{} -> {}/{}/{}",
-                        before.0, after.0, before.1, before.2, before.3, after.1, after.2,
-                        after.3
+                        before.0, after.0, before.1, before.2, before.3, after.1, after.2, after.3
                     );
                 }
             }
@@ -275,7 +277,10 @@ mod tests {
         );
         let text = diff(&old, &new);
         assert!(text.contains("+ resource M2"), "{text}");
-        assert!(text.contains("~ class mem: options 1 -> 2, latency 1/0/1 -> 2/0/2"), "{text}");
+        assert!(
+            text.contains("~ class mem: options 1 -> 2, latency 1/0/1 -> 2/0/2"),
+            "{text}"
+        );
         assert!(text.contains("+ class alu"), "{text}");
         assert!(text.contains("+ op ADD"), "{text}");
         assert!(text.contains("~ op ST: mem -> alu"), "{text}");
@@ -283,7 +288,8 @@ mod tests {
 
     #[test]
     fn diff_of_identical_specs_is_empty() {
-        let spec = compile("resource M; or_tree T = first_of({ M @ 0 }); class c { constraint = T; }");
+        let spec =
+            compile("resource M; or_tree T = first_of({ M @ 0 }); class c { constraint = T; }");
         assert_eq!(diff(&spec, &spec), "no structural differences\n");
     }
 }

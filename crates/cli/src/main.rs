@@ -8,12 +8,17 @@
 //! ```text
 //! mdesc compile <in.hmdl> [-o out.lmdes] [--no-optimize] [--expand-or]
 //!               [--encoding scalar|bitvector] [--direction forward|backward]
+//! mdesc optimize <in.hmdl> [--ops N] [-o out.lmdes]
 //! mdesc dump    <in.hmdl|in.lmdes> [--class NAME]
 //! mdesc stats   <in.hmdl>
 //! mdesc fmt     <in.hmdl>
 //! mdesc check   <in.hmdl>
 //! mdesc bundled <PA7100|Pentium|SuperSPARC|K5>
 //! ```
+//!
+//! The binary is also installed as `mdes`.  The global `--metrics <path>`
+//! and `--metrics-summary` flags collect pipeline/compile/scheduler
+//! telemetry into a JSON file or a stderr table; see `docs/telemetry.md`.
 
 mod analysis;
 
@@ -21,8 +26,9 @@ use std::process::ExitCode;
 
 use mdes_core::size::measure;
 use mdes_core::{lmdes, CompiledMdes, MdesSpec, UsageEncoding};
-use mdes_opt::pipeline::{optimize, PipelineConfig};
+use mdes_opt::pipeline::{optimize, optimize_with_telemetry, PipelineConfig};
 use mdes_opt::timeshift::Direction;
+use mdes_telemetry::Telemetry;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,19 +41,90 @@ fn main() -> ExitCode {
     }
 }
 
+/// Where telemetry goes, per the global `--metrics` / `--metrics-summary`
+/// flags.
+struct MetricsOpts {
+    json_path: Option<String>,
+    summary: bool,
+}
+
+impl MetricsOpts {
+    fn enabled(&self) -> bool {
+        self.json_path.is_some() || self.summary
+    }
+
+    /// Writes the collected report to the requested sinks.
+    fn emit(&self, tel: &Telemetry) -> Result<(), String> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let report = tel.report();
+        if let Some(path) = &self.json_path {
+            // An empty report means the command failed before anything ran
+            // (e.g. `--metrics` swallowed the subcommand as its path);
+            // writing it would litter a useless file at a surprising path.
+            if report.spans.is_empty() && report.counters.is_empty() && report.gauges.is_empty() {
+                return Ok(());
+            }
+            std::fs::write(path, report.to_json())
+                .map_err(|e| format!("cannot write metrics to `{path}`: {e}"))?;
+        }
+        if self.summary {
+            eprint!("{}", report.to_table());
+        }
+        Ok(())
+    }
+}
+
+/// Strips the global metrics flags out of the argument list (they may
+/// appear anywhere, before or after the subcommand).
+fn extract_metrics_flags(args: &[String]) -> Result<(Vec<String>, MetricsOpts), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut opts = MetricsOpts {
+        json_path: None,
+        summary: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--metrics" => {
+                opts.json_path = Some(iter.next().ok_or("--metrics requires a path")?.clone());
+            }
+            "--metrics-summary" => opts.summary = true,
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((rest, opts))
+}
+
 fn run(args: &[String]) -> Result<(), String> {
+    let (args, metrics) = extract_metrics_flags(args)?;
+    let tel = if metrics.enabled() {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
+    let result = dispatch(&args, &tel);
+    // Emit whatever was collected even when the command failed: partial
+    // metrics from an aborted run are still useful for diagnosis.
+    metrics.emit(&tel)?;
+    result
+}
+
+fn dispatch(args: &[String], tel: &Telemetry) -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
     let rest = &args[1..];
     match command.as_str() {
-        "compile" => compile_cmd(rest),
+        "compile" => compile_cmd(rest, tel),
+        "optimize" => optimize_cmd(rest, tel),
         "dump" => dump_cmd(rest),
         "stats" => stats_cmd(rest),
         "fmt" => fmt_cmd(rest),
         "check" => check_cmd(rest),
         "bundled" => bundled_cmd(rest),
-        "schedule" => schedule_cmd(rest),
+        "schedule" => schedule_cmd(rest, tel),
         "dot" => dot_cmd(rest),
         "lint" => lint_cmd(rest),
         "diff" => diff_cmd(rest),
@@ -61,12 +138,19 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: mdesc <command>\n\
+    "usage: mdesc [--metrics <path>] [--metrics-summary] <command>\n\
+     \n\
+     global flags:\n\
+     \x20 --metrics <path>    write collected telemetry as JSON to <path>\n\
+     \x20 --metrics-summary   print a telemetry table to stderr on exit\n\
      \n\
      commands:\n\
      \x20 compile <in.hmdl> [-o out.lmdes] [--no-optimize] [--expand-or]\n\
      \x20         [--encoding scalar|bitvector] [--direction forward|backward]\n\
      \x20         translate a high-level description to an optimized LMDES image\n\
+     \x20 optimize <in.hmdl> [--ops N] [-o out.lmdes]\n\
+     \x20         run the full pipeline, compile, and drive a synthetic scheduling\n\
+     \x20         workload, collecting per-stage telemetry along the way\n\
      \x20 dump    <in.hmdl|in.lmdes> [--class NAME]   inspect a description\n\
      \x20 stats   <in.hmdl>                           per-stage size report\n\
      \x20 fmt     <in.hmdl>                           canonical formatting to stdout\n\
@@ -85,12 +169,17 @@ fn usage() -> String {
 /// Loads and elaborates an HMDL file, rendering diagnostics with source
 /// context.
 fn load_hmdl(path: &str) -> Result<MdesSpec, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    mdes_lang::compile(&source).map_err(|e| format!("{path}:\n{}", e.render(&source)))
+    load_hmdl_with(path, &Telemetry::disabled())
 }
 
-fn compile_cmd(args: &[String]) -> Result<(), String> {
+/// [`load_hmdl`] with `lang/*` spans recorded into `tel`.
+fn load_hmdl_with(path: &str, tel: &Telemetry) -> Result<MdesSpec, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    mdes_lang::compile_with_telemetry(&source, tel)
+        .map_err(|e| format!("{path}:\n{}", e.render(&source)))
+}
+
+fn compile_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
     let mut input: Option<&str> = None;
     let mut output: Option<&str> = None;
     let mut do_optimize = true;
@@ -123,7 +212,7 @@ fn compile_cmd(args: &[String]) -> Result<(), String> {
         }
     }
     let input = input.ok_or("compile needs an input .hmdl file")?;
-    let mut spec = load_hmdl(input)?;
+    let mut spec = load_hmdl_with(input, tel)?;
 
     if expand_or {
         spec = mdes_opt::expand_to_or(&spec).0;
@@ -133,10 +222,11 @@ fn compile_cmd(args: &[String]) -> Result<(), String> {
             direction,
             ..PipelineConfig::full()
         };
-        optimize(&mut spec, &config);
+        optimize_with_telemetry(&mut spec, &config, tel);
     }
 
-    let compiled = CompiledMdes::compile(&spec, encoding).map_err(|e| e.to_string())?;
+    let compiled =
+        CompiledMdes::compile_with_telemetry(&spec, encoding, tel).map_err(|e| e.to_string())?;
     let image = lmdes::write(&compiled);
     let report = measure(&compiled);
 
@@ -163,7 +253,8 @@ fn load_any(path: &str) -> Result<CompiledMdes, String> {
         return lmdes::read(&bytes).map_err(|e| format!("{path}: {e}"));
     }
     let source = String::from_utf8(bytes).map_err(|_| format!("`{path}` is not UTF-8 HMDL"))?;
-    let spec = mdes_lang::compile(&source).map_err(|e| format!("{path}:\n{}", e.render(&source)))?;
+    let spec =
+        mdes_lang::compile(&source).map_err(|e| format!("{path}:\n{}", e.render(&source)))?;
     CompiledMdes::compile(&spec, UsageEncoding::BitVector).map_err(|e| e.to_string())
 }
 
@@ -281,7 +372,90 @@ fn check_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn schedule_cmd(args: &[String]) -> Result<(), String> {
+/// Runs the full telemetry-instrumented flow on one description: parse
+/// and elaborate, optimize, compile, then drive the list scheduler over a
+/// synthetic workload so scheduler query counters land in the same
+/// report.  This is the `--metrics` showcase command.
+fn optimize_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut total_ops = 2_000usize;
+    let mut encoding = UsageEncoding::BitVector;
+    let mut direction = Direction::Forward;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-o" => output = Some(iter.next().ok_or("-o requires a path")?),
+            "--ops" => {
+                total_ops = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--ops requires a positive integer")?;
+            }
+            "--encoding" => {
+                encoding = match iter.next().map(String::as_str) {
+                    Some("scalar") => UsageEncoding::Scalar,
+                    Some("bitvector") => UsageEncoding::BitVector,
+                    other => return Err(format!("bad --encoding {other:?}")),
+                };
+            }
+            "--direction" => {
+                direction = match iter.next().map(String::as_str) {
+                    Some("forward") => Direction::Forward,
+                    Some("backward") => Direction::Backward,
+                    other => return Err(format!("bad --direction {other:?}")),
+                };
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("optimize needs an input .hmdl file")?;
+
+    let mut spec = load_hmdl_with(input, tel)?;
+    let options_before = spec.num_options();
+    let config = PipelineConfig {
+        direction,
+        ..PipelineConfig::full()
+    };
+    optimize_with_telemetry(&mut spec, &config, tel);
+    let compiled =
+        CompiledMdes::compile_with_telemetry(&spec, encoding, tel).map_err(|e| e.to_string())?;
+
+    let workload =
+        mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
+    let scheduler = mdes_sched::ListScheduler::new(&compiled);
+    let mut stats = mdes_core::CheckStats::new();
+    let mut total_cycles = 0i64;
+    {
+        let _span = tel.span("sched/list");
+        for block in &workload.blocks {
+            let schedule = scheduler.schedule(block, &mut stats);
+            total_cycles += i64::from(schedule.length);
+        }
+    }
+    // Publish the aggregate once so the report's counters equal the
+    // CheckStats totals for the whole workload.
+    stats.publish(tel, "sched/list");
+
+    if let Some(output) = output {
+        let image = lmdes::write(&compiled);
+        std::fs::write(output, &image).map_err(|e| format!("cannot write `{output}`: {e}"))?;
+    }
+    println!(
+        "{input}: {} -> {} options; scheduled {} ops in {} cycles \
+         ({:.2} attempts/op, {:.2} checks/attempt)",
+        options_before,
+        spec.num_options(),
+        workload.total_ops,
+        total_cycles,
+        stats.attempts_per_op(),
+        stats.checks_per_attempt()
+    );
+    Ok(())
+}
+
+fn schedule_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
     let mut input: Option<&str> = None;
     let mut total_ops = 10_000usize;
     let mut do_optimize = true;
@@ -300,21 +474,26 @@ fn schedule_cmd(args: &[String]) -> Result<(), String> {
         }
     }
     let input = input.ok_or("schedule needs an input .hmdl file")?;
-    let mut spec = load_hmdl(input)?;
+    let mut spec = load_hmdl_with(input, tel)?;
     if do_optimize {
-        optimize(&mut spec, &PipelineConfig::full());
+        optimize_with_telemetry(&mut spec, &PipelineConfig::full(), tel);
     }
-    let compiled =
-        CompiledMdes::compile(&spec, UsageEncoding::BitVector).map_err(|e| e.to_string())?;
+    let compiled = CompiledMdes::compile_with_telemetry(&spec, UsageEncoding::BitVector, tel)
+        .map_err(|e| e.to_string())?;
 
-    let workload = mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
+    let workload =
+        mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
     let scheduler = mdes_sched::ListScheduler::new(&compiled);
     let mut stats = mdes_core::CheckStats::new();
     let mut total_cycles = 0i64;
-    for block in &workload.blocks {
-        let schedule = scheduler.schedule(block, &mut stats);
-        total_cycles += i64::from(schedule.length);
+    {
+        let _span = tel.span("sched/list");
+        for block in &workload.blocks {
+            let schedule = scheduler.schedule(block, &mut stats);
+            total_cycles += i64::from(schedule.length);
+        }
     }
+    stats.publish(tel, "sched/list");
     println!(
         "{input}: scheduled {} ops in {} blocks ({} cycles, {:.2} ops/cycle)",
         workload.total_ops,
@@ -401,7 +580,8 @@ fn chart_cmd(args: &[String]) -> Result<(), String> {
     optimize(&mut spec, &PipelineConfig::full());
     let compiled =
         CompiledMdes::compile(&spec, UsageEncoding::BitVector).map_err(|e| e.to_string())?;
-    let workload = mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
+    let workload =
+        mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
     let scheduler = mdes_sched::ListScheduler::new(&compiled);
     let mut stats = mdes_core::CheckStats::new();
     let block = &workload.blocks[0];
@@ -411,7 +591,10 @@ fn chart_cmd(args: &[String]) -> Result<(), String> {
         block.len(),
         schedule.length
     );
-    print!("{}", mdes_sched::occupancy_chart(&spec, &compiled, block, &schedule));
+    print!(
+        "{}",
+        mdes_sched::occupancy_chart(&spec, &compiled, block, &schedule)
+    );
     println!();
     for (id, name) in spec.resources().iter() {
         let util = mdes_sched::resource_utilization(&compiled, &schedule)[id.index()];

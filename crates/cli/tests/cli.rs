@@ -226,7 +226,11 @@ fn lint_flags_smells_and_exits_nonzero() {
     .unwrap();
     let out = mdesc(&["lint", messy.to_str().unwrap()]);
     assert!(!out.status.success());
-    assert!(stdout(&out).contains("duplicate-option"), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("duplicate-option"),
+        "{}",
+        stdout(&out)
+    );
 
     let clean = dir.join("clean.hmdl");
     std::fs::write(
@@ -273,6 +277,121 @@ fn chart_renders_occupancy_for_a_block() {
     let text = stdout(&out);
     assert!(text.contains("cycle |"), "{text}");
     assert!(text.contains("% busy"), "{text}");
+}
+
+/// Path to a bundled HMDL source in the repo checkout.
+fn machine_hmdl(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../machines/hmdl")
+        .join(name)
+}
+
+#[test]
+fn metrics_json_contains_one_span_per_pipeline_stage_for_pa7100() {
+    let dir = temp_dir("metrics");
+    let json_path = dir.join("pa7100-metrics.json");
+    let hmdl = machine_hmdl("pa7100.hmdl");
+
+    // The acceptance-criteria invocation, via the `mdes` bin alias.
+    let out = Command::new(env!("CARGO_BIN_EXE_mdes"))
+        .args([
+            "--metrics",
+            json_path.to_str().unwrap(),
+            "optimize",
+            hmdl.to_str().unwrap(),
+            "--ops",
+            "400",
+        ])
+        .output()
+        .expect("mdes runs");
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let report = mdes_telemetry::Report::from_json(&text).expect("valid metrics JSON");
+
+    // One span per pipeline stage, each entered exactly once, plus the
+    // front-end, compiler, and scheduler phases.
+    for path in [
+        "lang/parse",
+        "lang/elaborate",
+        "pipeline/redundancy",
+        "pipeline/dominance",
+        "pipeline/shifting",
+        "pipeline/sortzero",
+        "pipeline/treesort",
+        "pipeline/factor",
+        "compile/validate",
+        "compile/packing",
+        "compile/classes",
+        "sched/list",
+    ] {
+        let span = report
+            .span(path)
+            .unwrap_or_else(|| panic!("missing span `{path}`"));
+        assert_eq!(span.count, 1, "span `{path}` entered more than once");
+    }
+    assert!(report.wall_nanos > 0, "wall clock missing");
+
+    // Scheduler query counters are present and self-consistent with the
+    // CheckStats accounting (every attempt checks at least one option,
+    // every option at least one probe).
+    let attempts = report.counter("sched/list/attempts").unwrap();
+    let options = report.counter("sched/list/options_checked").unwrap();
+    let checks = report.counter("sched/list/resource_checks").unwrap();
+    let operations = report.counter("sched/list/operations").unwrap();
+    assert_eq!(operations, 400);
+    assert!(attempts >= operations);
+    assert!(options >= attempts);
+    assert!(checks >= options);
+
+    // Before/after gauges record the pipeline's net effect.
+    let before = report.gauge("pipeline/options/before").unwrap();
+    let after = report.gauge("pipeline/options/after").unwrap();
+    assert!(after <= before);
+}
+
+#[test]
+fn metrics_summary_prints_a_table_to_stderr() {
+    let dir = temp_dir("metricssum");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    let out = mdesc(&[
+        "--metrics-summary",
+        "optimize",
+        hmdl.to_str().unwrap(),
+        "--ops",
+        "100",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("telemetry report"), "{err}");
+    assert!(err.contains("redundancy"), "{err}");
+    assert!(err.contains("sched/list/attempts"), "{err}");
+}
+
+#[test]
+fn metrics_flags_are_global_and_off_by_default() {
+    let dir = temp_dir("metricsoff");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    // No flags: no telemetry output on stderr.
+    let out = mdesc(&["optimize", hmdl.to_str().unwrap(), "--ops", "50"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(!stderr(&out).contains("telemetry report"));
+    // Flag after the subcommand works too.
+    let json_path = dir.join("late-flag.json");
+    let out = mdesc(&[
+        "compile",
+        hmdl.to_str().unwrap(),
+        "--metrics",
+        json_path.to_str().unwrap(),
+        "-o",
+        dir.join("demo.lmdes").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let report =
+        mdes_telemetry::Report::from_json(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    assert!(report.span("pipeline/redundancy").is_some());
 }
 
 #[test]

@@ -18,6 +18,7 @@ use crate::error::MdesError;
 use crate::rumap::RuMap;
 use crate::spec::{ClassId, Constraint, Latency, MdesSpec, OpFlags};
 use crate::stats::CheckStats;
+use mdes_telemetry::Telemetry;
 
 /// How resource usages are encoded for checking (Section 6).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -112,20 +113,77 @@ impl CompiledMdes {
     /// Returns the first validation error of the spec; compilation never
     /// proceeds on an inconsistent description.
     pub fn compile(spec: &MdesSpec, encoding: UsageEncoding) -> Result<CompiledMdes, MdesError> {
-        spec.validate()?;
+        Self::compile_with_telemetry(spec, encoding, &Telemetry::disabled())
+    }
 
-        let options: Vec<CompiledOption> = spec
-            .option_ids()
-            .map(|id| compile_option(spec, id, encoding))
-            .collect();
+    /// [`CompiledMdes::compile`] with phase spans (`compile/validate`,
+    /// `compile/packing`, `compile/classes`) and sharing gauges recorded
+    /// into `tel`.
+    ///
+    /// The sharing gauges measure how much the one-compiled-object-per-
+    /// spec-object policy (Section 4's load-time sharing) saves: the number
+    /// of option *references* from OR-trees versus the unique option pool,
+    /// and the checks-per-usage packing ratio of the chosen encoding.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledMdes::compile`].
+    pub fn compile_with_telemetry(
+        spec: &MdesSpec,
+        encoding: UsageEncoding,
+        tel: &Telemetry,
+    ) -> Result<CompiledMdes, MdesError> {
+        let _compile = tel.span("compile");
+        {
+            let _validate = tel.span("validate");
+            spec.validate()?;
+        }
+
+        let options: Vec<CompiledOption> = {
+            let _packing = tel.span("packing");
+            spec.option_ids()
+                .map(|id| compile_option(spec, id, encoding))
+                .collect()
+        };
 
         let or_trees: Vec<CompiledOrTree> = spec
             .or_tree_ids()
             .map(|id| CompiledOrTree {
-                options: spec.or_tree(id).options.iter().map(|o| o.index() as u32).collect(),
+                options: spec
+                    .or_tree(id)
+                    .options
+                    .iter()
+                    .map(|o| o.index() as u32)
+                    .collect(),
             })
             .collect();
 
+        // Sharing: every OR-tree stores references into one shared option
+        // pool; the hit rate is how many references resolve to an
+        // already-compiled option rather than a fresh one.
+        let references: usize = or_trees.iter().map(|t| t.options.len()).sum();
+        tel.gauge_set("compile/options/unique", options.len() as f64);
+        tel.gauge_set("compile/options/references", references as f64);
+        if references > 0 {
+            tel.gauge_set(
+                "compile/options/share_hit_rate",
+                1.0 - options.len() as f64 / references as f64,
+            );
+        }
+        let usages: usize = spec
+            .option_ids()
+            .map(|id| spec.option(id).usages.len())
+            .sum();
+        let checks: usize = options.iter().map(|o| o.checks.len()).sum();
+        tel.gauge_set("compile/checks/emitted", checks as f64);
+        if usages > 0 {
+            tel.gauge_set(
+                "compile/checks/packing_ratio",
+                checks as f64 / usages as f64,
+            );
+        }
+
+        let _classes_span = tel.span("classes");
         let classes: Vec<CompiledClass> = spec
             .class_ids()
             .map(|id| {
@@ -152,6 +210,7 @@ impl CompiledMdes {
                 }
             })
             .collect();
+        drop(_classes_span);
 
         let min_time = options
             .iter()
@@ -552,8 +611,20 @@ mod tests {
         let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
         let checks = &compiled.options()[0].checks;
         assert_eq!(checks.len(), 2);
-        assert_eq!(checks[0], CompiledCheck { time: 0, mask: 0b011 });
-        assert_eq!(checks[1], CompiledCheck { time: 1, mask: 0b100 });
+        assert_eq!(
+            checks[0],
+            CompiledCheck {
+                time: 0,
+                mask: 0b011
+            }
+        );
+        assert_eq!(
+            checks[1],
+            CompiledCheck {
+                time: 1,
+                mask: 0b100
+            }
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ pub fn and_or_tree(spec: &MdesSpec, id: AndOrTreeId) -> String {
     let tree = spec.and_or_tree(id);
     let name = tree.name.as_deref().unwrap_or("AND");
     let mut out = String::from("digraph andortree {\n  rankdir=TB;\n");
-    let _ = writeln!(out, "  \"and\" [shape=triangle, label=\"{}\"];", escape(name));
+    let _ = writeln!(
+        out,
+        "  \"and\" [shape=triangle, label=\"{}\"];",
+        escape(name)
+    );
     for (i, &or) in tree.or_trees.iter().enumerate() {
         let prefix = format!("or{i}");
         emit_or_tree(spec, or, &prefix, &mut out);

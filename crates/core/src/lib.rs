@@ -54,8 +54,8 @@
 #![warn(missing_docs)]
 
 pub mod collision;
-pub mod dot;
 pub mod compile;
+pub mod dot;
 pub mod error;
 pub mod lmdes;
 pub mod pretty;

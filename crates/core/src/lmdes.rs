@@ -344,9 +344,7 @@ mod tests {
     #[test]
     fn machine_descriptions_round_trip() {
         // Compile each bundled machine and round-trip the image.
-        for source in [
-            "resource M; or_tree T = first_of({ M @ 0 }); class c { constraint = T; }",
-        ] {
+        for source in ["resource M; or_tree T = first_of({ M @ 0 }); class c { constraint = T; }"] {
             let spec = mdes_spec_from(source);
             for encoding in [UsageEncoding::Scalar, UsageEncoding::BitVector] {
                 let mdes = CompiledMdes::compile(&spec, encoding).unwrap();

@@ -46,7 +46,10 @@ pub fn reservation_table(spec: &MdesSpec, id: OptionId) -> String {
 
     let headers: Vec<&str> = used
         .iter()
-        .map(|&r| spec.resources().name(crate::resource::ResourceId::from_index(r)))
+        .map(|&r| {
+            spec.resources()
+                .name(crate::resource::ResourceId::from_index(r))
+        })
         .collect();
     let widths: Vec<usize> = headers.iter().map(|h| h.len().max(3)).collect();
 
@@ -183,7 +186,9 @@ mod tests {
     #[test]
     fn class_constraint_resolves_by_name() {
         let (spec, _, _, _) = demo_spec();
-        assert!(class_constraint(&spec, "load").unwrap().contains("class load:"));
+        assert!(class_constraint(&spec, "load")
+            .unwrap()
+            .contains("class load:"));
         assert!(class_constraint(&spec, "missing").is_none());
     }
 }

@@ -124,12 +124,10 @@ impl ResourcePool {
     /// # Errors
     ///
     /// Propagates the errors of [`ResourcePool::add`].
-    pub fn add_indexed(
-        &mut self,
-        base: &str,
-        count: usize,
-    ) -> Result<Vec<ResourceId>, MdesError> {
-        (0..count).map(|i| self.add(format!("{base}[{i}]"))).collect()
+    pub fn add_indexed(&mut self, base: &str, count: usize) -> Result<Vec<ResourceId>, MdesError> {
+        (0..count)
+            .map(|i| self.add(format!("{base}[{i}]")))
+            .collect()
     }
 
     /// Looks a resource up by name.
@@ -199,10 +197,7 @@ mod tests {
     fn duplicate_names_are_rejected() {
         let mut pool = ResourcePool::new();
         pool.add("M").unwrap();
-        assert_eq!(
-            pool.add("M"),
-            Err(MdesError::DuplicateResource("M".into()))
-        );
+        assert_eq!(pool.add("M"), Err(MdesError::DuplicateResource("M".into())));
     }
 
     #[test]

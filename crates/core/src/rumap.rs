@@ -7,6 +7,37 @@
 //!
 //! Cycles are arbitrary `i32`s: operations issued at cycle 0 may use decode
 //! resources at negative cycles, so the map grows in both directions.
+//!
+//! # Contract
+//!
+//! The map is *conceptually infinite*: every cycle exists and is all-zero
+//! until reserved.  The `base`/`words` storage is a window onto that
+//! infinite map, and the window's placement is an implementation detail
+//! callers must not observe:
+//!
+//! * [`RuMap::word`] / [`RuMap::is_free`] outside the stored window read
+//!   zero — the correct occupancy of any untouched cycle.
+//! * [`RuMap::release`] outside the window is deliberately a no-op:
+//!   clearing bits of an all-zero cycle changes nothing, so no growth is
+//!   needed.  This also makes release safe to call with a superset of what
+//!   was reserved (the checker's [`crate::Checker`] unwind paths rely on
+//!   it when a partially applied option is backed out).
+//! * [`RuMap::reserve`] grows the window as needed; the first reservation
+//!   on an empty map *rebases* the window at that cycle.  Rebasing never
+//!   discards occupancy (the map is empty at that point), so callers that
+//!   interleave reserve/release at arbitrary cycles — the backward list
+//!   scheduler probing negative cycles, the modulo scheduler's
+//!   `rem_euclid` slots in `[0, II)` — cannot desynchronize: a release
+//!   always either clears bits the matching reserve set, or no-ops on a
+//!   cycle whose window entry was never created precisely because nothing
+//!   was ever reserved there.
+//!
+//! The one way to misuse the map is to release a *different* (cycle,
+//! mask) pair than was reserved while both fall inside the window — that
+//! clears another operation's bits.  The schedulers never do this: every
+//! release site replays the exact `(cycle, mask)` list of a prior
+//! successful reserve (see `Checker::release` and
+//! `ModuloScheduler::unschedule`).
 
 /// A growable bit matrix of resource occupancy indexed by schedule cycle.
 ///
@@ -74,6 +105,10 @@ impl RuMap {
     }
 
     /// Clears the resources in `mask` at `cycle` (unscheduling support).
+    ///
+    /// Outside the stored window this is a no-op by design: an untouched
+    /// cycle is all-zero, so there is nothing to clear and no reason to
+    /// grow (see the module-level contract).
     pub fn release(&mut self, cycle: i32, mask: u64) {
         let idx = i64::from(cycle) - i64::from(self.base);
         if idx >= 0 && idx < self.words.len() as i64 {
@@ -108,6 +143,11 @@ impl RuMap {
     }
 
     /// Index of `cycle` in `words`, growing the vector as needed.
+    ///
+    /// The first touch of an empty map rebases the window at `cycle`;
+    /// later touches grow downward (copy) or upward (resize).  Rebasing
+    /// is invisible to callers because an empty map has no occupancy to
+    /// move.
     fn index_growing(&mut self, cycle: i32) -> usize {
         if self.words.is_empty() {
             self.base = cycle;
@@ -199,6 +239,70 @@ mod tests {
     #[should_panic(expected = "invalid cycle range")]
     fn with_range_rejects_inverted_bounds() {
         let _ = RuMap::with_range(4, 2);
+    }
+
+    /// Rebase-on-first-touch must be invisible: a map first touched far
+    /// from zero behaves identically to one first touched at zero.
+    #[test]
+    fn first_touch_rebase_is_observationally_neutral() {
+        let mut far_first = RuMap::new();
+        far_first.reserve(1_000, 0b1);
+        far_first.reserve(0, 0b10);
+        far_first.reserve(-7, 0b100);
+
+        let mut zero_first = RuMap::new();
+        zero_first.reserve(0, 0b10);
+        zero_first.reserve(-7, 0b100);
+        zero_first.reserve(1_000, 0b1);
+
+        for cycle in [-8, -7, 0, 1, 999, 1_000, 1_001] {
+            assert_eq!(
+                far_first.word(cycle),
+                zero_first.word(cycle),
+                "cycle {cycle}"
+            );
+        }
+        assert_eq!(far_first.min_reserved_cycle(), Some(-7));
+        assert_eq!(far_first.max_reserved_cycle(), Some(1_000));
+    }
+
+    /// The modulo scheduler only touches slots in `[0, II)` via
+    /// `rem_euclid`; replaying its reserve/evict/release pattern must
+    /// always return the map to empty (no silent no-op release can leak a
+    /// reservation).
+    #[test]
+    fn modulo_style_reserve_release_round_trips_to_empty() {
+        let ii = 3i32;
+        let mut ru = RuMap::new();
+        let mut reserved: Vec<(i32, u64)> = Vec::new();
+        // Simulated placements at arbitrary cycles, folded into slots.
+        for (cycle, mask) in [(0, 0b1), (4, 0b10), (-2, 0b100), (7, 0b1000), (-5, 0b1)] {
+            let slot = (cycle as i32).rem_euclid(ii);
+            ru.reserve(slot, mask);
+            reserved.push((slot, mask));
+        }
+        assert!(ru.population() > 0);
+        for (slot, mask) in reserved {
+            ru.release(slot, mask);
+        }
+        assert_eq!(ru.population(), 0);
+        assert!((0..ii).all(|slot| ru.word(slot) == 0));
+    }
+
+    /// The backward scheduler probes and reserves at negative cycles
+    /// after the map was rebased at a positive one; a release replayed
+    /// from the reserve list must clear exactly those bits.
+    #[test]
+    fn backward_style_negative_cycle_unschedule() {
+        let mut ru = RuMap::new();
+        ru.reserve(10, 0b1); // forward placement rebased the window at 10
+        ru.reserve(-3, 0b110); // backward placement grows downward
+        ru.release(-3, 0b110); // unschedule the backward op
+        assert_eq!(ru.word(-3), 0);
+        assert!(!ru.is_free(10, 0b1), "unrelated reservation survived");
+        // Releasing a superset (checker unwind) of an empty cycle no-ops.
+        ru.release(-100, u64::MAX);
+        assert_eq!(ru.population(), 1);
     }
 
     #[test]

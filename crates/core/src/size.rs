@@ -175,10 +175,20 @@ mod tests {
         let t2 = spec.add_or_tree(OrTree::new(vec![o2]));
         let andor = spec.add_and_or_tree(AndOrTree::new(vec![t1, t2]));
         // Two classes share the same AND/OR tree.
-        spec.add_class("a", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
-            .unwrap();
-        spec.add_class("b", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "a",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
+        spec.add_class(
+            "b",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
         let compiled = CompiledMdes::compile(&spec, UsageEncoding::Scalar).unwrap();
         let report = measure(&compiled);
         // One AND node: 8 + 2*4 = 16 bytes, despite two referencing classes.

@@ -901,7 +901,9 @@ mod tests {
     fn validate_rejects_empty_option() {
         let mut spec = small_spec();
         let empty = spec.add_option(TableOption::new(vec![]));
-        spec.or_tree_mut(OrTreeId::from_index(0)).options.push(empty);
+        spec.or_tree_mut(OrTreeId::from_index(0))
+            .options
+            .push(empty);
         assert_eq!(spec.validate(), Err(MdesError::EmptyOption));
     }
 
@@ -991,7 +993,10 @@ mod tests {
             spec.or_tree(OrTreeId::from_index(0)).options,
             vec![OptionId::from_index(0)]
         );
-        assert_eq!(spec.option(OptionId::from_index(0)).usages, vec![usage(0, 0)]);
+        assert_eq!(
+            spec.option(OptionId::from_index(0)).usages,
+            vec![usage(0, 0)]
+        );
     }
 
     #[test]

@@ -173,7 +173,8 @@ impl CheckStats {
         if success {
             self.successes += 1;
         }
-        self.options_per_attempt.record(self.current_attempt_options);
+        self.options_per_attempt
+            .record(self.current_attempt_options);
     }
 
     /// Records one successfully scheduled operation.
@@ -200,6 +201,34 @@ impl CheckStats {
     /// "Checks/Option" column; 1.0 is the ideal).
     pub fn checks_per_option(&self) -> f64 {
         ratio(self.resource_checks, self.options_checked)
+    }
+
+    /// Folds these counters into a telemetry registry under `prefix`
+    /// (e.g. `sched/list`), so scheduler query counts land in the same
+    /// `--metrics` report as the pipeline and compile spans.
+    ///
+    /// Counters are *added* (so repeated publishes from merged runs
+    /// accumulate); the derived per-attempt ratios are set as gauges
+    /// (last publish wins).
+    pub fn publish(&self, tel: &mdes_telemetry::Telemetry, prefix: &str) {
+        tel.counter_add(&format!("{prefix}/operations"), self.operations);
+        tel.counter_add(&format!("{prefix}/attempts"), self.attempts);
+        tel.counter_add(&format!("{prefix}/successes"), self.successes);
+        tel.counter_add(&format!("{prefix}/options_checked"), self.options_checked);
+        tel.counter_add(&format!("{prefix}/resource_checks"), self.resource_checks);
+        tel.gauge_set(&format!("{prefix}/attempts_per_op"), self.attempts_per_op());
+        tel.gauge_set(
+            &format!("{prefix}/options_per_attempt"),
+            self.options_per_attempt_avg(),
+        );
+        tel.gauge_set(
+            &format!("{prefix}/checks_per_attempt"),
+            self.checks_per_attempt(),
+        );
+        tel.gauge_set(
+            &format!("{prefix}/checks_per_option"),
+            self.checks_per_option(),
+        );
     }
 
     /// Merges counters from another run (e.g. per-block parallel stats).
@@ -333,6 +362,26 @@ mod tests {
         assert_eq!(a.resource_checks, 2);
         assert_eq!(a.operations, 1);
         assert_eq!(a.options_per_attempt.count(1), 2);
+    }
+
+    #[test]
+    fn publish_folds_counters_and_ratios_into_telemetry() {
+        let mut stats = CheckStats::new();
+        stats.begin_attempt();
+        stats.count_option();
+        stats.count_check();
+        stats.count_check();
+        stats.end_attempt(true);
+        stats.count_operation();
+
+        let tel = mdes_telemetry::Telemetry::new();
+        stats.publish(&tel, "sched/list");
+        stats.publish(&tel, "sched/list"); // counters accumulate
+        let report = tel.report();
+        assert_eq!(report.counter("sched/list/attempts"), Some(2));
+        assert_eq!(report.counter("sched/list/resource_checks"), Some(4));
+        assert_eq!(report.counter("sched/list/operations"), Some(2));
+        assert_eq!(report.gauge("sched/list/checks_per_attempt"), Some(2.0));
     }
 
     #[test]

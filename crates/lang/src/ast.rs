@@ -268,6 +268,9 @@ mod tests {
             Span::new(1, 5),
         );
         assert_eq!(e.span(), Span::new(1, 5));
-        assert_eq!(Expr::Unary(UnOp::Neg, Box::new(Expr::Int(1, s)), s).span(), s);
+        assert_eq!(
+            Expr::Unary(UnOp::Neg, Box::new(Expr::Int(1, s)), s).span(),
+            s
+        );
     }
 }

@@ -77,9 +77,7 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
                 });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &source[start..i];

@@ -38,7 +38,7 @@ pub mod parser;
 pub mod printer;
 pub mod token;
 
-pub use elaborate::{compile, elaborate};
+pub use elaborate::{compile, compile_with_telemetry, elaborate};
 pub use error::LangError;
 pub use parser::parse;
 pub use printer::{print, structurally_equal};

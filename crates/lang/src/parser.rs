@@ -1,8 +1,8 @@
 //! Recursive-descent parser for HMDL.
 
 use crate::ast::{
-    BinOp, ClassBody, Expr, ForBinding, Item, OptionBody, OrItem, OrTreeBody, Program,
-    ResourceRef, UnOp, UsageAst,
+    BinOp, ClassBody, Expr, ForBinding, Item, OptionBody, OrItem, OrTreeBody, Program, ResourceRef,
+    UnOp, UsageAst,
 };
 use crate::error::LangError;
 use crate::lexer::lex;
@@ -246,14 +246,12 @@ impl Parser {
                     return Err(LangError::new("duplicate `src_time` field", span));
                 }
             }
-            "flags" => {
-                loop {
-                    body.flags.push(self.expect_ident("flag name")?);
-                    if !self.eat(&TokenKind::Pipe) {
-                        break;
-                    }
+            "flags" => loop {
+                body.flags.push(self.expect_ident("flag name")?);
+                if !self.eat(&TokenKind::Pipe) {
+                    break;
                 }
-            }
+            },
             other => {
                 return Err(LangError::new(
                     format!(
@@ -517,7 +515,8 @@ mod tests {
 
     #[test]
     fn parses_for_with_guard_and_multiple_bindings() {
-        let src = "or_tree P = first_of(for i in 0..4, j in 0..4 if j > i: { RP[i] @ 0, RP[j] @ 0 });";
+        let src =
+            "or_tree P = first_of(for i in 0..4, j in 0..4 if j > i: { RP[i] @ 0, RP[j] @ 0 });";
         let program = parse(src).unwrap();
         match &program.items[0] {
             Item::OrTree {
@@ -565,8 +564,7 @@ mod tests {
 
     #[test]
     fn flags_accept_pipe_separated_list() {
-        let program =
-            parse("class br { constraint = T; flags = branch | serial; }").unwrap();
+        let program = parse("class br { constraint = T; flags = branch | serial; }").unwrap();
         match &program.items[0] {
             Item::Class { body, .. } => {
                 let names: Vec<&str> = body.flags.iter().map(|(n, _)| n.as_str()).collect();

@@ -233,9 +233,7 @@ mod tests {
     fn branches_are_flagged_on_every_machine() {
         for machine in Machine::all() {
             let spec = machine.spec();
-            let has_branch = spec
-                .class_ids()
-                .any(|id| spec.class(id).flags.branch);
+            let has_branch = spec.class_ids().any(|id| spec.class(id).flags.branch);
             assert!(has_branch, "{} lacks a branch class", machine.name());
         }
     }

@@ -49,9 +49,9 @@ pub fn eliminate_dominated_options(spec: &mut MdesSpec) -> DominanceReport {
         let options = spec.or_tree(tree_id).options.clone();
         let mut kept: Vec<mdes_core::OptionId> = Vec::with_capacity(options.len());
         for candidate in options {
-            let dominated = kept.iter().any(|&winner| {
-                spec.option(candidate).covers(spec.option(winner))
-            });
+            let dominated = kept
+                .iter()
+                .any(|&winner| spec.option(candidate).covers(spec.option(winner)));
             if dominated {
                 report.options_removed += 1;
             } else {

@@ -123,8 +123,13 @@ mod tests {
             .collect();
         let w = spec.add_or_tree(OrTree::named("W", w_opts));
         let andor = spec.add_and_or_tree(AndOrTree::named("Op", vec![d, w]));
-        spec.add_class("op", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "op",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
         spec
     }
 
@@ -162,12 +167,21 @@ mod tests {
     fn classes_sharing_an_and_or_tree_share_the_expansion() {
         let mut spec = andor_spec();
         let andor = spec.and_or_tree_ids().next().unwrap();
-        spec.add_class("op2", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "op2",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
         let (expanded, report) = expand_to_or(&spec);
         assert_eq!(report.trees_expanded, 1);
-        let c1 = expanded.class(expanded.class_by_name("op").unwrap()).constraint;
-        let c2 = expanded.class(expanded.class_by_name("op2").unwrap()).constraint;
+        let c1 = expanded
+            .class(expanded.class_by_name("op").unwrap())
+            .constraint;
+        let c2 = expanded
+            .class(expanded.class_by_name("op2").unwrap())
+            .constraint;
         assert_eq!(c1, c2);
     }
 

@@ -61,7 +61,11 @@ pub fn factor_common_usages(spec: &mut MdesSpec) -> FactorReport {
         // Re-scan this AND/OR-tree until no factoring applies.
         loop {
             match find_factoring(spec, andor) {
-                Some(Factoring::MergeIntoExisting { source, target, usage }) => {
+                Some(Factoring::MergeIntoExisting {
+                    source,
+                    target,
+                    usage,
+                }) => {
                     apply_merge(spec, andor, source, target, usage);
                     report.usages_merged += 1;
                     affected = true;
@@ -260,8 +264,13 @@ mod tests {
         let m_opt = spec.add_option(TableOption::new(vec![u(4, 0)]));
         let m = spec.add_or_tree(OrTree::named("UseM", vec![m_opt]));
         let andor = spec.add_and_or_tree(AndOrTree::named("Load", vec![dec, m]));
-        spec.add_class("load", Constraint::AndOr(andor), Latency::new(1), OpFlags::load())
-            .unwrap();
+        spec.add_class(
+            "load",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::load(),
+        )
+        .unwrap();
         spec
     }
 
@@ -272,7 +281,9 @@ mod tests {
         assert_eq!(report.usages_merged, 1);
         assert_eq!(report.trees_created, 0);
 
-        let andor = spec.and_or_tree(spec.and_or_tree_ids().next().unwrap()).clone();
+        let andor = spec
+            .and_or_tree(spec.and_or_tree_ids().next().unwrap())
+            .clone();
         // Decoder options no longer carry the bus usage.
         let dec = spec.or_tree(andor.or_trees[0]);
         for &opt in &dec.options {
@@ -291,15 +302,20 @@ mod tests {
         let mut spec = MdesSpec::new();
         spec.resources_mut().add_indexed("Dec", 2).unwrap(); // r0, r1
         spec.resources_mut().add("Bus").unwrap(); // r2
-        // Decoder usage at time 0, common bus usage at time 1 (lone at
-        // its time in each option).
+                                                  // Decoder usage at time 0, common bus usage at time 1 (lone at
+                                                  // its time in each option).
         let opts: Vec<OptionId> = (0..2)
             .map(|d| spec.add_option(TableOption::new(vec![u(d, 0), u(2, 1)])))
             .collect();
         let dec = spec.add_or_tree(OrTree::new(opts));
         let andor = spec.add_and_or_tree(AndOrTree::new(vec![dec]));
-        spec.add_class("op", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "op",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
 
         let report = factor_common_usages(&mut spec);
         assert_eq!(report.trees_created, 1);
@@ -323,8 +339,13 @@ mod tests {
             .collect();
         let dec = spec.add_or_tree(OrTree::new(opts));
         let andor = spec.add_and_or_tree(AndOrTree::new(vec![dec]));
-        spec.add_class("op", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "op",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
         let report = factor_common_usages(&mut spec);
         assert_eq!(report.trees_created, 0);
         assert_eq!(report.usages_merged, 0);
@@ -347,10 +368,20 @@ mod tests {
         let m = spec.add_or_tree(OrTree::new(vec![m_opt]));
         let with_m = spec.add_and_or_tree(AndOrTree::new(vec![dec, m]));
         let without_m = spec.add_and_or_tree(AndOrTree::new(vec![dec]));
-        spec.add_class("a", Constraint::AndOr(with_m), Latency::new(1), OpFlags::none())
-            .unwrap();
-        spec.add_class("b", Constraint::AndOr(without_m), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "a",
+            Constraint::AndOr(with_m),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
+        spec.add_class(
+            "b",
+            Constraint::AndOr(without_m),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
 
         factor_common_usages(&mut spec);
 
@@ -375,8 +406,13 @@ mod tests {
         let m_opt = spec.add_option(TableOption::new(vec![u(1, 0)]));
         let m = spec.add_or_tree(OrTree::new(vec![m_opt]));
         let andor = spec.add_and_or_tree(AndOrTree::new(vec![tree, m]));
-        spec.add_class("op", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "op",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
         let report = factor_common_usages(&mut spec);
         assert_eq!(report.usages_merged + report.trees_created, 0);
         assert!(spec.validate().is_ok());

@@ -80,7 +80,10 @@ pub fn minimize_usages(spec: &mut MdesSpec) -> MinimizeReport {
     for id in spec.option_ids() {
         let mut per_resource: HashMap<ResourceId, Vec<i32>> = HashMap::new();
         for usage in &spec.option(id).usages {
-            per_resource.entry(usage.resource).or_default().push(usage.time);
+            per_resource
+                .entry(usage.resource)
+                .or_default()
+                .push(usage.time);
         }
         for (resource, mut times) in per_resource {
             times.sort_unstable();
@@ -147,7 +150,10 @@ mod tests {
     fn duplicate_usages_inside_an_option_are_removed() {
         let mut base = MdesSpec::new();
         base.resources_mut().add("r").unwrap();
-        let mut spec = wrap(base, vec![TableOption::new(vec![u(0, 0), u(0, 0), u(0, 1)])]);
+        let mut spec = wrap(
+            base,
+            vec![TableOption::new(vec![u(0, 0), u(0, 0), u(0, 1)])],
+        );
         let report = minimize_usages(&mut spec);
         assert_eq!(report.duplicate_usages_removed, 1);
         assert_eq!(

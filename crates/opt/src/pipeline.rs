@@ -19,6 +19,7 @@
 //! machine and per stage.
 
 use mdes_core::spec::MdesSpec;
+use mdes_telemetry::Telemetry;
 
 use crate::dominance::{eliminate_dominated_options, DominanceReport};
 use crate::factor::{factor_common_usages, FactorReport};
@@ -106,28 +107,87 @@ pub struct PipelineReport {
     pub cleanup: Option<RedundancyReport>,
 }
 
+/// Total resource usages across every option — the paper's primary size
+/// metric for a description ("number of options/resource usages").
+fn total_usages(spec: &MdesSpec) -> usize {
+    spec.option_ids()
+        .map(|id| spec.option(id).usages.len())
+        .sum()
+}
+
+/// Records `options/…` and `usages/…` gauges under `stage` for one
+/// transformation, sampling the spec before and after `run`.
+fn staged<R>(
+    spec: &mut MdesSpec,
+    tel: &Telemetry,
+    stage: &str,
+    run: impl FnOnce(&mut MdesSpec) -> R,
+) -> R {
+    let (options_before, usages_before) = (spec.num_options(), total_usages(spec));
+    let result = {
+        let _span = tel.span(stage);
+        run(spec)
+    };
+    tel.gauge_set(
+        &format!("pipeline/{stage}/options/before"),
+        options_before as f64,
+    );
+    tel.gauge_set(
+        &format!("pipeline/{stage}/options/after"),
+        spec.num_options() as f64,
+    );
+    tel.gauge_set(
+        &format!("pipeline/{stage}/usages/before"),
+        usages_before as f64,
+    );
+    tel.gauge_set(
+        &format!("pipeline/{stage}/usages/after"),
+        total_usages(spec) as f64,
+    );
+    result
+}
+
 /// Runs the configured transformations on `spec` in the paper's order.
 pub fn optimize(spec: &mut MdesSpec, config: &PipelineConfig) -> PipelineReport {
+    optimize_with_telemetry(spec, config, &Telemetry::disabled())
+}
+
+/// [`optimize`] with per-stage spans (`pipeline/redundancy`,
+/// `pipeline/dominance`, `pipeline/shifting`, …) and before/after
+/// option/usage-count gauges recorded into `tel`.
+pub fn optimize_with_telemetry(
+    spec: &mut MdesSpec,
+    config: &PipelineConfig,
+    tel: &Telemetry,
+) -> PipelineReport {
     let mut report = PipelineReport::default();
+    let _pipeline = tel.span("pipeline");
+    tel.gauge_set("pipeline/options/before", spec.num_options() as f64);
+    tel.gauge_set("pipeline/usages/before", total_usages(spec) as f64);
 
     if config.redundancy {
-        report.redundancy = Some(eliminate_redundancy(spec));
+        report.redundancy = Some(staged(spec, tel, "redundancy", eliminate_redundancy));
     }
     if config.dominance {
-        report.dominance = Some(eliminate_dominated_options(spec));
+        report.dominance = Some(staged(spec, tel, "dominance", eliminate_dominated_options));
     }
     if config.timeshift {
-        report.timeshift = Some(shift_usage_times(spec, config.direction));
+        report.timeshift = Some(staged(spec, tel, "shifting", |s| {
+            shift_usage_times(s, config.direction)
+        }));
     }
     if config.sortzero {
-        report.sortzero = Some(sort_checks_zero_first(spec, config.direction));
+        report.sortzero = Some(staged(spec, tel, "sortzero", |s| {
+            sort_checks_zero_first(s, config.direction)
+        }));
     }
     if config.treesort {
-        report.treesort = Some(sort_and_or_trees(spec));
+        report.treesort = Some(staged(spec, tel, "treesort", sort_and_or_trees));
     }
     if config.factor {
-        let factor = factor_common_usages(spec);
+        let factor = staged(spec, tel, "factor", factor_common_usages);
         if factor.trees_affected > 0 {
+            let _cleanup = tel.span("cleanup");
             if config.redundancy {
                 report.cleanup = Some(eliminate_redundancy(spec));
             }
@@ -140,6 +200,9 @@ pub fn optimize(spec: &mut MdesSpec, config: &PipelineConfig) -> PipelineReport 
         }
         report.factor = Some(factor);
     }
+
+    tel.gauge_set("pipeline/options/after", spec.num_options() as f64);
+    tel.gauge_set("pipeline/usages/after", total_usages(spec) as f64);
 
     debug_assert!(spec.validate().is_ok(), "pipeline broke the spec");
     report
@@ -186,8 +249,13 @@ mod tests {
         let mem = spec.add_or_tree(OrTree::named("Mem", vec![m]));
 
         let load = spec.add_and_or_tree(AndOrTree::named("Load", vec![dec, mem]));
-        spec.add_class("load", Constraint::AndOr(load), Latency::new(1), OpFlags::load())
-            .unwrap();
+        spec.add_class(
+            "load",
+            Constraint::AndOr(load),
+            Latency::new(1),
+            OpFlags::load(),
+        )
+        .unwrap();
         spec
     }
 
@@ -241,6 +309,37 @@ mod tests {
             .flat_map(|id| spec.option(id).usages.clone())
             .all(|us| us.time >= 0);
         assert!(all_non_negative);
+    }
+
+    #[test]
+    fn telemetry_records_a_span_and_gauges_per_stage() {
+        let mut spec = messy_spec();
+        let tel = Telemetry::new();
+        optimize_with_telemetry(&mut spec, &PipelineConfig::full(), &tel);
+        let report = tel.report();
+        for stage in [
+            "redundancy",
+            "dominance",
+            "shifting",
+            "sortzero",
+            "treesort",
+            "factor",
+        ] {
+            assert!(
+                report.span(&format!("pipeline/{stage}")).is_some(),
+                "missing span for {stage}"
+            );
+            assert!(
+                report
+                    .gauge(&format!("pipeline/{stage}/options/before"))
+                    .is_some(),
+                "missing before gauge for {stage}"
+            );
+        }
+        // Whole-pipeline gauges reflect the net shrink.
+        let before = report.gauge("pipeline/options/before").unwrap();
+        let after = report.gauge("pipeline/options/after").unwrap();
+        assert!(after < before);
     }
 
     #[test]

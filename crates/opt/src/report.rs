@@ -82,7 +82,11 @@ pub fn staged_report(spec: &MdesSpec, direction: Direction) -> Vec<StageSnapshot
         UsageEncoding::Scalar,
     ));
 
-    stages.push(snapshot("bit-vector encoding", &spec, UsageEncoding::BitVector));
+    stages.push(snapshot(
+        "bit-vector encoding",
+        &spec,
+        UsageEncoding::BitVector,
+    ));
 
     let shift = shift_usage_times(&mut spec, direction);
     stages.push(snapshot(
@@ -93,7 +97,10 @@ pub fn staged_report(spec: &MdesSpec, direction: Direction) -> Vec<StageSnapshot
 
     let sort = sort_checks_zero_first(&mut spec, direction);
     stages.push(snapshot(
-        &format!("zero-first check order ({} options)", sort.options_reordered),
+        &format!(
+            "zero-first check order ({} options)",
+            sort.options_reordered
+        ),
         &spec,
         UsageEncoding::BitVector,
     ));

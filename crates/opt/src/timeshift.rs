@@ -116,8 +116,13 @@ mod tests {
         spec.resources_mut().add("WrPt").unwrap();
         let opt = spec.add_option(TableOption::new(vec![u(0, -1), u(1, 0), u(2, 1)]));
         let tree = spec.add_or_tree(OrTree::new(vec![opt]));
-        spec.add_class("load", Constraint::Or(tree), Latency::new(1), OpFlags::load())
-            .unwrap();
+        spec.add_class(
+            "load",
+            Constraint::Or(tree),
+            Latency::new(1),
+            OpFlags::load(),
+        )
+        .unwrap();
         spec
     }
 
@@ -138,8 +143,13 @@ mod tests {
         spec.resources_mut().add("Div").unwrap();
         let opt = spec.add_option(TableOption::new(vec![u(0, 0), u(0, 1), u(0, 2)]));
         let tree = spec.add_or_tree(OrTree::new(vec![opt]));
-        spec.add_class("div", Constraint::Or(tree), Latency::new(3), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "div",
+            Constraint::Or(tree),
+            Latency::new(3),
+            OpFlags::none(),
+        )
+        .unwrap();
         shift_usage_times(&mut spec, Direction::Backward);
         let times: Vec<i32> = spec
             .option(spec.option_ids().next().unwrap())

@@ -109,8 +109,13 @@ mod tests {
         let m = spec.add_or_tree(OrTree::named("UseM", vec![m_opt]));
 
         let andor = spec.add_and_or_tree(AndOrTree::named("Load", vec![dec, wr, m]));
-        spec.add_class("load", Constraint::AndOr(andor), Latency::new(1), OpFlags::load())
-            .unwrap();
+        spec.add_class(
+            "load",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::load(),
+        )
+        .unwrap();
         (spec, dec, wr, m)
     }
 
@@ -142,10 +147,20 @@ mod tests {
 
         let main = spec.add_and_or_tree(AndOrTree::new(vec![solo, shared]));
         let other = spec.add_and_or_tree(AndOrTree::new(vec![shared]));
-        spec.add_class("a", Constraint::AndOr(main), Latency::new(1), OpFlags::none())
-            .unwrap();
-        spec.add_class("b", Constraint::AndOr(other), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "a",
+            Constraint::AndOr(main),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
+        spec.add_class(
+            "b",
+            Constraint::AndOr(other),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
 
         sort_and_or_trees(&mut spec);
         let order = &spec.and_or_tree(main).or_trees;
@@ -161,8 +176,13 @@ mod tests {
         let ta = spec.add_or_tree(OrTree::new(vec![a]));
         let tb = spec.add_or_tree(OrTree::new(vec![b]));
         let andor = spec.add_and_or_tree(AndOrTree::new(vec![tb, ta]));
-        spec.add_class("op", Constraint::AndOr(andor), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "op",
+            Constraint::AndOr(andor),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
         let report = sort_and_or_trees(&mut spec);
         // Identical keys: stable sort keeps the specified order.
         assert_eq!(report.trees_reordered, 0);

@@ -220,7 +220,10 @@ mod tests {
         let mut stats = CheckStats::new();
         let schedule = ListScheduler::new(&mdes).schedule(&block, &mut stats);
         let chart = occupancy_chart(&spec, &mdes, &block, &schedule);
-        assert!(!chart.contains("M |"), "memory row should be omitted:\n{chart}");
+        assert!(
+            !chart.contains("M |"),
+            "memory row should be omitted:\n{chart}"
+        );
     }
 
     #[test]

@@ -201,8 +201,13 @@ mod tests {
         let alu = spec.resources_mut().add("ALU").unwrap();
         let opt = spec.add_option(TableOption::new(vec![ResourceUsage::new(alu, 0)]));
         let tree = spec.add_or_tree(OrTree::new(vec![opt]));
-        spec.add_class("alu", Constraint::Or(tree), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "alu",
+            Constraint::Or(tree),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
         spec.add_class(
             "load",
             Constraint::Or(tree),
@@ -210,10 +215,20 @@ mod tests {
             OpFlags::load(),
         )
         .unwrap();
-        spec.add_class("store", Constraint::Or(tree), Latency::new(1), OpFlags::store())
-            .unwrap();
-        spec.add_class("br", Constraint::Or(tree), Latency::new(1), OpFlags::branch())
-            .unwrap();
+        spec.add_class(
+            "store",
+            Constraint::Or(tree),
+            Latency::new(1),
+            OpFlags::store(),
+        )
+        .unwrap();
+        spec.add_class(
+            "br",
+            Constraint::Or(tree),
+            Latency::new(1),
+            OpFlags::branch(),
+        )
+        .unwrap();
         let _ = ResourceId::from_index(0);
         CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap()
     }
@@ -245,8 +260,13 @@ mod tests {
         let alu = spec.resources_mut().add("ALU").unwrap();
         let opt = spec.add_option(TableOption::new(vec![ResourceUsage::new(alu, 0)]));
         let tree = spec.add_or_tree(OrTree::new(vec![opt]));
-        spec.add_class("alu", Constraint::Or(tree), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "alu",
+            Constraint::Or(tree),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
         spec.add_class(
             "cascade",
             Constraint::Or(tree),
@@ -292,9 +312,15 @@ mod tests {
         block.push(Op::new(class(&mdes, "store"), vec![], vec![Reg(3)]));
         let graph = DepGraph::build(&block, &mdes);
         // store0 → load1, store0 → store2, load1 → store2.
-        assert!(graph.succs[0].iter().any(|e| e.kind == DepKind::Mem && e.to == 1));
-        assert!(graph.succs[0].iter().any(|e| e.kind == DepKind::Mem && e.to == 2));
-        assert!(graph.succs[1].iter().any(|e| e.kind == DepKind::Mem && e.to == 2));
+        assert!(graph.succs[0]
+            .iter()
+            .any(|e| e.kind == DepKind::Mem && e.to == 1));
+        assert!(graph.succs[0]
+            .iter()
+            .any(|e| e.kind == DepKind::Mem && e.to == 2));
+        assert!(graph.succs[1]
+            .iter()
+            .any(|e| e.kind == DepKind::Mem && e.to == 2));
     }
 
     #[test]

@@ -185,6 +185,26 @@ impl<'a> ListScheduler<'a> {
         self.schedule_with_graph(block, &graph, stats)
     }
 
+    /// [`ListScheduler::schedule`] with a `sched/list` timing span and
+    /// this run's counters published into `tel` under `sched/list/…`
+    /// (the run is still merged into `stats`, so existing accounting is
+    /// unchanged).
+    pub fn schedule_with_telemetry(
+        &self,
+        block: &Block,
+        stats: &mut CheckStats,
+        tel: &mdes_telemetry::Telemetry,
+    ) -> Schedule {
+        let mut run = CheckStats::new();
+        let schedule = {
+            let _span = tel.span("sched/list");
+            self.schedule(block, &mut run)
+        };
+        run.publish(tel, "sched/list");
+        stats.merge(&run);
+        schedule
+    }
+
     /// Schedules `block` with a pre-built dependence graph.
     pub fn schedule_with_graph(
         &self,
@@ -246,7 +266,11 @@ impl<'a> ListScheduler<'a> {
 
         let ops: Vec<ScheduledOp> = placed.into_iter().map(Option::unwrap).collect();
         let length = ops.iter().map(|s| s.cycle).max().unwrap_or(-1) + 1;
-        Schedule { ops, attempts, length }
+        Schedule {
+            ops,
+            attempts,
+            length,
+        }
     }
 
     /// Schedules `block` with *operation-driven* list scheduling: each
@@ -315,7 +339,11 @@ impl<'a> ListScheduler<'a> {
 
         let ops: Vec<ScheduledOp> = placed.into_iter().map(Option::unwrap).collect();
         let length = ops.iter().map(|s| s.cycle).max().unwrap_or(-1) + 1;
-        Schedule { ops, attempts, length }
+        Schedule {
+            ops,
+            attempts,
+            length,
+        }
     }
 
     /// Schedules `block` backward: operations are placed from the block
@@ -394,7 +422,11 @@ impl<'a> ListScheduler<'a> {
             })
             .collect();
         let length = ops.iter().map(|s| s.cycle).max().unwrap_or(-1) + 1;
-        Schedule { ops, attempts, length }
+        Schedule {
+            ops,
+            attempts,
+            length,
+        }
     }
 }
 
@@ -402,9 +434,7 @@ impl<'a> ListScheduler<'a> {
 mod tests {
     use super::*;
     use crate::operation::{Op, Reg};
-    use mdes_core::spec::{
-        AndOrTree, Constraint, Latency, MdesSpec, OpFlags, OrTree, TableOption,
-    };
+    use mdes_core::spec::{AndOrTree, Constraint, Latency, MdesSpec, OpFlags, OrTree, TableOption};
     use mdes_core::usage::ResourceUsage;
     use mdes_core::{ClassId, UsageEncoding};
 
@@ -439,8 +469,13 @@ mod tests {
             OpFlags::load(),
         )
         .unwrap();
-        spec.add_class("alu", Constraint::AndOr(alu_t), Latency::new(1), OpFlags::none())
-            .unwrap();
+        spec.add_class(
+            "alu",
+            Constraint::AndOr(alu_t),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
         CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap()
     }
 
@@ -465,6 +500,26 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_variant_matches_check_stats() {
+        let mdes = two_issue();
+        let mut block = Block::new();
+        for i in 0..4 {
+            block.push(Op::new(class(&mdes, "alu"), vec![Reg(i)], vec![]));
+        }
+        let mut stats = CheckStats::new();
+        let tel = mdes_telemetry::Telemetry::new();
+        let schedule = ListScheduler::new(&mdes).schedule_with_telemetry(&block, &mut stats, &tel);
+        assert_eq!(schedule.length, 2);
+        let report = tel.report();
+        assert_eq!(report.counter("sched/list/attempts"), Some(stats.attempts));
+        assert_eq!(
+            report.counter("sched/list/resource_checks"),
+            Some(stats.resource_checks)
+        );
+        assert!(report.span("sched/list").is_some());
+    }
+
+    #[test]
     fn flow_dependences_respect_latency() {
         let mdes = two_issue();
         let mut block = Block::new();
@@ -481,7 +536,11 @@ mod tests {
         let mdes = two_issue();
         let mut block = Block::new();
         for i in 0..3 {
-            block.push(Op::new(class(&mdes, "load"), vec![Reg(10 + i)], vec![Reg(i)]));
+            block.push(Op::new(
+                class(&mdes, "load"),
+                vec![Reg(10 + i)],
+                vec![Reg(i)],
+            ));
         }
         let mut stats = CheckStats::new();
         let schedule = ListScheduler::new(&mdes).schedule(&block, &mut stats);
@@ -543,8 +602,12 @@ mod tests {
         for priority in [Priority::Height, Priority::Slack, Priority::SourceOrder] {
             let mut a = CheckStats::new();
             let mut b = CheckStats::new();
-            let s1 = ListScheduler::new(&mdes).with_priority(priority).schedule(&block, &mut a);
-            let s2 = ListScheduler::new(&mdes).with_priority(priority).schedule(&block, &mut b);
+            let s1 = ListScheduler::new(&mdes)
+                .with_priority(priority)
+                .schedule(&block, &mut a);
+            let s2 = ListScheduler::new(&mdes)
+                .with_priority(priority)
+                .schedule(&block, &mut b);
             assert_eq!(s1.cycles(), s2.cycles());
         }
     }
@@ -578,10 +641,18 @@ mod tests {
         let mdes = two_issue();
         let mut block = Block::new();
         for i in 0..3 {
-            block.push(Op::new(class(&mdes, "load"), vec![Reg(10 + i)], vec![Reg(i)]));
+            block.push(Op::new(
+                class(&mdes, "load"),
+                vec![Reg(10 + i)],
+                vec![Reg(i)],
+            ));
         }
         for i in 0..4 {
-            block.push(Op::new(class(&mdes, "alu"), vec![Reg(20 + i)], vec![Reg(10)]));
+            block.push(Op::new(
+                class(&mdes, "alu"),
+                vec![Reg(20 + i)],
+                vec![Reg(10)],
+            ));
         }
         let mut stats = CheckStats::new();
         let schedule = ListScheduler::new(&mdes).schedule_operation_driven(&block, &mut stats);
@@ -595,7 +666,11 @@ mod tests {
         let mdes = two_issue();
         let mut block = Block::new();
         for i in 0..6 {
-            block.push(Op::new(class(&mdes, "load"), vec![Reg(10 + i)], vec![Reg(0)]));
+            block.push(Op::new(
+                class(&mdes, "load"),
+                vec![Reg(10 + i)],
+                vec![Reg(0)],
+            ));
         }
         let mut cycle_stats = CheckStats::new();
         ListScheduler::new(&mdes).schedule(&block, &mut cycle_stats);
@@ -631,6 +706,9 @@ mod tests {
         // Force both loads into the same cycle: M is double-booked.
         let c0 = schedule.ops[0].cycle;
         schedule.ops[1].cycle = c0;
-        assert!(schedule.verify(&graph, &mdes).unwrap_err().contains("double-books"));
+        assert!(schedule
+            .verify(&graph, &mdes)
+            .unwrap_err()
+            .contains("double-books"));
     }
 }

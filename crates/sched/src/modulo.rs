@@ -62,7 +62,10 @@ impl ModuloSchedule {
         }
         for &(from, to, latency, distance) in &looped.carried {
             if self.cycles[to] + self.ii * (distance as i32) < self.cycles[from] + latency {
-                return Err(format!("carried dependence {from}→{to} violated at II {}", self.ii));
+                return Err(format!(
+                    "carried dependence {from}→{to} violated at II {}",
+                    self.ii
+                ));
             }
         }
         // Modulo resource check.
@@ -210,8 +213,38 @@ impl<'a> ModuloScheduler<'a> {
         panic!("no modulo schedule found up to II {limit}");
     }
 
+    /// [`ModuloScheduler::schedule`] with a `sched/modulo` timing span,
+    /// this run's counters published into `tel` under `sched/modulo/…`,
+    /// and the achieved II and MII recorded as gauges (the run is still
+    /// merged into `stats`).
+    pub fn schedule_with_telemetry(
+        &self,
+        looped: &LoopBlock,
+        stats: &mut CheckStats,
+        tel: &mdes_telemetry::Telemetry,
+    ) -> ModuloSchedule {
+        let mut run = CheckStats::new();
+        let schedule = {
+            let _span = tel.span("sched/modulo");
+            self.schedule(looped, &mut run)
+        };
+        run.publish(tel, "sched/modulo");
+        tel.gauge_set("sched/modulo/ii", schedule.ii as f64);
+        tel.gauge_set(
+            "sched/modulo/mii",
+            self.res_mii(looped).max(self.rec_mii(looped)) as f64,
+        );
+        stats.merge(&run);
+        schedule
+    }
+
     /// One budgeted scheduling attempt at a fixed II.
-    fn try_ii(&self, looped: &LoopBlock, ii: i32, stats: &mut CheckStats) -> Option<ModuloSchedule> {
+    fn try_ii(
+        &self,
+        looped: &LoopBlock,
+        ii: i32,
+        stats: &mut CheckStats,
+    ) -> Option<ModuloSchedule> {
         let body = &looped.body;
         let n = body.ops.len();
         if n == 0 {
@@ -256,7 +289,9 @@ impl<'a> ModuloScheduler<'a> {
             let mut placed = false;
             for slot in est..est + ii {
                 stats.begin_attempt();
-                if let Some(selection) = self.try_reserve_modulo(&mut mrt, body.ops[op].class, slot, ii, stats) {
+                if let Some(selection) =
+                    self.try_reserve_modulo(&mut mrt, body.ops[op].class, slot, ii, stats)
+                {
                     stats.end_attempt(true);
                     cycles[op] = Some(slot);
                     selections[op] = selection;
@@ -437,9 +472,7 @@ impl<'a> ModuloScheduler<'a> {
         };
         let victims: Vec<usize> = (0..cycles.len())
             .filter(|&i| {
-                i != op
-                    && cycles[i].is_some()
-                    && conflicts(&selections[i], cycles[i].unwrap())
+                i != op && cycles[i].is_some() && conflicts(&selections[i], cycles[i].unwrap())
             })
             .collect();
         for victim in victims {

@@ -99,7 +99,9 @@ mod tests {
     #[test]
     fn from_iterator_collects_ops() {
         let class = ClassId::from_index(0);
-        let block: Block = (0..3).map(|i| Op::new(class, vec![Reg(i)], vec![])).collect();
+        let block: Block = (0..3)
+            .map(|i| Op::new(class, vec![Reg(i)], vec![]))
+            .collect();
         assert_eq!(block.len(), 3);
     }
 

@@ -130,7 +130,10 @@ pub fn simulate_in_order(block: &Block, order: &[usize], mdes: &CompiledMdes) ->
             if ready > cycle {
                 break;
             }
-            if checker.try_reserve(&mut ru, block.ops[op].class, cycle, &mut stats).is_none() {
+            if checker
+                .try_reserve(&mut ru, block.ops[op].class, cycle, &mut stats)
+                .is_none()
+            {
                 break;
             }
             issue_cycle[op] = Some(cycle);

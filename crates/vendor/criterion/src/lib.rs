@@ -1,0 +1,198 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the subset of its API this workspace
+//! uses. The build environment has no network access, so the real crate
+//! cannot be fetched.
+//!
+//! Statistical rigour is intentionally minimal: each benchmark runs a
+//! short warm-up, then a fixed number of timed iterations, and the mean
+//! per-iteration wall clock is printed. That is enough to keep the bench
+//! targets compiling, runnable, and useful for coarse comparisons.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, passed to every benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size;
+        run_one(&id.into(), samples, &mut f);
+    }
+}
+
+/// Identifier combining a function name and a parameter label.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Units processed per iteration; recorded for display parity with real
+/// criterion but not used in rate calculations here.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.full);
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().full);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            full: self.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle given to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the most recent `iter` call.
+    last_mean: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up pass, then the timed passes.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_mean = Some(start.elapsed() / self.samples as u32);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples,
+        last_mean: None,
+    };
+    f(&mut bencher);
+    match bencher.last_mean {
+        Some(mean) => eprintln!("bench {label:<56} {mean:>12.2?}/iter ({samples} samples)"),
+        None => eprintln!("bench {label:<56} (no iter call)"),
+    }
+}
+
+/// Collects benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -75,7 +75,10 @@ impl WorkloadConfig {
     ///
     /// Panics unless `scale` is positive and finite.
     pub fn with_ilp_scale(mut self, scale: f64) -> WorkloadConfig {
-        assert!(scale.is_finite() && scale > 0.0, "ilp_scale must be positive");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "ilp_scale must be positive"
+        );
         self.ilp_scale = scale;
         self
     }
@@ -174,7 +177,13 @@ pub fn generate(machine: Machine, spec: &MdesSpec, config: &WorkloadConfig) -> W
             let pick = rng.pick_weighted(&body_weights);
             let (class, srcs, dests) = body[pick];
             let op = make_op(
-                class, srcs, dests, config, &mut rng, &mut recent, &mut next_reg,
+                class,
+                srcs,
+                dests,
+                config,
+                &mut rng,
+                &mut recent,
+                &mut next_reg,
             );
             block.push(annotate(op, config, &vocabulary, &mut rng));
         }
@@ -182,7 +191,13 @@ pub fn generate(machine: Machine, spec: &MdesSpec, config: &WorkloadConfig) -> W
         let pick = rng.pick_weighted(&end_weights);
         let (class, srcs, dests) = ends[pick];
         let op = make_op(
-            class, srcs, dests, config, &mut rng, &mut recent, &mut next_reg,
+            class,
+            srcs,
+            dests,
+            config,
+            &mut rng,
+            &mut recent,
+            &mut next_reg,
         );
         block.push(annotate(op, config, &vocabulary, &mut rng));
 
@@ -251,7 +266,10 @@ pub fn generate_uniform(spec: &MdesSpec, config: &WorkloadConfig) -> Workload {
             body.push(id);
         }
     }
-    assert!(!body.is_empty(), "spec has no schedulable non-branch classes");
+    assert!(
+        !body.is_empty(),
+        "spec has no schedulable non-branch classes"
+    );
 
     let mut rng = Pcg32::new(config.seed, 0xD1F0);
     let mut blocks = Vec::new();
@@ -265,12 +283,26 @@ pub fn generate_uniform(spec: &MdesSpec, config: &WorkloadConfig) -> Workload {
             let class = body[rng.gen_range(body.len() as u32) as usize];
             let dests = usize::from(!spec.class(class).flags.store);
             block.push(make_op(
-                class, 2, dests, config, &mut rng, &mut recent, &mut next_reg,
+                class,
+                2,
+                dests,
+                config,
+                &mut rng,
+                &mut recent,
+                &mut next_reg,
             ));
         }
         if !ends.is_empty() {
             let class = ends[rng.gen_range(ends.len() as u32) as usize];
-            block.push(make_op(class, 1, 0, config, &mut rng, &mut recent, &mut next_reg));
+            block.push(make_op(
+                class,
+                1,
+                0,
+                config,
+                &mut rng,
+                &mut recent,
+                &mut next_reg,
+            ));
         }
         emitted += block.len();
         blocks.push(block);
@@ -388,8 +420,16 @@ mod tests {
         };
         // Targets from Table 1, tolerance ±3 percentage points (the
         // branch share additionally depends on block-length rounding).
-        assert!((pct("ialu_1src") - 40.0).abs() < 3.0, "{}", pct("ialu_1src"));
-        assert!((pct("ialu_move") - 10.29).abs() < 2.0, "{}", pct("ialu_move"));
+        assert!(
+            (pct("ialu_1src") - 40.0).abs() < 3.0,
+            "{}",
+            pct("ialu_1src")
+        );
+        assert!(
+            (pct("ialu_move") - 10.29).abs() < 2.0,
+            "{}",
+            pct("ialu_move")
+        );
         assert!((pct("load") - 14.37).abs() < 3.0, "{}", pct("load"));
         assert!((pct("branch") - 13.0).abs() < 3.5, "{}", pct("branch"));
         assert!(pct("fp_op") < 2.0);
@@ -494,8 +534,15 @@ mod tests {
             }
         }
         // And the default stays mnemonic-free (identical stream shape).
-        let plain = generate(machine, &spec, &WorkloadConfig::paper_default(machine).with_total_ops(300));
-        assert!(plain.blocks.iter().all(|b| b.ops.iter().all(|o| o.mnemonic.is_empty())));
+        let plain = generate(
+            machine,
+            &spec,
+            &WorkloadConfig::paper_default(machine).with_total_ops(300),
+        );
+        assert!(plain
+            .blocks
+            .iter()
+            .all(|b| b.ops.iter().all(|o| o.mnemonic.is_empty())));
     }
 
     #[test]

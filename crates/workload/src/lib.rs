@@ -35,6 +35,8 @@ pub mod generate;
 pub mod mix;
 pub mod rng;
 
-pub use generate::{as_loop_bodies, generate, generate_uniform, uniform_config, Workload, WorkloadConfig};
+pub use generate::{
+    as_loop_bodies, generate, generate_uniform, uniform_config, Workload, WorkloadConfig,
+};
 pub use mix::{body_mix, end_mix, OpTemplate};
 pub use rng::Pcg32;

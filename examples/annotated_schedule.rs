@@ -23,16 +23,18 @@ fn main() {
     let mut stats = CheckStats::new();
     for (b, block) in workload.blocks.iter().take(3).enumerate() {
         let schedule = scheduler.schedule(block, &mut stats);
-        println!("block {b} — {} ops in {} cycles", block.len(), schedule.length);
+        println!(
+            "block {b} — {} ops in {} cycles",
+            block.len(),
+            schedule.length
+        );
         for cycle in 0..schedule.length {
             let issued: Vec<String> = (0..block.len())
                 .filter(|&i| schedule.ops[i].cycle == cycle)
                 .map(|i| {
                     let op = &block.ops[i];
-                    let dests: Vec<String> =
-                        op.dests.iter().map(|r| format!("r{}", r.0)).collect();
-                    let srcs: Vec<String> =
-                        op.srcs.iter().map(|r| format!("r{}", r.0)).collect();
+                    let dests: Vec<String> = op.dests.iter().map(|r| format!("r{}", r.0)).collect();
+                    let srcs: Vec<String> = op.srcs.iter().map(|r| format!("r{}", r.0)).collect();
                     let name = if op.mnemonic.is_empty() {
                         spec.class(op.class).name.clone()
                     } else {

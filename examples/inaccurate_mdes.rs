@@ -34,7 +34,10 @@ fn main() {
         "scheduler description", "planned", "executed", "surprise", "IPC"
     );
     let mut executed_accurate = 0i64;
-    for (label, mdes) in [("accurate MDES", &accurate), ("FU-mix approximation", &approx)] {
+    for (label, mdes) in [
+        ("accurate MDES", &accurate),
+        ("FU-mix approximation", &approx),
+    ] {
         let scheduler = ListScheduler::new(mdes);
         let mut stats = CheckStats::new();
         let (mut planned, mut executed) = (0i64, 0i64);

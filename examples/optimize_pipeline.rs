@@ -33,7 +33,11 @@ fn main() {
         );
     };
 
-    snapshot("as authored (scalar encoding)", &spec, UsageEncoding::Scalar);
+    snapshot(
+        "as authored (scalar encoding)",
+        &spec,
+        UsageEncoding::Scalar,
+    );
 
     let redundancy = mdes::opt::eliminate_redundancy(&mut spec);
     snapshot(
@@ -47,7 +51,10 @@ fn main() {
 
     let dominance = mdes::opt::eliminate_dominated_options(&mut spec);
     snapshot(
-        &format!("+ dominated options ({} removed)", dominance.options_removed),
+        &format!(
+            "+ dominated options ({} removed)",
+            dominance.options_removed
+        ),
         &spec,
         UsageEncoding::Scalar,
     );
@@ -66,7 +73,10 @@ fn main() {
 
     let sort = mdes::opt::sort_checks_zero_first(&mut spec, Direction::Forward);
     snapshot(
-        &format!("+ zero-first check order ({} reordered)", sort.options_reordered),
+        &format!(
+            "+ zero-first check order ({} reordered)",
+            sort.options_reordered
+        ),
         &spec,
         UsageEncoding::BitVector,
     );

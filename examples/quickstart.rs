@@ -70,5 +70,8 @@ fn main() {
     // 6. The RU map made visible: which operation holds which resource
     //    in which cycle.
     println!("\nresource occupancy (ops labeled 0-4):");
-    print!("{}", mdes::sched::occupancy_chart(&spec, &mdes, &block, &schedule));
+    print!(
+        "{}",
+        mdes::sched::occupancy_chart(&spec, &mdes, &block, &schedule)
+    );
 }

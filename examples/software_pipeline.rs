@@ -51,12 +51,20 @@ fn main() {
 
     let mut stats = CheckStats::new();
     let schedule = scheduler.schedule(&looped, &mut stats);
-    schedule.verify(&looped, &mdes).expect("valid modulo schedule");
+    schedule
+        .verify(&looped, &mdes)
+        .expect("valid modulo schedule");
 
     println!("achieved II = {}\n", schedule.ii);
     println!("op                  cycle  MRT slot (cycle mod II)");
     println!("------------------  -----  -----------------------");
-    let names = ["ld r1,[r0]", "mul r2,r1,3", "add r3,r2,1", "st [r0],r3", "add r0,r0,4"];
+    let names = [
+        "ld r1,[r0]",
+        "mul r2,r1,3",
+        "add r3,r2,1",
+        "st [r0],r3",
+        "add r0,r0,4",
+    ];
     for (i, name) in names.iter().enumerate() {
         let _ = (ld, mul, add, st); // indices documented above
         println!(

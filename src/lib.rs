@@ -9,7 +9,8 @@
 //! * [`machines`] — the four processor descriptions from the paper;
 //! * [`sched`] — dependence graphs and the list / modulo schedulers;
 //! * [`workload`] — synthetic SPEC CINT92-equivalent workload generators;
-//! * [`automata`] — the finite-state-automaton baseline.
+//! * [`automata`] — the finite-state-automaton baseline;
+//! * [`telemetry`] — pipeline-wide timing spans, counters, and gauges.
 
 #![forbid(unsafe_code)]
 
@@ -19,4 +20,5 @@ pub use mdes_lang as lang;
 pub use mdes_machines as machines;
 pub use mdes_opt as opt;
 pub use mdes_sched as sched;
+pub use mdes_telemetry as telemetry;
 pub use mdes_workload as workload;

@@ -6,13 +6,13 @@ mod common;
 
 use common::{arb_block_plan, arb_spec_plan, build_block, build_spec};
 use mdes::core::{CheckStats, CompiledMdes, UsageEncoding};
-use mdes::sched::Priority;
-use proptest::prelude::*;
 use mdes::machines::Machine;
 use mdes::opt::pipeline::PipelineConfig;
 use mdes::opt::timeshift::Direction;
+use mdes::sched::Priority;
 use mdes::sched::{DepGraph, ListScheduler};
 use mdes::workload::{generate, WorkloadConfig};
+use proptest::prelude::*;
 
 fn tuned(machine: Machine, direction: Direction) -> CompiledMdes {
     let mut spec = machine.spec();

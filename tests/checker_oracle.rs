@@ -53,10 +53,7 @@ impl Oracle {
     /// Tries to issue: first fully-free combination wins.
     fn try_issue(&mut self, spec: &MdesSpec, class: ClassId, time: i32) -> bool {
         for combo in Self::combinations(spec, class) {
-            let cells: Vec<(i32, usize)> = combo
-                .iter()
-                .map(|&(t, r)| (time + t, r))
-                .collect();
+            let cells: Vec<(i32, usize)> = combo.iter().map(|&(t, r)| (time + t, r)).collect();
             if cells.iter().all(|c| !self.busy.contains(c)) {
                 self.busy.extend(cells);
                 return true;

@@ -35,10 +35,7 @@ pub fn arb_spec_plan() -> impl Strategy<Value = SpecPlan> {
             .map(|&size| {
                 // 1..=3 options per group; each option 1..=2 usages on the
                 // group's resources at times -2..=3.
-                prop::collection::vec(
-                    prop::collection::vec((0..size, -2i32..=3), 1..=2),
-                    1..=3,
-                )
+                prop::collection::vec(prop::collection::vec((0..size, -2i32..=3), 1..=2), 1..=3)
             })
             .collect();
         let num_groups = sizes.len();
@@ -105,8 +102,13 @@ pub fn build_spec(plan: &SpecPlan) -> MdesSpec {
             let andor = spec.add_and_or_tree(AndOrTree::named(format!("a{c}"), trees));
             Constraint::AndOr(andor)
         };
-        spec.add_class(format!("c{c}"), constraint, Latency::new(*latency), OpFlags::none())
-            .expect("unique class names");
+        spec.add_class(
+            format!("c{c}"),
+            constraint,
+            Latency::new(*latency),
+            OpFlags::none(),
+        )
+        .expect("unique class names");
     }
     spec.validate().expect("generated spec is valid");
     spec
@@ -116,10 +118,7 @@ pub fn build_spec(plan: &SpecPlan) -> MdesSpec {
 /// index, a destination register and two source registers from a pool of
 /// six.
 pub fn arb_block_plan(num_classes: usize) -> impl Strategy<Value = Vec<(usize, u32, u32, u32)>> {
-    prop::collection::vec(
-        (0..num_classes, 0u32..6, 0u32..6, 0u32..6),
-        1..=12,
-    )
+    prop::collection::vec((0..num_classes, 0u32..6, 0u32..6, 0u32..6), 1..=12)
 }
 
 /// Materializes a block blueprint.

@@ -78,7 +78,10 @@ fn pack_with_tables(compiled: &CompiledMdes, classes: &[ClassId]) -> i32 {
     let mut cycle = 0i32;
     for &class in classes {
         let mut spins = 0;
-        while checker.try_reserve(&mut ru, class, cycle, &mut stats).is_none() {
+        while checker
+            .try_reserve(&mut ru, class, cycle, &mut stats)
+            .is_none()
+        {
             cycle += 1;
             spins += 1;
             assert!(spins < 1 << 12, "class can never issue");

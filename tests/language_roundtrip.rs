@@ -31,7 +31,12 @@ fn bundled_machines_round_trip_is_a_fixpoint() {
         let spec = machine.spec();
         let first = print(&spec).unwrap();
         let second = print(&compile(&first).unwrap()).unwrap();
-        assert_eq!(first, second, "{} printing is not a fixpoint", machine.name());
+        assert_eq!(
+            first,
+            second,
+            "{} printing is not a fixpoint",
+            machine.name()
+        );
     }
 }
 

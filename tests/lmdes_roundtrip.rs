@@ -23,8 +23,8 @@ fn bundled_machines_round_trip_through_lmdes() {
             for encoding in [UsageEncoding::Scalar, UsageEncoding::BitVector] {
                 let mdes = CompiledMdes::compile(&spec, encoding).unwrap();
                 let image = lmdes::write(&mdes);
-                let loaded = lmdes::read(&image)
-                    .unwrap_or_else(|e| panic!("{}: {e}", machine.name()));
+                let loaded =
+                    lmdes::read(&image).unwrap_or_else(|e| panic!("{}: {e}", machine.name()));
                 assert_eq!(loaded, mdes, "{}", machine.name());
             }
         }

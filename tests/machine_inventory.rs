@@ -29,8 +29,21 @@ fn superspark_inventory_is_pinned() {
     assert_eq!(
         resources,
         vec![
-            "Decoder[0]", "Decoder[1]", "Decoder[2]", "RP[0]", "RP[1]", "RP[2]", "RP[3]",
-            "WrPt[0]", "WrPt[1]", "IALU[0]", "IALU[1]", "Shifter", "M", "BR", "FPU",
+            "Decoder[0]",
+            "Decoder[1]",
+            "Decoder[2]",
+            "RP[0]",
+            "RP[1]",
+            "RP[2]",
+            "RP[3]",
+            "WrPt[0]",
+            "WrPt[1]",
+            "IALU[0]",
+            "IALU[1]",
+            "Shifter",
+            "M",
+            "BR",
+            "FPU",
         ]
     );
     let expected: BTreeMap<String, usize> = [
@@ -84,7 +97,10 @@ fn pentium_is_pure_or_and_pa7100_keeps_its_stale_duplicate() {
     for id in pentium.class_ids() {
         assert!(matches!(pentium.class(id).constraint, Constraint::Or(_)));
         let count = pentium.class_option_count(id);
-        assert!(count == 1 || count == 2, "Pentium class with {count} options");
+        assert!(
+            count == 1 || count == 2,
+            "Pentium class with {count} options"
+        );
     }
 
     let pa = Machine::Pa7100.spec();
@@ -104,10 +120,18 @@ fn branch_classes_and_memory_classes_are_flagged_consistently() {
             let class = spec.class(id);
             let name = &class.name;
             if name.contains("load") || name.starts_with("ldcw") {
-                assert!(class.flags.load, "{}: {name} not load-flagged", machine.name());
+                assert!(
+                    class.flags.load,
+                    "{}: {name} not load-flagged",
+                    machine.name()
+                );
             }
             if name.contains("store") {
-                assert!(class.flags.store, "{}: {name} not store-flagged", machine.name());
+                assert!(
+                    class.flags.store,
+                    "{}: {name} not store-flagged",
+                    machine.name()
+                );
             }
             if name.contains("br") && !name.contains("sub") {
                 assert!(

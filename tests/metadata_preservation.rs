@@ -21,7 +21,12 @@ fn metadata(spec: &MdesSpec) -> Metadata {
             (l.dest, l.src, l.mem)
         })
         .collect();
-    (names, latencies, spec.opcodes().len(), spec.bypasses().len())
+    (
+        names,
+        latencies,
+        spec.opcodes().len(),
+        spec.bypasses().len(),
+    )
 }
 
 #[test]
@@ -46,7 +51,9 @@ fn pipeline_preserves_all_non_constraint_metadata() {
             for (mnemonic, class) in spec.opcodes() {
                 assert_eq!(
                     spec.class(*class).name,
-                    original.class(original.opcode_class(mnemonic).unwrap()).name,
+                    original
+                        .class(original.opcode_class(mnemonic).unwrap())
+                        .name,
                     "{}: opcode {mnemonic} re-pointed",
                     machine.name()
                 );

@@ -1,0 +1,85 @@
+//! Regression test for the paper's PA7100 anecdote (Section 5).
+//!
+//! During the original PA7100 retargeting, two reservation-table options
+//! for memory operations became identical and "the MDES author never
+//! realized this since correct output was still generated".  Redundancy +
+//! dominated-option elimination must (a) remove such a duplicate, (b)
+//! keep only the higher-priority copy, and (c) leave every schedule
+//! unchanged.
+
+use mdes::core::{CheckStats, CompiledMdes, UsageEncoding};
+use mdes::machines::Machine;
+use mdes::opt::pipeline::{optimize, PipelineConfig};
+use mdes::sched::ListScheduler;
+use mdes::workload::{generate_uniform, uniform_config};
+
+/// Re-enacts the authoring mistake: appends an exact duplicate of the
+/// highest-priority option to the end (lowest priority) of the busiest
+/// OR-tree of the PA7100 description.
+fn pa7100_with_duplicate() -> (mdes::core::MdesSpec, mdes::core::OptionId) {
+    let mut spec = Machine::Pa7100.spec();
+    let tree_id = spec
+        .or_tree_ids()
+        .max_by_key(|&id| spec.or_tree(id).options.len())
+        .expect("PA7100 has OR-trees");
+    let original = spec.or_tree(tree_id).options[0];
+    let duplicate = spec.add_option(spec.option(original).clone());
+    spec.or_tree_mut(tree_id).options.push(duplicate);
+    assert!(spec.validate().is_ok(), "injected spec must stay valid");
+    (spec, duplicate)
+}
+
+#[test]
+fn duplicate_option_is_eliminated_and_higher_priority_copy_kept() {
+    let (mut spec, duplicate) = pa7100_with_duplicate();
+    let report = optimize(&mut spec, &PipelineConfig::section5());
+
+    let removed =
+        report.redundancy.unwrap().options_merged + report.dominance.unwrap().options_removed;
+    assert!(removed >= 1, "the duplicate survived the Section-5 passes");
+    // The duplicate (lower-priority copy) is gone from every tree; ties
+    // keep the higher-priority option only.
+    for tree in spec.or_tree_ids() {
+        assert!(
+            !spec.or_tree(tree).options.contains(&duplicate),
+            "a tree still references the injected duplicate"
+        );
+    }
+}
+
+#[test]
+fn cleanup_restores_the_description_to_its_optimized_form() {
+    let (mut tainted, _) = pa7100_with_duplicate();
+    let mut pristine = Machine::Pa7100.spec();
+    let config = PipelineConfig::full();
+    optimize(&mut tainted, &config);
+    optimize(&mut pristine, &config);
+    // Same options, trees, and classes: the duplicate left no trace.
+    assert_eq!(tainted.num_options(), pristine.num_options());
+    assert_eq!(tainted.num_or_trees(), pristine.num_or_trees());
+    assert_eq!(tainted.num_classes(), pristine.num_classes());
+}
+
+#[test]
+fn schedules_are_identical_with_and_without_the_duplicate() {
+    let (mut tainted, _) = pa7100_with_duplicate();
+    let pristine = Machine::Pa7100.spec();
+    optimize(&mut tainted, &PipelineConfig::full());
+
+    // Workload comes from the pristine spec so both sides schedule the
+    // same class stream.
+    let workload = generate_uniform(&pristine, &uniform_config(2_000));
+    let mut cycles = Vec::new();
+    for spec in [&pristine, &tainted] {
+        let compiled = CompiledMdes::compile(spec, UsageEncoding::BitVector).unwrap();
+        let scheduler = ListScheduler::new(&compiled);
+        let mut stats = CheckStats::new();
+        let all: Vec<i32> = workload
+            .blocks
+            .iter()
+            .flat_map(|b| scheduler.schedule(b, &mut stats).cycles())
+            .collect();
+        cycles.push(all);
+    }
+    assert_eq!(cycles[0], cycles[1], "the duplicate changed a schedule");
+}

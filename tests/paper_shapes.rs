@@ -16,9 +16,9 @@
 
 use mdes::core::{CheckStats, CompiledMdes, UsageEncoding};
 use mdes::machines::Machine;
-use mdes_bench::experiment::{default_workload, prepare_spec, run, Rep, Stage};
 use mdes::sched::ListScheduler;
 use mdes::workload::generate;
+use mdes_bench::experiment::{default_workload, prepare_spec, run, Rep, Stage};
 
 const OPS: usize = 4_000;
 
@@ -44,8 +44,20 @@ fn pentium_gets_no_benefit_and_small_size_overhead() {
     use mdes_bench::experiment::measure_only;
     let machine = Machine::Pentium;
     let config = default_workload(machine, OPS);
-    let or = run(machine, Rep::OrTree, Stage::Original, UsageEncoding::Scalar, &config);
-    let andor = run(machine, Rep::AndOr, Stage::Original, UsageEncoding::Scalar, &config);
+    let or = run(
+        machine,
+        Rep::OrTree,
+        Stage::Original,
+        UsageEncoding::Scalar,
+        &config,
+    );
+    let andor = run(
+        machine,
+        Rep::AndOr,
+        Stage::Original,
+        UsageEncoding::Scalar,
+        &config,
+    );
     assert_eq!(
         or.stats.resource_checks, andor.stats.resource_checks,
         "Pentium checks must be identical (0.0% reduction, Table 5)"
@@ -61,7 +73,13 @@ fn checks_per_option_approach_one_after_section_7() {
     for machine in Machine::all() {
         let config = default_workload(machine, OPS);
         for rep in Rep::both() {
-            let result = run(machine, rep, Stage::Shifted, UsageEncoding::BitVector, &config);
+            let result = run(
+                machine,
+                rep,
+                Stage::Shifted,
+                UsageEncoding::BitVector,
+                &config,
+            );
             let ratio = result.stats.checks_per_option();
             assert!(
                 (0.99..1.45).contains(&ratio),
@@ -77,8 +95,20 @@ fn checks_per_option_approach_one_after_section_7() {
 fn aggregate_check_reduction_is_about_an_order_of_magnitude() {
     for machine in [Machine::SuperSparc, Machine::K5] {
         let config = default_workload(machine, OPS);
-        let unopt = run(machine, Rep::OrTree, Stage::Original, UsageEncoding::Scalar, &config);
-        let full = run(machine, Rep::AndOr, Stage::Full, UsageEncoding::BitVector, &config);
+        let unopt = run(
+            machine,
+            Rep::OrTree,
+            Stage::Original,
+            UsageEncoding::Scalar,
+            &config,
+        );
+        let full = run(
+            machine,
+            Rep::AndOr,
+            Stage::Full,
+            UsageEncoding::BitVector,
+            &config,
+        );
         let factor = unopt.stats.checks_per_attempt() / full.stats.checks_per_attempt();
         assert!(
             factor > 4.0,
@@ -92,14 +122,30 @@ fn aggregate_check_reduction_is_about_an_order_of_magnitude() {
 fn conflict_detection_ordering_helps_flexible_machines_only() {
     for machine in Machine::all() {
         let config = default_workload(machine, OPS);
-        let before = run(machine, Rep::AndOr, Stage::Shifted, UsageEncoding::BitVector, &config);
-        let after = run(machine, Rep::AndOr, Stage::Full, UsageEncoding::BitVector, &config);
+        let before = run(
+            machine,
+            Rep::AndOr,
+            Stage::Shifted,
+            UsageEncoding::BitVector,
+            &config,
+        );
+        let after = run(
+            machine,
+            Rep::AndOr,
+            Stage::Full,
+            UsageEncoding::BitVector,
+            &config,
+        );
         let b = before.stats.options_per_attempt_avg();
         let a = after.stats.options_per_attempt_avg();
         if machine.is_flexible() {
             assert!(a < b * 0.98, "{}: {b} -> {a}", machine.name());
         } else {
-            assert!(a <= b * 1.02, "{}: ordering hurt ({b} -> {a})", machine.name());
+            assert!(
+                a <= b * 1.02,
+                "{}: ordering hurt ({b} -> {a})",
+                machine.name()
+            );
         }
     }
 }
@@ -120,7 +166,10 @@ fn figure2_distribution_is_bimodal_for_superspark_or_rep() {
     let mid_mass = hist.fraction_range(24, 72) * 100.0;
     // Paper: 38.02% at one option; 45.52% between 24 and 72.
     assert!((20.0..60.0).contains(&at_one), "peak at 1: {at_one:.1}%");
-    assert!((25.0..70.0).contains(&mid_mass), "24..=72 mass: {mid_mass:.1}%");
+    assert!(
+        (25.0..70.0).contains(&mid_mass),
+        "24..=72 mass: {mid_mass:.1}%"
+    );
     // 48-option failures exist (the ialu_1src class).
     assert!(hist.fraction(48) > 0.01);
 }
@@ -153,7 +202,13 @@ fn attempt_rates_are_in_the_papers_regime() {
     // the key property is that a meaningful share of attempts fail.
     for machine in Machine::all() {
         let config = default_workload(machine, OPS);
-        let result = run(machine, Rep::AndOr, Stage::Original, UsageEncoding::Scalar, &config);
+        let result = run(
+            machine,
+            Rep::AndOr,
+            Stage::Original,
+            UsageEncoding::Scalar,
+            &config,
+        );
         let rate = result.stats.attempts_per_op();
         assert!(
             (1.15..2.6).contains(&rate),

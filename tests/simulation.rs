@@ -37,12 +37,7 @@ fn planned_vs_simulated(machine: Machine, total_ops: usize) -> (i64, i64) {
 fn accurate_schedules_simulate_exactly_on_machines_without_greedy_anomalies() {
     for machine in [Machine::Pa7100, Machine::SuperSparc, Machine::K5] {
         let (planned, simulated) = planned_vs_simulated(machine, 2_500);
-        assert_eq!(
-            planned,
-            simulated,
-            "{}: promise broken",
-            machine.name()
-        );
+        assert_eq!(planned, simulated, "{}: promise broken", machine.name());
     }
 }
 
