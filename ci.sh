@@ -1,7 +1,17 @@
 #!/bin/sh
-# Tier-1 gate: build, test, and formatting. Run from the repo root.
+# Tier-1 gate: build, test, lint, and formatting. Run from the repo root.
 set -eux
 
 cargo build --release
+
+# Functional tests run under the dev profile, with debug assertions
+# enabled, so internal invariants are checked rather than compiled out.
 cargo test -q
+
+# Input-reachable front-end and optimizer code must stay panic-free: no
+# unwrap/expect outside #[cfg(test)] modules (test code is exempt
+# because only the lib targets are linted here).  See docs/robustness.md.
+cargo clippy -p mdes-lang -p mdes-opt -- \
+    -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 cargo fmt --check

@@ -9,6 +9,8 @@
 //! mdesc compile <in.hmdl> [-o out.lmdes] [--no-optimize] [--expand-or]
 //!               [--encoding scalar|bitvector] [--direction forward|backward]
 //! mdesc optimize <in.hmdl> [--ops N] [-o out.lmdes]
+//! mdesc verify  <in.hmdl> [--guard validate|oracle] [--seed N]
+//!               [--inject <stage>:<fault>]
 //! mdesc dump    <in.hmdl|in.lmdes> [--class NAME]
 //! mdesc stats   <in.hmdl>
 //! mdesc fmt     <in.hmdl>
@@ -19,6 +21,11 @@
 //! The binary is also installed as `mdes`.  The global `--metrics <path>`
 //! and `--metrics-summary` flags collect pipeline/compile/scheduler
 //! telemetry into a JSON file or a stderr table; see `docs/telemetry.md`.
+//!
+//! Diagnostics go to stderr and failures map onto distinct exit codes:
+//! 1 for general errors, 2 for parse/elaboration errors, 3 for
+//! structural-validation failures, and 4 for differential-oracle
+//! mismatches; see `docs/robustness.md`.
 
 mod analysis;
 
@@ -26,17 +33,68 @@ use std::process::ExitCode;
 
 use mdes_core::size::measure;
 use mdes_core::{lmdes, CompiledMdes, MdesSpec, UsageEncoding};
-use mdes_opt::pipeline::{optimize, optimize_with_telemetry, PipelineConfig};
+use mdes_guard::{optimize_guarded, Fault, FaultKind, GuardConfig, GuardMode, GuardedReport};
+use mdes_opt::pipeline::{optimize, optimize_with_telemetry, PipelineConfig, StageId};
 use mdes_opt::timeshift::Direction;
 use mdes_telemetry::Telemetry;
+
+/// Exit code for usage, I/O and other general failures.
+const EXIT_GENERAL: u8 = 1;
+/// Exit code for parse or elaboration errors in an input description.
+const EXIT_PARSE: u8 = 2;
+/// Exit code for structural-validation failures (input or stage output).
+const EXIT_VALIDATION: u8 = 3;
+/// Exit code for differential-oracle mismatches under `--guard oracle`.
+const EXIT_ORACLE: u8 = 4;
+
+/// A CLI failure: the diagnostic text plus the process exit code it maps
+/// to.  Diagnostics always go to stderr (see [`main`]); stdout carries
+/// only the command's requested output.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn parse(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_PARSE,
+            message: message.into(),
+        }
+    }
+
+    fn validation(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_VALIDATION,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError {
+            code: EXIT_GENERAL,
+            message,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::from(message.to_string())
+    }
+}
+
+type CliResult<T = ()> = Result<T, CliError>;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::from(2)
+        Err(err) => {
+            eprintln!("error: {}", err.message);
+            ExitCode::from(err.code)
         }
     }
 }
@@ -54,7 +112,7 @@ impl MetricsOpts {
     }
 
     /// Writes the collected report to the requested sinks.
-    fn emit(&self, tel: &Telemetry) -> Result<(), String> {
+    fn emit(&self, tel: &Telemetry) -> CliResult {
         if !self.enabled() {
             return Ok(());
         }
@@ -78,7 +136,7 @@ impl MetricsOpts {
 
 /// Strips the global metrics flags out of the argument list (they may
 /// appear anywhere, before or after the subcommand).
-fn extract_metrics_flags(args: &[String]) -> Result<(Vec<String>, MetricsOpts), String> {
+fn extract_metrics_flags(args: &[String]) -> CliResult<(Vec<String>, MetricsOpts)> {
     let mut rest = Vec::with_capacity(args.len());
     let mut opts = MetricsOpts {
         json_path: None,
@@ -97,7 +155,7 @@ fn extract_metrics_flags(args: &[String]) -> Result<(Vec<String>, MetricsOpts), 
     Ok((rest, opts))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> CliResult {
     let (args, metrics) = extract_metrics_flags(args)?;
     let tel = if metrics.enabled() {
         Telemetry::new()
@@ -111,14 +169,15 @@ fn run(args: &[String]) -> Result<(), String> {
     result
 }
 
-fn dispatch(args: &[String], tel: &Telemetry) -> Result<(), String> {
+fn dispatch(args: &[String], tel: &Telemetry) -> CliResult {
     let Some(command) = args.first() else {
-        return Err(usage());
+        return Err(usage().into());
     };
     let rest = &args[1..];
     match command.as_str() {
         "compile" => compile_cmd(rest, tel),
         "optimize" => optimize_cmd(rest, tel),
+        "verify" => verify_cmd(rest, tel),
         "dump" => dump_cmd(rest),
         "stats" => stats_cmd(rest),
         "fmt" => fmt_cmd(rest),
@@ -133,7 +192,7 @@ fn dispatch(args: &[String], tel: &Telemetry) -> Result<(), String> {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     }
 }
 
@@ -147,10 +206,15 @@ fn usage() -> String {
      commands:\n\
      \x20 compile <in.hmdl> [-o out.lmdes] [--no-optimize] [--expand-or]\n\
      \x20         [--encoding scalar|bitvector] [--direction forward|backward]\n\
+     \x20         [--guard off|validate|oracle]\n\
      \x20         translate a high-level description to an optimized LMDES image\n\
-     \x20 optimize <in.hmdl> [--ops N] [-o out.lmdes]\n\
+     \x20 optimize <in.hmdl> [--ops N] [-o out.lmdes] [--guard off|validate|oracle]\n\
      \x20         run the full pipeline, compile, and drive a synthetic scheduling\n\
      \x20         workload, collecting per-stage telemetry along the way\n\
+     \x20 verify  <in.hmdl> [--guard validate|oracle] [--seed N]\n\
+     \x20         [--inject <stage>:<fault>]\n\
+     \x20         run the stage-guarded pipeline and fail on any incident;\n\
+     \x20         --inject plants a deliberate fault to exercise the guard\n\
      \x20 dump    <in.hmdl|in.lmdes> [--class NAME]   inspect a description\n\
      \x20 stats   <in.hmdl>                           per-stage size report\n\
      \x20 fmt     <in.hmdl>                           canonical formatting to stdout\n\
@@ -162,30 +226,42 @@ fn usage() -> String {
      \x20 dot     <in.hmdl> --class NAME              Graphviz export of a constraint\n\
      \x20 lint    <in.hmdl>                           find redundant/unused/dead info\n\
      \x20 diff    <old.hmdl> <new.hmdl>               structural diff of two revisions\n\
-     \x20 chart   <in.hmdl> [--ops N]                 schedule a block and show the RU map"
+     \x20 chart   <in.hmdl> [--ops N]                 schedule a block and show the RU map\n\
+     \n\
+     exit codes:\n\
+     \x20 1 usage, I/O and other general errors\n\
+     \x20 2 parse or elaboration errors in an input description\n\
+     \x20 3 structural-validation failures\n\
+     \x20 4 differential-oracle mismatches under --guard oracle"
         .to_string()
 }
 
 /// Loads and elaborates an HMDL file, rendering diagnostics with source
 /// context.
-fn load_hmdl(path: &str) -> Result<MdesSpec, String> {
+fn load_hmdl(path: &str) -> CliResult<MdesSpec> {
     load_hmdl_with(path, &Telemetry::disabled())
 }
 
 /// [`load_hmdl`] with `lang/*` spans recorded into `tel`.
-fn load_hmdl_with(path: &str, tel: &Telemetry) -> Result<MdesSpec, String> {
+///
+/// Parsing runs with error recovery, so one invocation renders *every*
+/// syntax error in the file, not just the first.
+fn load_hmdl_with(path: &str, tel: &Telemetry) -> CliResult<MdesSpec> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    mdes_lang::compile_with_telemetry(&source, tel)
-        .map_err(|e| format!("{path}:\n{}", e.render(&source)))
+    mdes_lang::compile_all_with_telemetry(&source, tel).map_err(|errors| {
+        let rendered: Vec<String> = errors.iter().map(|e| e.render(&source)).collect();
+        CliError::parse(format!("{path}:\n{}", rendered.join("\n")))
+    })
 }
 
-fn compile_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
+fn compile_cmd(args: &[String], tel: &Telemetry) -> CliResult {
     let mut input: Option<&str> = None;
     let mut output: Option<&str> = None;
     let mut do_optimize = true;
     let mut expand_or = false;
     let mut encoding = UsageEncoding::BitVector;
     let mut direction = Direction::Forward;
+    let mut guard = GuardMode::Off;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -193,22 +269,28 @@ fn compile_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
             "-o" => output = Some(iter.next().ok_or("-o requires a path")?),
             "--no-optimize" => do_optimize = false,
             "--expand-or" => expand_or = true,
+            "--guard" => {
+                guard = iter
+                    .next()
+                    .ok_or("--guard requires off, validate or oracle")?
+                    .parse()?;
+            }
             "--encoding" => {
                 encoding = match iter.next().map(String::as_str) {
                     Some("scalar") => UsageEncoding::Scalar,
                     Some("bitvector") => UsageEncoding::BitVector,
-                    other => return Err(format!("bad --encoding {other:?}")),
+                    other => return Err(CliError::from(format!("bad --encoding {other:?}"))),
                 };
             }
             "--direction" => {
                 direction = match iter.next().map(String::as_str) {
                     Some("forward") => Direction::Forward,
                     Some("backward") => Direction::Backward,
-                    other => return Err(format!("bad --direction {other:?}")),
+                    other => return Err(CliError::from(format!("bad --direction {other:?}"))),
                 };
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(other),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
         }
     }
     let input = input.ok_or("compile needs an input .hmdl file")?;
@@ -222,11 +304,11 @@ fn compile_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
             direction,
             ..PipelineConfig::full()
         };
-        optimize_with_telemetry(&mut spec, &config, tel);
+        optimize_with_guard(&mut spec, &config, guard, tel)?;
     }
 
-    let compiled =
-        CompiledMdes::compile_with_telemetry(&spec, encoding, tel).map_err(|e| e.to_string())?;
+    let compiled = CompiledMdes::compile_with_telemetry(&spec, encoding, tel)
+        .map_err(|e| CliError::validation(e.to_string()))?;
     let image = lmdes::write(&compiled);
     let report = measure(&compiled);
 
@@ -247,18 +329,21 @@ fn compile_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
 }
 
 /// Loads either tier by sniffing the LMDES magic.
-fn load_any(path: &str) -> Result<CompiledMdes, String> {
+fn load_any(path: &str) -> CliResult<CompiledMdes> {
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     if bytes.starts_with(lmdes::MAGIC) {
-        return lmdes::read(&bytes).map_err(|e| format!("{path}: {e}"));
+        return Ok(lmdes::read(&bytes).map_err(|e| format!("{path}: {e}"))?);
     }
     let source = String::from_utf8(bytes).map_err(|_| format!("`{path}` is not UTF-8 HMDL"))?;
-    let spec =
-        mdes_lang::compile(&source).map_err(|e| format!("{path}:\n{}", e.render(&source)))?;
-    CompiledMdes::compile(&spec, UsageEncoding::BitVector).map_err(|e| e.to_string())
+    let spec = mdes_lang::compile_all(&source).map_err(|errors| {
+        let rendered: Vec<String> = errors.iter().map(|e| e.render(&source)).collect();
+        CliError::parse(format!("{path}:\n{}", rendered.join("\n")))
+    })?;
+    CompiledMdes::compile(&spec, UsageEncoding::BitVector)
+        .map_err(|e| CliError::validation(e.to_string()))
 }
 
-fn dump_cmd(args: &[String]) -> Result<(), String> {
+fn dump_cmd(args: &[String]) -> CliResult {
     let mut input: Option<&str> = None;
     let mut class: Option<&str> = None;
     let mut iter = args.iter();
@@ -266,7 +351,7 @@ fn dump_cmd(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--class" => class = Some(iter.next().ok_or("--class requires a name")?),
             other if input.is_none() => input = Some(other),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
         }
     }
     let input = input.ok_or("dump needs an input file")?;
@@ -286,7 +371,7 @@ fn dump_cmd(args: &[String]) -> Result<(), String> {
         match class {
             Some(name) => match mdes_core::pretty::class_constraint(&spec, name) {
                 Some(text) => println!("\n{text}"),
-                None => return Err(format!("class `{name}` not found")),
+                None => return Err(CliError::from(format!("class `{name}` not found"))),
             },
             None => {
                 println!("\nclass                 options  latency  opcodes");
@@ -327,20 +412,22 @@ fn dump_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn stats_cmd(args: &[String]) -> Result<(), String> {
+fn stats_cmd(args: &[String]) -> CliResult {
     let input = args.first().ok_or("stats needs an input .hmdl file")?;
     let spec = load_hmdl(input)?;
 
     println!("=== {input} ===");
-    for stage in mdes_opt::staged_report(&spec, Direction::Forward) {
+    let staged = mdes_opt::staged_report(&spec, Direction::Forward)
+        .map_err(|e| CliError::validation(e.to_string()))?;
+    for stage in staged {
         println!(
             "{:<48} {:>5} options {:>8} bytes  ({} probes)",
             stage.stage, stage.options, stage.bytes, stage.checks
         );
     }
     let (expanded, _) = mdes_opt::expand_to_or(&spec);
-    let compiled =
-        CompiledMdes::compile(&expanded, UsageEncoding::Scalar).map_err(|e| e.to_string())?;
+    let compiled = CompiledMdes::compile(&expanded, UsageEncoding::Scalar)
+        .map_err(|e| CliError::validation(e.to_string()))?;
     let memory = measure(&compiled);
     println!(
         "{:<48} {:>5} options {:>8} bytes  ({} probes)",
@@ -352,7 +439,7 @@ fn stats_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn fmt_cmd(args: &[String]) -> Result<(), String> {
+fn fmt_cmd(args: &[String]) -> CliResult {
     let input = args.first().ok_or("fmt needs an input .hmdl file")?;
     let spec = load_hmdl(input)?;
     let printed = mdes_lang::print(&spec).map_err(|e| e.to_string())?;
@@ -360,7 +447,7 @@ fn fmt_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn check_cmd(args: &[String]) -> Result<(), String> {
+fn check_cmd(args: &[String]) -> CliResult {
     let input = args.first().ok_or("check needs an input .hmdl file")?;
     let spec = load_hmdl(input)?;
     println!(
@@ -376,16 +463,23 @@ fn check_cmd(args: &[String]) -> Result<(), String> {
 /// and elaborate, optimize, compile, then drive the list scheduler over a
 /// synthetic workload so scheduler query counters land in the same
 /// report.  This is the `--metrics` showcase command.
-fn optimize_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
+fn optimize_cmd(args: &[String], tel: &Telemetry) -> CliResult {
     let mut input: Option<&str> = None;
     let mut output: Option<&str> = None;
     let mut total_ops = 2_000usize;
     let mut encoding = UsageEncoding::BitVector;
     let mut direction = Direction::Forward;
+    let mut guard = GuardMode::Off;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "-o" => output = Some(iter.next().ok_or("-o requires a path")?),
+            "--guard" => {
+                guard = iter
+                    .next()
+                    .ok_or("--guard requires off, validate or oracle")?
+                    .parse()?;
+            }
             "--ops" => {
                 total_ops = iter
                     .next()
@@ -396,18 +490,18 @@ fn optimize_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
                 encoding = match iter.next().map(String::as_str) {
                     Some("scalar") => UsageEncoding::Scalar,
                     Some("bitvector") => UsageEncoding::BitVector,
-                    other => return Err(format!("bad --encoding {other:?}")),
+                    other => return Err(CliError::from(format!("bad --encoding {other:?}"))),
                 };
             }
             "--direction" => {
                 direction = match iter.next().map(String::as_str) {
                     Some("forward") => Direction::Forward,
                     Some("backward") => Direction::Backward,
-                    other => return Err(format!("bad --direction {other:?}")),
+                    other => return Err(CliError::from(format!("bad --direction {other:?}"))),
                 };
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(other),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
         }
     }
     let input = input.ok_or("optimize needs an input .hmdl file")?;
@@ -418,9 +512,9 @@ fn optimize_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
         direction,
         ..PipelineConfig::full()
     };
-    optimize_with_telemetry(&mut spec, &config, tel);
-    let compiled =
-        CompiledMdes::compile_with_telemetry(&spec, encoding, tel).map_err(|e| e.to_string())?;
+    optimize_with_guard(&mut spec, &config, guard, tel)?;
+    let compiled = CompiledMdes::compile_with_telemetry(&spec, encoding, tel)
+        .map_err(|e| CliError::validation(e.to_string()))?;
 
     let workload =
         mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
@@ -455,7 +549,137 @@ fn optimize_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
     Ok(())
 }
 
-fn schedule_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
+/// Runs the optimization pipeline under the requested guard mode.
+///
+/// `off` runs the plain pipeline.  Otherwise every stage is wrapped with
+/// the structural validator — and, under `oracle`, the differential query
+/// oracle — and a non-clean run fails with the guard exit codes.
+fn optimize_with_guard(
+    spec: &mut MdesSpec,
+    config: &PipelineConfig,
+    guard: GuardMode,
+    tel: &Telemetry,
+) -> CliResult {
+    if guard == GuardMode::Off {
+        optimize_with_telemetry(spec, config, tel);
+        return Ok(());
+    }
+    let guard_config = GuardConfig {
+        mode: guard,
+        ..GuardConfig::default()
+    };
+    let report = optimize_guarded(spec, config, &guard_config, tel);
+    guard_outcome(&report)
+}
+
+/// Prints a guarded run's incidents to stderr and maps them onto the
+/// exit-code contract: 3 for structural-validation failures, 4 for
+/// differential-oracle mismatches (the oracle code wins when both kinds
+/// occurred, since an oracle incident is the stronger evidence).
+fn guard_outcome(report: &GuardedReport) -> CliResult {
+    if report.clean() {
+        return Ok(());
+    }
+    for incident in &report.incidents {
+        eprintln!("guard: {incident}");
+    }
+    let code = if report.has_oracle_incident() {
+        EXIT_ORACLE
+    } else {
+        EXIT_VALIDATION
+    };
+    Err(CliError {
+        code,
+        message: format!("{} guard incident(s)", report.incidents.len()),
+    })
+}
+
+/// Parses an `--inject` argument of the form `<stage>:<fault>`, e.g.
+/// `redundancy:drop-usage`.
+fn parse_fault(text: &str) -> CliResult<Fault> {
+    let (stage_name, kind_name) = text
+        .split_once(':')
+        .ok_or_else(|| CliError::from(format!("--inject wants <stage>:<fault>, got `{text}`")))?;
+    let stage = StageId::all()
+        .into_iter()
+        .find(|s| s.name() == stage_name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = StageId::all().into_iter().map(StageId::name).collect();
+            CliError::from(format!(
+                "unknown stage `{stage_name}` (one of: {})",
+                names.join(", ")
+            ))
+        })?;
+    let kind = FaultKind::parse(kind_name).ok_or_else(|| {
+        let names: Vec<&str> = FaultKind::all().into_iter().map(FaultKind::name).collect();
+        CliError::from(format!(
+            "unknown fault `{kind_name}` (one of: {})",
+            names.join(", ")
+        ))
+    })?;
+    Ok(Fault { stage, kind })
+}
+
+/// Runs the stage-guarded pipeline over a description and fails on any
+/// incident.  With `--inject`, a deliberate fault is planted after the
+/// named stage so the guard's detection can be demonstrated end to end.
+fn verify_cmd(args: &[String], tel: &Telemetry) -> CliResult {
+    let mut input: Option<&str> = None;
+    let mut mode = GuardMode::Oracle;
+    let mut seed: Option<u64> = None;
+    let mut inject: Vec<Fault> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--guard" => {
+                mode = iter
+                    .next()
+                    .ok_or("--guard requires validate or oracle")?
+                    .parse()?;
+            }
+            "--seed" => {
+                seed = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--seed requires an integer")?,
+                );
+            }
+            "--inject" => {
+                inject.push(parse_fault(
+                    iter.next().ok_or("--inject requires <stage>:<fault>")?,
+                )?);
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other),
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let input = input.ok_or("verify needs an input .hmdl file")?;
+    if mode == GuardMode::Off {
+        return Err("verify needs --guard validate or --guard oracle".into());
+    }
+
+    let mut spec = load_hmdl_with(input, tel)?;
+    let mut guard = GuardConfig {
+        mode,
+        inject,
+        ..GuardConfig::default()
+    };
+    if let Some(seed) = seed {
+        guard.seed = seed;
+    }
+    let report = optimize_guarded(&mut spec, &PipelineConfig::full(), &guard, tel);
+    for injected in &report.injected {
+        eprintln!("injected: {injected}");
+    }
+    guard_outcome(&report)?;
+    println!(
+        "{input}: guard clean ({} stages run in {mode} mode, seed {})",
+        report.stages_run, guard.seed
+    );
+    Ok(())
+}
+
+fn schedule_cmd(args: &[String], tel: &Telemetry) -> CliResult {
     let mut input: Option<&str> = None;
     let mut total_ops = 10_000usize;
     let mut do_optimize = true;
@@ -470,7 +694,7 @@ fn schedule_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
             }
             "--no-optimize" => do_optimize = false,
             other if input.is_none() && !other.starts_with('-') => input = Some(other),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
         }
     }
     let input = input.ok_or("schedule needs an input .hmdl file")?;
@@ -479,7 +703,7 @@ fn schedule_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
         optimize_with_telemetry(&mut spec, &PipelineConfig::full(), tel);
     }
     let compiled = CompiledMdes::compile_with_telemetry(&spec, UsageEncoding::BitVector, tel)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::validation(e.to_string()))?;
 
     let workload =
         mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
@@ -511,7 +735,7 @@ fn schedule_cmd(args: &[String], tel: &Telemetry) -> Result<(), String> {
     Ok(())
 }
 
-fn dot_cmd(args: &[String]) -> Result<(), String> {
+fn dot_cmd(args: &[String]) -> CliResult {
     let mut input: Option<&str> = None;
     let mut class: Option<&str> = None;
     let mut iter = args.iter();
@@ -519,7 +743,7 @@ fn dot_cmd(args: &[String]) -> Result<(), String> {
         match arg.as_str() {
             "--class" => class = Some(iter.next().ok_or("--class requires a name")?),
             other if input.is_none() => input = Some(other),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
         }
     }
     let input = input.ok_or("dot needs an input .hmdl file")?;
@@ -530,11 +754,11 @@ fn dot_cmd(args: &[String]) -> Result<(), String> {
             print!("{dot}");
             Ok(())
         }
-        None => Err(format!("class `{class}` not found")),
+        None => Err(format!("class `{class}` not found").into()),
     }
 }
 
-fn lint_cmd(args: &[String]) -> Result<(), String> {
+fn lint_cmd(args: &[String]) -> CliResult {
     let input = args.first().ok_or("lint needs an input .hmdl file")?;
     let spec = load_hmdl(input)?;
     let findings = analysis::lint(&spec);
@@ -545,13 +769,13 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
     for finding in &findings {
         println!("{input}: [{}] {}", finding.kind, finding.message);
     }
-    Err(format!("{} finding(s)", findings.len()))
+    Err(format!("{} finding(s)", findings.len()).into())
 }
 
-fn diff_cmd(args: &[String]) -> Result<(), String> {
+fn diff_cmd(args: &[String]) -> CliResult {
     let (old_path, new_path) = match args {
         [a, b] => (a, b),
-        _ => return Err("diff needs exactly two .hmdl files".to_string()),
+        _ => return Err("diff needs exactly two .hmdl files".into()),
     };
     let old = load_hmdl(old_path)?;
     let new = load_hmdl(new_path)?;
@@ -559,7 +783,7 @@ fn diff_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn chart_cmd(args: &[String]) -> Result<(), String> {
+fn chart_cmd(args: &[String]) -> CliResult {
     let mut input: Option<&str> = None;
     let mut total_ops = 24usize;
     let mut iter = args.iter();
@@ -572,14 +796,14 @@ fn chart_cmd(args: &[String]) -> Result<(), String> {
                     .ok_or("--ops requires a positive integer")?;
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(other),
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
         }
     }
     let input = input.ok_or("chart needs an input .hmdl file")?;
     let mut spec = load_hmdl(input)?;
     optimize(&mut spec, &PipelineConfig::full());
-    let compiled =
-        CompiledMdes::compile(&spec, UsageEncoding::BitVector).map_err(|e| e.to_string())?;
+    let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector)
+        .map_err(|e| CliError::validation(e.to_string()))?;
     let workload =
         mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
     let scheduler = mdes_sched::ListScheduler::new(&compiled);
@@ -605,7 +829,7 @@ fn chart_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn bundled_cmd(args: &[String]) -> Result<(), String> {
+fn bundled_cmd(args: &[String]) -> CliResult {
     let name = args.first().ok_or("bundled needs a machine name")?;
     let machine = mdes_machines::Machine::all()
         .into_iter()

@@ -404,6 +404,148 @@ fn unknown_command_and_missing_args_fail_cleanly() {
     assert!(stdout(&help).contains("usage: mdesc"));
 }
 
+/// A description with enough structure for every fault-injection class
+/// to find an observable site (mirrors the guard crate's test fixture).
+const GUARDABLE: &str = "
+    resource Dec[2];
+    resource Bus;
+    resource Port;
+    or_tree AnyDec = first_of(
+        { Dec[0] @ 0, Port @ 1 },
+        { Dec[1] @ 0, Bus @ 1 });
+    or_tree BusT  = first_of({ Bus @ 0 });
+    or_tree PortT = first_of({ Port @ 0 });
+    class alu     { constraint = AnyDec; latency = 1; }
+    class bus_op  { constraint = BusT;   latency = 1; }
+    class port_op { constraint = PortT;  latency = 2; }
+";
+
+#[test]
+fn parse_errors_exit_2_with_every_diagnostic_on_stderr() {
+    let dir = temp_dir("exit2");
+    let hmdl = dir.join("bad.hmdl");
+    // Two independent syntax errors: recovery must surface both in one
+    // run, on stderr, with nothing on stdout.
+    std::fs::write(&hmdl, "resource M\nclass c { constraint = ; }\nop = mem;").unwrap();
+    let out = mdesc(&["check", hmdl.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stdout(&out).is_empty(), "{}", stdout(&out));
+    let err = stderr(&out);
+    assert!(err.contains("expected"), "{err}");
+    // More than one diagnostic rendered from the single invocation.
+    assert!(err.matches("line ").count() >= 2, "{err}");
+}
+
+#[test]
+fn elaboration_errors_exit_2() {
+    let dir = temp_dir("exit2sem");
+    let hmdl = dir.join("bad.hmdl");
+    std::fs::write(&hmdl, "resource M;\nclass c { constraint = Ghost; }").unwrap();
+    let out = mdesc(&["compile", hmdl.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn usage_errors_exit_1() {
+    assert_eq!(mdesc(&["frobnicate"]).status.code(), Some(1));
+    assert_eq!(mdesc(&[]).status.code(), Some(1));
+    let dir = temp_dir("exit1");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, DEMO).unwrap();
+    let out = mdesc(&["verify", hmdl.to_str().unwrap(), "--inject", "nonsense"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let out = mdesc(&[
+        "verify",
+        hmdl.to_str().unwrap(),
+        "--inject",
+        "redundancy:nonsense",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(stderr(&out).contains("drop-usage"), "{}", stderr(&out));
+}
+
+#[test]
+fn verify_clean_run_exits_0_and_reports_on_stdout() {
+    let dir = temp_dir("verifyclean");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, GUARDABLE).unwrap();
+    let out = mdesc(&["verify", hmdl.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("guard clean"), "{text}");
+    assert!(text.contains("oracle mode"), "{text}");
+}
+
+#[test]
+fn injected_oracle_fault_exits_4_with_the_incident_on_stderr() {
+    let dir = temp_dir("exit4");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, GUARDABLE).unwrap();
+    let out = mdesc(&[
+        "verify",
+        hmdl.to_str().unwrap(),
+        "--seed",
+        "1234",
+        "--inject",
+        "redundancy:drop-usage",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("injected: redundancy"), "{err}");
+    assert!(err.contains("guard:"), "{err}");
+    assert!(err.contains("seed 1234"), "{err}");
+    assert!(stdout(&out).is_empty(), "{}", stdout(&out));
+}
+
+#[test]
+fn injected_structural_fault_exits_3_under_validate_mode() {
+    let dir = temp_dir("exit3");
+    let hmdl = dir.join("demo.hmdl");
+    std::fs::write(&hmdl, GUARDABLE).unwrap();
+    let out = mdesc(&[
+        "verify",
+        hmdl.to_str().unwrap(),
+        "--guard",
+        "validate",
+        "--inject",
+        "dominance:clear-usages",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    assert!(stderr(&out).contains("validation"), "{}", stderr(&out));
+}
+
+#[test]
+fn guarded_compile_is_byte_identical_to_unguarded() {
+    // The acceptance criterion: `--guard oracle` on a bundled machine
+    // reports zero incidents and the output image is byte-for-byte the
+    // same as a guard-off run.
+    let dir = temp_dir("guardid");
+    let hmdl = machine_hmdl("pa7100.hmdl");
+    let plain = dir.join("plain.lmdes");
+    let guarded = dir.join("guarded.lmdes");
+    let out = mdesc(&[
+        "compile",
+        hmdl.to_str().unwrap(),
+        "-o",
+        plain.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = mdesc(&[
+        "compile",
+        hmdl.to_str().unwrap(),
+        "--guard",
+        "oracle",
+        "-o",
+        guarded.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert_eq!(
+        std::fs::read(&plain).unwrap(),
+        std::fs::read(&guarded).unwrap(),
+        "guarded output differs from unguarded"
+    );
+}
+
 #[test]
 fn expand_or_flag_produces_the_traditional_baseline() {
     let dir = temp_dir("expandor");

@@ -16,6 +16,9 @@
 //!   histograms);
 //! * the [`collision`] module implementing forbidden-latency /
 //!   collision-vector theory that justifies the usage-time transformation;
+//! * the [`probe`] module — a deterministic, seeded query-sequence engine
+//!   used by the pipeline guard to differentially compare two
+//!   descriptions' observable behaviour;
 //! * the [`size`] memory model reproducing the paper's byte accounting;
 //! * [`pretty`] renderers for reservation tables and constraint trees.
 //!
@@ -59,6 +62,7 @@ pub mod dot;
 pub mod error;
 pub mod lmdes;
 pub mod pretty;
+pub mod probe;
 pub mod resource;
 pub mod rumap;
 pub mod size;

@@ -285,7 +285,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, LmdesError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| LmdesError::Truncated)?;
+        Ok(u32::from_le_bytes(bytes))
     }
 
     /// A u32 used as a length: additionally bounded by the remaining
@@ -299,11 +303,19 @@ impl<'a> Reader<'a> {
     }
 
     fn i32(&mut self) -> Result<i32, LmdesError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let bytes = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| LmdesError::Truncated)?;
+        Ok(i32::from_le_bytes(bytes))
     }
 
     fn u64(&mut self) -> Result<u64, LmdesError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let bytes = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| LmdesError::Truncated)?;
+        Ok(u64::from_le_bytes(bytes))
     }
 }
 

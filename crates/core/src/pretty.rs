@@ -33,11 +33,9 @@ use crate::spec::{AndOrTreeId, Constraint, MdesSpec, OptionId, OrTreeId};
 /// ```
 pub fn reservation_table(spec: &MdesSpec, id: OptionId) -> String {
     let option = spec.option(id);
-    if option.usages.is_empty() {
+    let (Some(lo), Some(hi)) = (option.earliest_time(), option.latest_time()) else {
         return "  (empty option)\n".to_string();
-    }
-    let lo = option.earliest_time().expect("non-empty");
-    let hi = option.latest_time().expect("non-empty");
+    };
 
     // Columns: resources used by this option, in pool order.
     let mut used: Vec<usize> = option.usages.iter().map(|u| u.resource.index()).collect();

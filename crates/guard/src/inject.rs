@@ -1,0 +1,208 @@
+//! Fault injection: deliberate, deterministic corruption of stage output.
+//!
+//! These hooks exist to *prove the guard works*.  Each [`FaultKind`]
+//! models a realistic way an optimization stage could silently break a
+//! description — the classes of bug the paper's PA7100 anecdote warns
+//! about — and the guard's test suite injects each one to show the
+//! differential oracle detects it and the rollback recovers from it.
+//!
+//! Faults are applied to the spec *after* a stage runs and *before* the
+//! guard checks it, exactly where a buggy transformation would leave its
+//! damage.
+
+use mdes_core::spec::{Constraint, MdesSpec, OptionId, OrTreeId};
+use mdes_opt::pipeline::StageId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A class of stage-output corruption.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Delete a resource usage from an option (an over-eager redundancy
+    /// eliminator): operations stop claiming a resource they need, so
+    /// conflicting pairs schedule together.
+    DropUsage,
+    /// Reverse the priority order of an OR-tree's options (a broken
+    /// sort): a different option wins under contention, changing which
+    /// resources later operations see as busy.
+    ReorderPriority,
+    /// Shift one usage's time in one option only (a timeshift applied
+    /// non-uniformly): the relative offsets that define conflicts change.
+    ShiftTime,
+    /// Remove the last option of an OR-tree whose options are *not*
+    /// duplicates (the PA7100 bug: two "identical-looking" options merged
+    /// when they were semantically distinct): the fallback path is gone.
+    OverPack,
+    /// Empty an option's usage list entirely, leaving the spec
+    /// *structurally* invalid: this class is caught by the validator
+    /// layer (guard mode `validate` suffices), not the oracle.
+    ClearUsages,
+}
+
+impl FaultKind {
+    /// Every corruption class, for exhaustive test loops.
+    pub fn all() -> [FaultKind; 5] {
+        [
+            FaultKind::DropUsage,
+            FaultKind::ReorderPriority,
+            FaultKind::ShiftTime,
+            FaultKind::OverPack,
+            FaultKind::ClearUsages,
+        ]
+    }
+
+    /// Short diagnostic name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::DropUsage => "drop-usage",
+            FaultKind::ReorderPriority => "reorder-priority",
+            FaultKind::ShiftTime => "shift-time",
+            FaultKind::OverPack => "over-pack",
+            FaultKind::ClearUsages => "clear-usages",
+        }
+    }
+
+    /// Parses a [`FaultKind::name`] back into the kind (for CLI flags).
+    pub fn parse(name: &str) -> Option<FaultKind> {
+        FaultKind::all().into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injected fault: corrupt the output of `stage` with `kind`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// The stage whose output is corrupted.
+    pub stage: StageId,
+    /// The corruption class.
+    pub kind: FaultKind,
+}
+
+/// OR-trees reachable from some class constraint, in id order.
+///
+/// Faults must land on *reachable* structure: corrupting a tree no class
+/// refers to (e.g. one orphaned by factoring) is semantically invisible,
+/// so the oracle would — correctly — not flag it.
+fn reachable_or_trees(spec: &MdesSpec) -> Vec<OrTreeId> {
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    for class in spec.class_ids() {
+        match spec.class(class).constraint {
+            Constraint::Or(tree) => {
+                seen.insert(tree.index());
+            }
+            Constraint::AndOr(tree) => {
+                for &or in &spec.and_or_tree(tree).or_trees {
+                    seen.insert(or.index());
+                }
+            }
+        }
+    }
+    seen.into_iter().map(OrTreeId::from_index).collect()
+}
+
+/// Options reachable through reachable OR-trees, in first-reference order
+/// (deduplicated).
+fn reachable_options(spec: &MdesSpec) -> Vec<OptionId> {
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    let mut out = Vec::new();
+    for tree in reachable_or_trees(spec) {
+        for &opt in &spec.or_tree(tree).options {
+            if seen.insert(opt.index()) {
+                out.push(opt);
+            }
+        }
+    }
+    out
+}
+
+/// True if the tree's first and last options are semantically distinct —
+/// reversing or truncating a tree of duplicates would (correctly) pass
+/// the oracle.
+fn ends_distinct(spec: &MdesSpec, id: OrTreeId) -> bool {
+    let options = &spec.or_tree(id).options;
+    options.len() >= 2
+        && spec.option(options[0]).canonical_usages()
+            != spec.option(options[options.len() - 1]).canonical_usages()
+}
+
+/// Applies `kind` to `spec` at the first applicable *reachable* site (in
+/// id order), so an injection is reproducible.  Returns a description of
+/// what was corrupted, or `None` if the spec has no applicable site.
+pub fn apply_fault(spec: &mut MdesSpec, kind: FaultKind) -> Option<String> {
+    match kind {
+        FaultKind::DropUsage => {
+            let id = *reachable_options(spec)
+                .iter()
+                .find(|&&id| spec.option(id).usages.len() >= 2)?;
+            let dropped = spec.option_mut(id).usages.pop()?;
+            Some(format!(
+                "dropped usage r{}@{} from option {}",
+                dropped.resource.index(),
+                dropped.time,
+                id.index()
+            ))
+        }
+        FaultKind::ReorderPriority => {
+            let id = reachable_or_trees(spec)
+                .into_iter()
+                .find(|&id| ends_distinct(spec, id))?;
+            spec.or_tree_mut(id).options.reverse();
+            Some(format!(
+                "reversed option priorities of or-tree {}",
+                id.index()
+            ))
+        }
+        FaultKind::ShiftTime => {
+            // Shifting the only usage of a resource nobody else touches is
+            // exactly the *legal* per-resource time shift, so target a
+            // usage whose resource occurs elsewhere too: shifting one
+            // occurrence but not the others breaks relative offsets.
+            let options = reachable_options(spec);
+            let mut occurrences = std::collections::BTreeMap::new();
+            for &opt in &options {
+                for usage in &spec.option(opt).usages {
+                    *occurrences.entry(usage.resource.index()).or_insert(0usize) += 1;
+                }
+            }
+            let (id, slot) = options.iter().find_map(|&opt| {
+                spec.option(opt)
+                    .usages
+                    .iter()
+                    .position(|u| occurrences.get(&u.resource.index()).copied().unwrap_or(0) >= 2)
+                    .map(|slot| (opt, slot))
+            })?;
+            let usage = &mut spec.option_mut(id).usages[slot];
+            usage.time = usage.time.saturating_add(1);
+            let shifted = spec.option(id).usages[slot];
+            Some(format!(
+                "shifted usage r{}@{} of option {} (one occurrence only)",
+                shifted.resource.index(),
+                shifted.time,
+                id.index()
+            ))
+        }
+        FaultKind::OverPack => {
+            let id = reachable_or_trees(spec)
+                .into_iter()
+                .find(|&id| ends_distinct(spec, id))?;
+            let removed = spec.or_tree_mut(id).options.pop()?;
+            Some(format!(
+                "over-packed or-tree {}: removed distinct option {}",
+                id.index(),
+                removed.index()
+            ))
+        }
+        FaultKind::ClearUsages => {
+            let id = *reachable_options(spec)
+                .iter()
+                .find(|&&id| !spec.option(id).usages.is_empty())?;
+            spec.option_mut(id).usages.clear();
+            Some(format!("cleared every usage of option {}", id.index()))
+        }
+    }
+}

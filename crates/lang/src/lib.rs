@@ -38,7 +38,9 @@ pub mod parser;
 pub mod printer;
 pub mod token;
 
-pub use elaborate::{compile, compile_with_telemetry, elaborate};
+pub use elaborate::{
+    compile, compile_all, compile_all_with_telemetry, compile_with_telemetry, elaborate,
+};
 pub use error::LangError;
-pub use parser::parse;
+pub use parser::{parse, parse_recovering, MAX_NESTING_DEPTH, MAX_SOURCE_BYTES};
 pub use printer::{print, structurally_equal};

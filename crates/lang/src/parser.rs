@@ -8,11 +8,26 @@ use crate::error::LangError;
 use crate::lexer::lex;
 use crate::token::{Span, Token, TokenKind};
 
+/// Hard ceiling on accepted source size.  Real machine descriptions are a
+/// few kilobytes; anything near this limit is hostile or corrupt input.
+pub const MAX_SOURCE_BYTES: usize = 1 << 20;
+
+/// Hard ceiling on expression and `for`-comprehension nesting, chosen
+/// well below the point where recursive descent would exhaust the stack
+/// (each parenthesized level costs the full expression-grammar chain of
+/// stack frames, which matters on small test-thread stacks).
+pub const MAX_NESTING_DEPTH: usize = 256;
+
+/// Error recovery stops collecting diagnostics past this count; a run of
+/// cascading errors after that adds noise, not information.
+pub const MAX_ERRORS: usize = 25;
+
 /// Parses HMDL source into a [`Program`].
 ///
 /// # Errors
 ///
 /// Returns the first lexical or syntactic error with its source span.
+/// Use [`parse_recovering`] to collect every diagnostic in one run.
 ///
 /// # Examples
 ///
@@ -27,14 +42,74 @@ use crate::token::{Span, Token, TokenKind};
 /// assert_eq!(program.items.len(), 3);
 /// ```
 pub fn parse(source: &str) -> Result<Program, LangError> {
-    let tokens = lex(source)?;
-    let mut parser = Parser { tokens, pos: 0 };
-    parser.program()
+    parse_recovering(source).map_err(|errors| {
+        errors
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| LangError::new("parse failed", Span::default()))
+    })
+}
+
+/// Parses HMDL source, recovering at item boundaries after each syntax
+/// error so one run reports every diagnostic (up to [`MAX_ERRORS`]).
+///
+/// # Errors
+///
+/// Returns all collected errors in source order.  The first element is
+/// always the error [`parse`] would have returned.
+pub fn parse_recovering(source: &str) -> Result<Program, Vec<LangError>> {
+    if source.len() > MAX_SOURCE_BYTES {
+        return Err(vec![LangError::new(
+            format!(
+                "source is {} bytes, over the {MAX_SOURCE_BYTES}-byte limit",
+                source.len()
+            ),
+            Span::default(),
+        )]);
+    }
+    let tokens = match lex(source) {
+        Ok(tokens) => tokens,
+        Err(err) => return Err(vec![err]),
+    };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
+    let mut items = Vec::new();
+    let mut errors = Vec::new();
+    while parser.peek_kind() != &TokenKind::Eof {
+        // Items do not nest, so the depth budget resets per item; this
+        // also clears any un-unwound depth left by an error mid-item.
+        parser.depth = 0;
+        match parser.item() {
+            Ok(item) => items.push(item),
+            Err(err) => {
+                errors.push(err);
+                if errors.len() >= MAX_ERRORS {
+                    errors.push(LangError::new(
+                        format!("too many errors ({MAX_ERRORS}); giving up"),
+                        parser.peek().span,
+                    ));
+                    break;
+                }
+                parser.synchronize();
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(Program { items })
+    } else {
+        Err(errors)
+    }
 }
 
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current nesting depth of recursive productions (parenthesized
+    /// expressions, unary chains, nested `for` items).
+    depth: usize,
 }
 
 impl Parser {
@@ -88,12 +163,84 @@ impl Parser {
         }
     }
 
-    fn program(&mut self) -> Result<Program, LangError> {
-        let mut items = Vec::new();
-        while self.peek_kind() != &TokenKind::Eof {
-            items.push(self.item()?);
+    /// Enters one level of recursive nesting, rejecting input deeper than
+    /// [`MAX_NESTING_DEPTH`].  Every successful call is paired with a
+    /// `self.depth -= 1` on the non-error path; error paths leave the
+    /// counter elevated, which is fine because recovery resets it per
+    /// item.
+    fn descend(&mut self, span: Span) -> Result<(), LangError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(LangError::new(
+                format!("nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"),
+                span,
+            ));
         }
-        Ok(Program { items })
+        Ok(())
+    }
+
+    /// Skips ahead to a plausible item boundary after a syntax error: the
+    /// token after the next top-level `;` or closing `}`, or the next
+    /// keyword that can start an item.  Bracket depth is tracked so a `;`
+    /// inside a class body or parenthesized list does not end recovery
+    /// early.
+    fn synchronize(&mut self) {
+        let mut depth: usize = 0;
+        loop {
+            match self.peek_kind() {
+                TokenKind::Eof => return,
+                TokenKind::Let
+                | TokenKind::Resource
+                | TokenKind::Option
+                | TokenKind::OrTree
+                | TokenKind::AndOrTree
+                | TokenKind::Op
+                | TokenKind::Bypass
+                | TokenKind::Class
+                    if depth == 0 =>
+                {
+                    return;
+                }
+                TokenKind::LBrace | TokenKind::LParen | TokenKind::LBracket => {
+                    depth += 1;
+                    self.advance();
+                }
+                TokenKind::RBrace => {
+                    depth = depth.saturating_sub(1);
+                    self.advance();
+                    if depth == 0 {
+                        return self.skip_closers();
+                    }
+                }
+                TokenKind::RParen | TokenKind::RBracket => {
+                    depth = depth.saturating_sub(1);
+                    self.advance();
+                }
+                TokenKind::Semi => {
+                    self.advance();
+                    if depth == 0 {
+                        return self.skip_closers();
+                    }
+                }
+                _ => {
+                    self.advance();
+                }
+            }
+        }
+    }
+
+    /// Consumes stray closing delimiters after a recovery point.  No item
+    /// starts with a closer, so reporting each as its own "expected an
+    /// item" error would only cascade noise from one real mistake (an
+    /// error inside `class { ... }` synchronizes at the inner `;`,
+    /// leaving the body's `}` behind).
+    fn skip_closers(&mut self) {
+        while matches!(
+            self.peek_kind(),
+            TokenKind::RBrace | TokenKind::RParen | TokenKind::RBracket
+        ) {
+            self.advance();
+        }
     }
 
     fn item(&mut self) -> Result<Item, LangError> {
@@ -303,6 +450,7 @@ impl Parser {
             }
             TokenKind::For => {
                 let start = self.advance().span;
+                self.descend(start)?;
                 let mut bindings = vec![self.for_binding()?];
                 while self.eat(&TokenKind::Comma) {
                     bindings.push(self.for_binding()?);
@@ -314,6 +462,7 @@ impl Parser {
                 };
                 self.expect(TokenKind::Colon)?;
                 let body = Box::new(self.or_item()?);
+                self.depth -= 1;
                 let span = start.to(self.tokens[self.pos.saturating_sub(1)].span);
                 Ok(OrItem::For {
                     bindings,
@@ -455,7 +604,9 @@ impl Parser {
     fn unary_expr(&mut self) -> Result<Expr, LangError> {
         if self.peek_kind() == &TokenKind::Minus {
             let start = self.advance().span;
+            self.descend(start)?;
             let inner = self.unary_expr()?;
+            self.depth -= 1;
             let span = start.to(inner.span());
             return Ok(Expr::Unary(UnOp::Neg, Box::new(inner), span));
         }
@@ -473,9 +624,12 @@ impl Parser {
                 Ok(Expr::Var(name, span))
             }
             TokenKind::LParen => {
+                let span = self.peek().span;
+                self.descend(span)?;
                 self.advance();
                 let inner = self.expr()?;
                 self.expect(TokenKind::RParen)?;
+                self.depth -= 1;
                 Ok(inner)
             }
             other => Err(LangError::new(
@@ -613,5 +767,98 @@ mod tests {
     fn garbage_at_top_level_is_reported() {
         let err = parse("42;").unwrap_err();
         assert!(err.message.contains("expected an item"));
+    }
+
+    #[test]
+    fn recovery_collects_every_error_in_one_run() {
+        // Three independent mistakes: a bad let, an unknown class field,
+        // and garbage at top level — all reported in source order.
+        let src = "let x = ;\n\
+                   class c { speed = 1; }\n\
+                   resource M;\n\
+                   42;";
+        let errors = parse_recovering(src).unwrap_err();
+        assert_eq!(errors.len(), 3, "{errors:?}");
+        assert!(errors[0].message.contains("expected expression"));
+        assert!(errors[1].message.contains("unknown class field"));
+        assert!(errors[2].message.contains("expected an item"));
+    }
+
+    #[test]
+    fn recovery_keeps_well_formed_items_around_an_error() {
+        let src = "resource M;\n\
+                   or_tree T = first_of(;\n\
+                   resource N;";
+        let errors = parse_recovering(src).unwrap_err();
+        assert_eq!(errors.len(), 1);
+        // The parse still failed overall, but fail-fast `parse` reports
+        // the identical first error.
+        assert_eq!(parse(src).unwrap_err(), errors[0]);
+    }
+
+    #[test]
+    fn first_recovered_error_matches_fail_fast_parse() {
+        let src = "class c { latency = 1; latency = 2; } bogus";
+        let errors = parse_recovering(src).unwrap_err();
+        assert_eq!(parse(src).unwrap_err(), errors[0]);
+        assert!(errors[0].message.contains("duplicate `latency`"));
+    }
+
+    #[test]
+    fn error_count_is_capped() {
+        let src = "@ ;".repeat(MAX_ERRORS * 3);
+        let errors = parse_recovering(&src).unwrap_err();
+        assert_eq!(errors.len(), MAX_ERRORS + 1);
+        assert!(errors.last().unwrap().message.contains("too many errors"));
+    }
+
+    #[test]
+    fn nesting_past_the_depth_limit_is_a_typed_error_not_an_overflow() {
+        let mut expr = String::from("1");
+        for _ in 0..MAX_NESTING_DEPTH + 8 {
+            expr = format!("({expr})");
+        }
+        let err = parse(&format!("let x = {expr};")).unwrap_err();
+        assert!(err.message.contains("nesting exceeds"), "{}", err.message);
+
+        // Unary-minus chains recurse too.
+        let minus = "-".repeat(MAX_NESTING_DEPTH + 8);
+        let err = parse(&format!("let x = {minus}1;")).unwrap_err();
+        assert!(err.message.contains("nesting exceeds"), "{}", err.message);
+
+        // Nested `for` items share the same budget.
+        let mut item = String::from("{ M @ 0 }");
+        for i in 0..MAX_NESTING_DEPTH + 8 {
+            item = format!("for v{i} in 0..1: {item}");
+        }
+        let err = parse(&format!("or_tree T = first_of({item});")).unwrap_err();
+        assert!(err.message.contains("nesting exceeds"), "{}", err.message);
+    }
+
+    #[test]
+    fn nesting_under_the_limit_still_parses() {
+        let mut expr = String::from("1");
+        for _ in 0..MAX_NESTING_DEPTH - 2 {
+            expr = format!("({expr})");
+        }
+        assert!(parse(&format!("let x = {expr};")).is_ok());
+    }
+
+    #[test]
+    fn oversized_source_is_rejected_up_front() {
+        let source = " ".repeat(MAX_SOURCE_BYTES + 1);
+        let err = parse(&source).unwrap_err();
+        assert!(err.message.contains("byte limit"), "{}", err.message);
+    }
+
+    #[test]
+    fn depth_budget_resets_between_items() {
+        // One deep-but-legal expression per item must not accumulate.
+        let mut expr = String::from("1");
+        for _ in 0..MAX_NESTING_DEPTH / 2 {
+            expr = format!("({expr})");
+        }
+        let src = format!("let a = {expr};\nlet b = {expr};\nlet c = {expr};");
+        assert!(parse(&src).is_ok());
     }
 }

@@ -56,7 +56,9 @@ pub use dominance::eliminate_dominated_options;
 pub use expand::expand_to_or;
 pub use factor::factor_common_usages;
 pub use minimize::minimize_usages;
-pub use pipeline::{optimize, optimized, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    optimize, optimized, run_stage, stage_plan, PipelineConfig, PipelineReport, StageId,
+};
 pub use redundancy::eliminate_redundancy;
 pub use report::{staged_report, StageSnapshot};
 pub use sortzero::sort_checks_zero_first;

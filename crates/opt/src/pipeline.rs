@@ -88,6 +88,75 @@ impl Default for PipelineConfig {
     }
 }
 
+/// One transformation stage, in the paper's presentation order.
+///
+/// The pipeline and the stage guard share this plan: [`optimize`] runs
+/// the stages of [`stage_plan`] back to back, while a guarded run
+/// snapshots the spec around each [`run_stage`] call so a misbehaving
+/// stage can be rolled back in isolation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// Redundancy elimination (Section 5).
+    Redundancy,
+    /// Dominated-option elimination (Section 5).
+    Dominance,
+    /// Usage-time shifting (Section 7).
+    TimeShift,
+    /// Check ordering, time zero first (Section 7).
+    SortZero,
+    /// AND/OR-tree conflict-detection ordering (Section 8).
+    TreeSort,
+    /// Common-usage factoring plus its cleanup round (Section 8).
+    Factor,
+}
+
+impl StageId {
+    /// All stages in pipeline order.
+    pub fn all() -> [StageId; 6] {
+        [
+            StageId::Redundancy,
+            StageId::Dominance,
+            StageId::TimeShift,
+            StageId::SortZero,
+            StageId::TreeSort,
+            StageId::Factor,
+        ]
+    }
+
+    /// The stage's telemetry / diagnostic name (`pipeline/<name>` spans).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageId::Redundancy => "redundancy",
+            StageId::Dominance => "dominance",
+            StageId::TimeShift => "shifting",
+            StageId::SortZero => "sortzero",
+            StageId::TreeSort => "treesort",
+            StageId::Factor => "factor",
+        }
+    }
+}
+
+impl std::fmt::Display for StageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The stages `config` enables, in execution order.
+pub fn stage_plan(config: &PipelineConfig) -> Vec<StageId> {
+    StageId::all()
+        .into_iter()
+        .filter(|stage| match stage {
+            StageId::Redundancy => config.redundancy,
+            StageId::Dominance => config.dominance,
+            StageId::TimeShift => config.timeshift,
+            StageId::SortZero => config.sortzero,
+            StageId::TreeSort => config.treesort,
+            StageId::Factor => config.factor,
+        })
+        .collect()
+}
+
 /// Per-stage results of one pipeline run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PipelineReport {
@@ -165,40 +234,8 @@ pub fn optimize_with_telemetry(
     tel.gauge_set("pipeline/options/before", spec.num_options() as f64);
     tel.gauge_set("pipeline/usages/before", total_usages(spec) as f64);
 
-    if config.redundancy {
-        report.redundancy = Some(staged(spec, tel, "redundancy", eliminate_redundancy));
-    }
-    if config.dominance {
-        report.dominance = Some(staged(spec, tel, "dominance", eliminate_dominated_options));
-    }
-    if config.timeshift {
-        report.timeshift = Some(staged(spec, tel, "shifting", |s| {
-            shift_usage_times(s, config.direction)
-        }));
-    }
-    if config.sortzero {
-        report.sortzero = Some(staged(spec, tel, "sortzero", |s| {
-            sort_checks_zero_first(s, config.direction)
-        }));
-    }
-    if config.treesort {
-        report.treesort = Some(staged(spec, tel, "treesort", sort_and_or_trees));
-    }
-    if config.factor {
-        let factor = staged(spec, tel, "factor", factor_common_usages);
-        if factor.trees_affected > 0 {
-            let _cleanup = tel.span("cleanup");
-            if config.redundancy {
-                report.cleanup = Some(eliminate_redundancy(spec));
-            }
-            if config.sortzero {
-                sort_checks_zero_first(spec, config.direction);
-            }
-            if config.treesort {
-                sort_and_or_trees(spec);
-            }
-        }
-        report.factor = Some(factor);
+    for stage in stage_plan(config) {
+        run_stage(spec, stage, config, &mut report, tel);
     }
 
     tel.gauge_set("pipeline/options/after", spec.num_options() as f64);
@@ -206,6 +243,60 @@ pub fn optimize_with_telemetry(
 
     debug_assert!(spec.validate().is_ok(), "pipeline broke the spec");
     report
+}
+
+/// Runs a single pipeline stage, recording its result into `report` and
+/// its spans/gauges into `tel`.
+///
+/// [`StageId::Factor`] includes the conditional cleanup round
+/// (redundancy, check ordering, and tree ordering) as one atomic unit,
+/// because factoring clones shared items and appends hoisted usages that
+/// the cleanup re-normalizes — a half-applied factor stage is not a state
+/// the pipeline ever exposes.
+pub fn run_stage(
+    spec: &mut MdesSpec,
+    stage: StageId,
+    config: &PipelineConfig,
+    report: &mut PipelineReport,
+    tel: &Telemetry,
+) {
+    match stage {
+        StageId::Redundancy => {
+            report.redundancy = Some(staged(spec, tel, "redundancy", eliminate_redundancy));
+        }
+        StageId::Dominance => {
+            report.dominance = Some(staged(spec, tel, "dominance", eliminate_dominated_options));
+        }
+        StageId::TimeShift => {
+            report.timeshift = Some(staged(spec, tel, "shifting", |s| {
+                shift_usage_times(s, config.direction)
+            }));
+        }
+        StageId::SortZero => {
+            report.sortzero = Some(staged(spec, tel, "sortzero", |s| {
+                sort_checks_zero_first(s, config.direction)
+            }));
+        }
+        StageId::TreeSort => {
+            report.treesort = Some(staged(spec, tel, "treesort", sort_and_or_trees));
+        }
+        StageId::Factor => {
+            let factor = staged(spec, tel, "factor", factor_common_usages);
+            if factor.trees_affected > 0 {
+                let _cleanup = tel.span("cleanup");
+                if config.redundancy {
+                    report.cleanup = Some(eliminate_redundancy(spec));
+                }
+                if config.sortzero {
+                    sort_checks_zero_first(spec, config.direction);
+                }
+                if config.treesort {
+                    sort_and_or_trees(spec);
+                }
+            }
+            report.factor = Some(factor);
+        }
+    }
 }
 
 /// Convenience: clone, optimize with the full pipeline, return the copy.

@@ -8,7 +8,7 @@
 
 use mdes_core::size::measure;
 use mdes_core::spec::MdesSpec;
-use mdes_core::{CompiledMdes, UsageEncoding};
+use mdes_core::{CompiledMdes, MdesError, UsageEncoding};
 
 use crate::dominance::eliminate_dominated_options;
 use crate::factor::factor_common_usages;
@@ -32,16 +32,20 @@ pub struct StageSnapshot {
     pub checks: usize,
 }
 
-fn snapshot(stage: &str, spec: &MdesSpec, encoding: UsageEncoding) -> StageSnapshot {
-    let compiled = CompiledMdes::compile(spec, encoding).expect("spec stays valid");
+fn snapshot(
+    stage: &str,
+    spec: &MdesSpec,
+    encoding: UsageEncoding,
+) -> Result<StageSnapshot, MdesError> {
+    let compiled = CompiledMdes::compile(spec, encoding)?;
     let memory = measure(&compiled);
-    StageSnapshot {
+    Ok(StageSnapshot {
         stage: stage.to_string(),
         encoding,
         options: memory.num_options,
         bytes: memory.total(),
         checks: memory.num_checks,
-    }
+    })
 }
 
 /// Runs the full pipeline stage by stage on a copy of `spec`, returning a
@@ -57,43 +61,46 @@ fn snapshot(stage: &str, spec: &MdesSpec, encoding: UsageEncoding) -> StageSnaps
 ///     or_tree T = first_of({ D[0] @ 0 }, { D[0] @ 0 }, { D[1] @ 0 });
 ///     class alu { constraint = T; }
 /// ").unwrap();
-/// let stages = mdes_opt::staged_report(&spec, mdes_opt::Direction::Forward);
+/// let stages = mdes_opt::staged_report(&spec, mdes_opt::Direction::Forward).unwrap();
 /// assert_eq!(stages.first().unwrap().options, 3);
 /// // The duplicate option is merged and the dominated reference removed.
 /// assert!(stages.last().unwrap().options < 3);
 /// ```
-pub fn staged_report(spec: &MdesSpec, direction: Direction) -> Vec<StageSnapshot> {
+pub fn staged_report(
+    spec: &MdesSpec,
+    direction: Direction,
+) -> Result<Vec<StageSnapshot>, MdesError> {
     let mut spec = spec.clone();
     let mut stages = Vec::with_capacity(8);
 
-    stages.push(snapshot("as authored", &spec, UsageEncoding::Scalar));
+    stages.push(snapshot("as authored", &spec, UsageEncoding::Scalar)?);
 
     let redundancy = eliminate_redundancy(&mut spec);
     stages.push(snapshot(
         &format!("redundancy elimination ({} removed)", redundancy.total()),
         &spec,
         UsageEncoding::Scalar,
-    ));
+    )?);
 
     let dominance = eliminate_dominated_options(&mut spec);
     stages.push(snapshot(
         &format!("dominated options ({} removed)", dominance.options_removed),
         &spec,
         UsageEncoding::Scalar,
-    ));
+    )?);
 
     stages.push(snapshot(
         "bit-vector encoding",
         &spec,
         UsageEncoding::BitVector,
-    ));
+    )?);
 
     let shift = shift_usage_times(&mut spec, direction);
     stages.push(snapshot(
         &format!("usage-time shift ({} resources)", shift.resources_shifted()),
         &spec,
         UsageEncoding::BitVector,
-    ));
+    )?);
 
     let sort = sort_checks_zero_first(&mut spec, direction);
     stages.push(snapshot(
@@ -103,14 +110,14 @@ pub fn staged_report(spec: &MdesSpec, direction: Direction) -> Vec<StageSnapshot
         ),
         &spec,
         UsageEncoding::BitVector,
-    ));
+    )?);
 
     let trees = sort_and_or_trees(&mut spec);
     stages.push(snapshot(
         &format!("AND/OR ordering ({} trees)", trees.trees_reordered),
         &spec,
         UsageEncoding::BitVector,
-    ));
+    )?);
 
     let factor = factor_common_usages(&mut spec);
     if factor.trees_affected > 0 {
@@ -125,9 +132,9 @@ pub fn staged_report(spec: &MdesSpec, direction: Direction) -> Vec<StageSnapshot
         ),
         &spec,
         UsageEncoding::BitVector,
-    ));
+    )?);
 
-    stages
+    Ok(stages)
 }
 
 #[cfg(test)]
@@ -152,7 +159,7 @@ mod tests {
 
     #[test]
     fn report_covers_every_stage_in_order() {
-        let stages = staged_report(&messy_spec(), Direction::Forward);
+        let stages = staged_report(&messy_spec(), Direction::Forward).unwrap();
         assert_eq!(stages.len(), 8);
         assert_eq!(stages[0].stage, "as authored");
         assert!(stages[1].stage.starts_with("redundancy"));
@@ -164,7 +171,7 @@ mod tests {
     fn bytes_never_increase_along_the_pipeline() {
         // Within each encoding regime bytes are monotone non-increasing;
         // the scalar → bit-vector step also only shrinks.
-        let stages = staged_report(&messy_spec(), Direction::Forward);
+        let stages = staged_report(&messy_spec(), Direction::Forward).unwrap();
         for window in stages.windows(2) {
             assert!(
                 window[1].bytes <= window[0].bytes,
@@ -186,7 +193,7 @@ mod tests {
 
     #[test]
     fn works_for_backward_direction_too() {
-        let stages = staged_report(&messy_spec(), Direction::Backward);
+        let stages = staged_report(&messy_spec(), Direction::Backward).unwrap();
         assert_eq!(stages.len(), 8);
     }
 }

@@ -64,6 +64,7 @@ struct State {
     span_order: Vec<String>,
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
+    events: Vec<EventEntry>,
 }
 
 struct Inner {
@@ -184,6 +185,24 @@ impl Telemetry {
             .and_then(|state| state.gauges.get(name).copied())
     }
 
+    /// Appends a structured event named `name` with string key/value
+    /// fields, preserving arrival order.
+    ///
+    /// Events carry one-off structured records that do not aggregate the
+    /// way counters and gauges do — e.g. a pipeline-guard incident with
+    /// its stage, seed, and minimized failing probe.
+    pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
+        if let Some(mut state) = self.lock() {
+            state.events.push(EventEntry {
+                name: name.to_string(),
+                fields: fields
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            });
+        }
+    }
+
     /// Snapshots everything recorded so far into a [`Report`].
     pub fn report(&self) -> Report {
         let Some(inner) = &self.inner else {
@@ -207,6 +226,7 @@ impl Telemetry {
             spans,
             counters: state.counters.clone(),
             gauges: state.gauges.clone(),
+            events: state.events.clone(),
         }
     }
 }
@@ -250,6 +270,15 @@ pub struct SpanEntry {
     pub nanos: u128,
 }
 
+/// One structured event in a [`Report`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EventEntry {
+    /// Event name, e.g. `guard/incident`.
+    pub name: String,
+    /// String key/value payload.
+    pub fields: BTreeMap<String, String>,
+}
+
 /// Immutable snapshot of a [`Telemetry`] registry.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Report {
@@ -259,6 +288,8 @@ pub struct Report {
     pub spans: Vec<SpanEntry>,
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, f64>,
+    /// Structured events in arrival order.
+    pub events: Vec<EventEntry>,
 }
 
 impl Report {
@@ -275,6 +306,11 @@ impl Report {
     /// The gauge `name`, if present.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.get(name).copied()
+    }
+
+    /// All events named `name`, in arrival order.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EventEntry> {
+        self.events.iter().filter(move |e| e.name == name)
     }
 
     /// Serializes to compact JSON with schema [`SCHEMA`].
@@ -312,6 +348,26 @@ impl Report {
                     .collect(),
             ),
         );
+        let events = self
+            .events
+            .iter()
+            .map(|event| {
+                let mut obj = BTreeMap::new();
+                obj.insert("name".to_string(), Json::Str(event.name.clone()));
+                obj.insert(
+                    "fields".to_string(),
+                    Json::Obj(
+                        event
+                            .fields
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                            .collect(),
+                    ),
+                );
+                Json::Obj(obj)
+            })
+            .collect();
+        root.insert("events".to_string(), Json::Arr(events));
         Json::Obj(root).render()
     }
 
@@ -380,11 +436,39 @@ impl Report {
                     .ok_or_else(|| format!("gauge `{key}` not a number"))?,
             );
         }
+        // `events` is absent from reports written before the field existed;
+        // treat a missing array as empty rather than failing the parse.
+        let mut events = Vec::new();
+        if let Some(entries) = root.get("events").and_then(Json::as_arr) {
+            for entry in entries {
+                let name = entry
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("event missing name")?
+                    .to_string();
+                let mut fields = BTreeMap::new();
+                for (key, value) in entry
+                    .get("fields")
+                    .and_then(Json::as_obj)
+                    .ok_or("event missing fields")?
+                {
+                    fields.insert(
+                        key.clone(),
+                        value
+                            .as_str()
+                            .ok_or_else(|| format!("event field `{key}` not a string"))?
+                            .to_string(),
+                    );
+                }
+                events.push(EventEntry { name, fields });
+            }
+        }
         Ok(Report {
             wall_nanos,
             spans,
             counters,
             gauges,
+            events,
         })
     }
 
@@ -439,6 +523,17 @@ impl Report {
             let width = self.gauges.keys().map(String::len).max().unwrap_or(0);
             for (name, value) in &self.gauges {
                 let _ = writeln!(out, "    {name:<width$} {value:>12.3}");
+            }
+        }
+        if !self.events.is_empty() {
+            let _ = writeln!(out, "  events:");
+            for event in &self.events {
+                let fields: Vec<String> = event
+                    .fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                let _ = writeln!(out, "    {} {}", event.name, fields.join(" "));
             }
         }
         out
@@ -591,6 +686,30 @@ mod tests {
         assert!(table.contains("checks"));
         assert!(table.contains("gauges:"));
         assert!(table.contains("ratio"));
+    }
+
+    #[test]
+    fn events_record_round_trip_and_render() {
+        let tel = Telemetry::new();
+        tel.event("guard/incident", &[("stage", "factor"), ("seed", "42")]);
+        tel.event("guard/incident", &[("stage", "shifting"), ("seed", "42")]);
+        let report = tel.report();
+        let incidents: Vec<_> = report.events_named("guard/incident").collect();
+        assert_eq!(incidents.len(), 2);
+        assert_eq!(incidents[0].fields["stage"], "factor");
+        let parsed = Report::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        let table = report.to_table();
+        assert!(table.contains("events:"));
+        assert!(table.contains("stage=factor"));
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_events() {
+        let old =
+            r#"{"schema":"mdes-telemetry/1","wall_nanos":0,"spans":[],"counters":{},"gauges":{}}"#;
+        let report = Report::from_json(old).unwrap();
+        assert!(report.events.is_empty());
     }
 
     #[test]

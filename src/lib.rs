@@ -6,6 +6,7 @@
 //! * [`core`] — representations, checker, RU map, stats, memory model;
 //! * [`lang`] — the high-level machine-description language (HMDL);
 //! * [`opt`] — the MDES transformation pipeline;
+//! * [`guard`] — the stage guard: validation, differential oracles, rollback;
 //! * [`machines`] — the four processor descriptions from the paper;
 //! * [`sched`] — dependence graphs and the list / modulo schedulers;
 //! * [`workload`] — synthetic SPEC CINT92-equivalent workload generators;
@@ -16,6 +17,7 @@
 
 pub use mdes_automata as automata;
 pub use mdes_core as core;
+pub use mdes_guard as guard;
 pub use mdes_lang as lang;
 pub use mdes_machines as machines;
 pub use mdes_opt as opt;

@@ -2,7 +2,7 @@
 //! clean diagnostic or a valid spec, never a panic, and every diagnostic
 //! must render with a sensible source location.
 
-use mdes::lang::{compile, parse};
+use mdes::lang::{compile, parse, parse_recovering, MAX_NESTING_DEPTH};
 use proptest::prelude::*;
 
 proptest! {
@@ -42,6 +42,56 @@ proptest! {
             prop_assert!(rendered.contains("error:"));
             prop_assert!(rendered.contains("line "));
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Nesting past the hard depth limit produces the typed depth
+    /// diagnostic — never a stack overflow — whichever recursive
+    /// construct carries the nesting.
+    #[test]
+    fn over_deep_nesting_is_a_typed_error(
+        over in 1usize..128,
+        construct in 0usize..3,
+    ) {
+        let depth = MAX_NESTING_DEPTH + over;
+        let source = match construct {
+            0 => format!("let x = {}1{};", "(".repeat(depth), ")".repeat(depth)),
+            1 => format!("let x = {}1;", "-".repeat(depth)),
+            _ => {
+                let mut body = String::from("{ R @ 0 }");
+                for i in (0..depth).rev() {
+                    body = format!("for v{i} in 0..1: {body}");
+                }
+                format!(
+                    "resource R;\nor_tree T = first_of({body});\nclass c {{ constraint = T; }}"
+                )
+            }
+        };
+        let errors = parse_recovering(&source).expect_err("must be rejected");
+        prop_assert!(
+            errors.iter().any(|e| e.message.contains("nesting exceeds")),
+            "no depth diagnostic in {errors:?}"
+        );
+    }
+
+    /// Comprehension widths past the expansion limit fail with a typed
+    /// diagnostic before any allocation, however large the range — the
+    /// size check itself must not overflow.
+    #[test]
+    fn pathological_widths_are_a_typed_error(hi in 1_048_577i64..i64::MAX) {
+        let source = format!(
+            "resource R[4];\n\
+             or_tree T = first_of(for i in 0..{hi}: {{ R[i % 4] @ 0 }});\n\
+             class c {{ constraint = T; }}"
+        );
+        let err = compile(&source).expect_err("must be rejected");
+        prop_assert!(
+            err.message.contains("too large") || err.message.contains("expands"),
+            "unexpected diagnostic: {}", err.message
+        );
     }
 }
 
