@@ -8,6 +8,26 @@ cargo build --release
 # enabled, so internal invariants are checked rather than compiled out.
 cargo test -q
 
+# The concurrency suites (engine pool, conformance, determinism) also run
+# under the release profile: optimized codegen reorders more aggressively,
+# which is where a data race or fold bug would actually surface.
+# --workspace pulls in the member crates' own test targets (the engine
+# suites live in crates/engine/tests/, outside the root package).
+cargo test --release --workspace -q
+
+# Concurrent-serving smoke: a short bench-serve batch on two workers must
+# finish clean — no worker panics and no poisoned locks surfaced in the
+# published metrics.
+METRICS="$(mktemp)"
+./target/release/mdesc bench-serve --jobs 2 --regions 2000 \
+    --metrics "$METRICS"
+grep -q '"engine/worker_panics":0' "$METRICS"
+if grep -qi 'poison' "$METRICS"; then
+    echo 'ci: poisoned lock surfaced in bench-serve metrics' >&2
+    exit 1
+fi
+rm -f "$METRICS"
+
 # Input-reachable front-end and optimizer code must stay panic-free: no
 # unwrap/expect outside #[cfg(test)] modules (test code is exempt
 # because only the lib targets are linted here).  See docs/robustness.md.

@@ -133,19 +133,39 @@ pub fn run(
 
 /// Runs the scheduler over a prepared spec and workload.
 pub fn run_on(spec: &MdesSpec, workload: &Workload, encoding: UsageEncoding) -> RunResult {
-    let compiled = CompiledMdes::compile(spec, encoding).expect("experiment spec must compile");
-    let scheduler = ListScheduler::new(&compiled);
-    let mut stats = CheckStats::new();
+    run_on_jobs(spec, workload, encoding, 1)
+}
+
+/// [`run_on`] with the workload's blocks served by `jobs` engine workers
+/// sharing one `Arc`'d compiled description.  The engine's determinism
+/// contract means the result — stats, memory, and schedule hash — is
+/// identical for every worker count, so the tables can be regenerated on
+/// any `--jobs` setting without changing a byte.
+pub fn run_on_jobs(
+    spec: &MdesSpec,
+    workload: &Workload,
+    encoding: UsageEncoding,
+    jobs: usize,
+) -> RunResult {
+    let compiled = std::sync::Arc::new(
+        CompiledMdes::compile(spec, encoding).expect("experiment spec must compile"),
+    );
+    let outcome = mdes_engine::Engine::new(std::sync::Arc::clone(&compiled))
+        .schedule_batch(&workload.blocks, jobs);
+    assert!(
+        outcome.is_clean(),
+        "{} worker panic(s) while regenerating tables",
+        outcome.worker_panics()
+    );
     let mut hash: u64 = 0xcbf29ce484222325;
-    for block in &workload.blocks {
-        let schedule = scheduler.schedule(block, &mut stats);
+    for schedule in outcome.schedules.iter().flatten() {
         for cycle in schedule.cycles() {
             hash ^= cycle as u32 as u64;
             hash = hash.wrapping_mul(0x100000001b3);
         }
     }
     RunResult {
-        stats,
+        stats: outcome.stats,
         memory: measure(&compiled),
         schedule_hash: hash,
     }

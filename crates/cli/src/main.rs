@@ -16,6 +16,7 @@
 //! mdesc fmt     <in.hmdl>
 //! mdesc check   <in.hmdl>
 //! mdesc bundled <PA7100|Pentium|SuperSPARC|K5>
+//! mdesc bench-serve [--machine NAME] [--jobs N] [--regions M]
 //! ```
 //!
 //! The binary is also installed as `mdes`.  The global `--metrics <path>`
@@ -183,6 +184,7 @@ fn dispatch(args: &[String], tel: &Telemetry) -> CliResult {
         "fmt" => fmt_cmd(rest),
         "check" => check_cmd(rest),
         "bundled" => bundled_cmd(rest),
+        "bench-serve" => bench_serve_cmd(rest, tel),
         "schedule" => schedule_cmd(rest, tel),
         "dot" => dot_cmd(rest),
         "lint" => lint_cmd(rest),
@@ -208,9 +210,10 @@ fn usage() -> String {
      \x20         [--encoding scalar|bitvector] [--direction forward|backward]\n\
      \x20         [--guard off|validate|oracle]\n\
      \x20         translate a high-level description to an optimized LMDES image\n\
-     \x20 optimize <in.hmdl> [--ops N] [-o out.lmdes] [--guard off|validate|oracle]\n\
+     \x20 optimize <in.hmdl> [--ops N] [--jobs N] [-o out.lmdes]\n\
+     \x20         [--guard off|validate|oracle]\n\
      \x20         run the full pipeline, compile, and drive a synthetic scheduling\n\
-     \x20         workload, collecting per-stage telemetry along the way\n\
+     \x20         workload (in parallel with --jobs), collecting per-stage telemetry\n\
      \x20 verify  <in.hmdl> [--guard validate|oracle] [--seed N]\n\
      \x20         [--inject <stage>:<fault>]\n\
      \x20         run the stage-guarded pipeline and fail on any incident;\n\
@@ -220,6 +223,10 @@ fn usage() -> String {
      \x20 fmt     <in.hmdl>                           canonical formatting to stdout\n\
      \x20 check   <in.hmdl>                           validate only\n\
      \x20 bundled <machine>                           print a bundled description\n\
+     \x20 bench-serve [--machine NAME] [--jobs N] [--regions M] [--mean-ops K]\n\
+     \x20         [--seed S]\n\
+     \x20         serve a synthetic region stream through the concurrent engine\n\
+     \x20         and report per-worker load and jobs/sec\n\
      \x20 schedule <in.hmdl> [--ops N] [--no-optimize]\n\
      \x20         drive the list scheduler over a synthetic stream and report\n\
      \x20         the paper's efficiency statistics\n\
@@ -467,6 +474,7 @@ fn optimize_cmd(args: &[String], tel: &Telemetry) -> CliResult {
     let mut input: Option<&str> = None;
     let mut output: Option<&str> = None;
     let mut total_ops = 2_000usize;
+    let mut jobs: Option<usize> = None;
     let mut encoding = UsageEncoding::BitVector;
     let mut direction = Direction::Forward;
     let mut guard = GuardMode::Off;
@@ -485,6 +493,14 @@ fn optimize_cmd(args: &[String], tel: &Telemetry) -> CliResult {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or("--ops requires a positive integer")?;
+            }
+            "--jobs" => {
+                jobs = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .ok_or("--jobs requires a positive integer")?,
+                );
             }
             "--encoding" => {
                 encoding = match iter.next().map(String::as_str) {
@@ -513,24 +529,50 @@ fn optimize_cmd(args: &[String], tel: &Telemetry) -> CliResult {
         ..PipelineConfig::full()
     };
     optimize_with_guard(&mut spec, &config, guard, tel)?;
-    let compiled = CompiledMdes::compile_with_telemetry(&spec, encoding, tel)
-        .map_err(|e| CliError::validation(e.to_string()))?;
+    let compiled = std::sync::Arc::new(
+        CompiledMdes::compile_with_telemetry(&spec, encoding, tel)
+            .map_err(|e| CliError::validation(e.to_string()))?,
+    );
 
     let workload =
         mdes_workload::generate_uniform(&spec, &mdes_workload::uniform_config(total_ops));
-    let scheduler = mdes_sched::ListScheduler::new(&compiled);
-    let mut stats = mdes_core::CheckStats::new();
-    let mut total_cycles = 0i64;
-    {
-        let _span = tel.span("sched/list");
-        for block in &workload.blocks {
-            let schedule = scheduler.schedule(block, &mut stats);
-            total_cycles += i64::from(schedule.length);
+    let (stats, total_cycles) = match jobs {
+        // The engine's determinism contract makes the two paths produce
+        // identical schedules and counters; --jobs only changes who does
+        // the work (and adds the per-worker telemetry breakdown).
+        Some(jobs) => {
+            let engine = mdes_engine::Engine::new(std::sync::Arc::clone(&compiled));
+            let outcome = {
+                let _span = tel.span("sched/list");
+                engine.schedule_batch(&workload.blocks, jobs)
+            };
+            if !outcome.is_clean() {
+                return Err(CliError::from(format!(
+                    "{} worker panic(s) while scheduling",
+                    outcome.worker_panics()
+                )));
+            }
+            outcome.stats.publish(tel, "sched/list");
+            outcome.publish(tel, "engine");
+            (outcome.stats.clone(), outcome.total_cycles())
         }
-    }
-    // Publish the aggregate once so the report's counters equal the
-    // CheckStats totals for the whole workload.
-    stats.publish(tel, "sched/list");
+        None => {
+            let scheduler = mdes_sched::ListScheduler::new(&compiled);
+            let mut stats = mdes_core::CheckStats::new();
+            let mut total_cycles = 0i64;
+            {
+                let _span = tel.span("sched/list");
+                for block in &workload.blocks {
+                    let schedule = scheduler.schedule(block, &mut stats);
+                    total_cycles += i64::from(schedule.length);
+                }
+            }
+            // Publish the aggregate once so the report's counters equal
+            // the CheckStats totals for the whole workload.
+            stats.publish(tel, "sched/list");
+            (stats, total_cycles)
+        }
+    };
 
     if let Some(output) = output {
         let image = lmdes::write(&compiled);
@@ -676,6 +718,107 @@ fn verify_cmd(args: &[String], tel: &Telemetry) -> CliResult {
         "{input}: guard clean ({} stages run in {mode} mode, seed {})",
         report.stages_run, guard.seed
     );
+    Ok(())
+}
+
+/// Serves a synthetic region stream through the concurrent engine: one
+/// shared compiled description, N workers draining the region queue.
+/// Reports jobs/sec and a per-worker breakdown, and publishes the same
+/// under `engine/*` in the `--metrics` report.  Exits non-zero if any
+/// worker panicked (the `engine/worker_panics` counter is always
+/// present, so metrics consumers can gate on it too).
+fn bench_serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
+    let mut machine = mdes_machines::Machine::Pa7100;
+    let mut jobs = 1usize;
+    let mut regions = 512usize;
+    let mut mean_ops = 16usize;
+    let mut seed = 0xC1D7A5u64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--machine" => {
+                let name = iter.next().ok_or("--machine requires a name")?;
+                machine = mdes_machines::Machine::all()
+                    .into_iter()
+                    .find(|m| m.name().eq_ignore_ascii_case(name))
+                    .ok_or_else(|| {
+                        format!("unknown machine `{name}` (PA7100, Pentium, SuperSPARC, K5)")
+                    })?;
+            }
+            "--jobs" => {
+                jobs = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--jobs requires a positive integer")?;
+            }
+            "--regions" => {
+                regions = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--regions requires a positive integer")?;
+            }
+            "--mean-ops" => {
+                mean_ops = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or("--mean-ops requires a positive integer")?;
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed requires an integer")?;
+            }
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
+        }
+    }
+
+    let mut spec = machine.spec();
+    optimize_with_telemetry(&mut spec, &PipelineConfig::full(), tel);
+    let compiled = std::sync::Arc::new(
+        CompiledMdes::compile_with_telemetry(&spec, UsageEncoding::BitVector, tel)
+            .map_err(|e| CliError::validation(e.to_string()))?,
+    );
+
+    let config = mdes_workload::RegionConfig::new(regions)
+        .with_mean_ops(mean_ops)
+        .with_seed(seed);
+    let workload = mdes_workload::generate_regions(&spec, &config);
+
+    let engine = mdes_engine::Engine::new(compiled);
+    let outcome = engine.schedule_batch(&workload.blocks, jobs);
+    outcome.publish(tel, "engine");
+
+    println!(
+        "{}: served {} regions ({} ops) on {} worker(s): {:.0} jobs/sec, \
+         {} cycles, {:.2} checks/attempt",
+        machine.name(),
+        outcome.completed(),
+        workload.total_ops,
+        outcome.workers.len(),
+        outcome.jobs_per_sec(),
+        outcome.total_cycles(),
+        outcome.stats.checks_per_attempt()
+    );
+    for worker in &outcome.workers {
+        println!(
+            "  worker{}: {} jobs, {} checks, busy {:.3}ms, queue wait {:.3}ms",
+            worker.load.worker,
+            worker.load.jobs,
+            worker.stats.resource_checks,
+            worker.load.busy_nanos as f64 / 1e6,
+            worker.load.queue_wait_nanos as f64 / 1e6,
+        );
+    }
+    if !outcome.is_clean() {
+        return Err(CliError::from(format!(
+            "{} worker panic(s) while serving the batch",
+            outcome.worker_panics()
+        )));
+    }
     Ok(())
 }
 

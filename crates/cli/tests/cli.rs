@@ -580,3 +580,95 @@ fn expand_or_flag_produces_the_traditional_baseline() {
     assert_eq!(expanded.class(load_exp).or_trees.len(), 1);
     assert_eq!(normal.class(load_nrm).or_trees.len(), 2);
 }
+
+#[test]
+fn bench_serve_reports_workers_and_publishes_engine_metrics() {
+    let dir = temp_dir("benchserve");
+    let json_path = dir.join("serve-metrics.json");
+    let out = mdesc(&[
+        "--metrics",
+        json_path.to_str().unwrap(),
+        "bench-serve",
+        "--jobs",
+        "2",
+        "--regions",
+        "64",
+        "--seed",
+        "7",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("PA7100: served 64 regions"), "{text}");
+    assert!(text.contains("worker0:"), "{text}");
+    assert!(text.contains("worker1:"), "{text}");
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    // The panic counter is always published — zero when clean — so CI can
+    // grep for it without parsing.
+    assert!(json.contains("\"engine/worker_panics\":0"), "{json}");
+    let report = mdes_telemetry::Report::from_json(&json).unwrap();
+    assert_eq!(report.counter("engine/jobs_completed"), Some(64));
+    assert_eq!(report.gauge("engine/workers"), Some(2.0));
+    assert!(report.gauge("engine/jobs_per_sec").unwrap() > 0.0);
+    for worker in 0..2 {
+        assert!(
+            report
+                .span(&format!("engine/worker{worker}/busy"))
+                .is_some(),
+            "missing busy span for worker{worker}:\n{json}"
+        );
+        assert!(report
+            .counter(&format!("engine/worker{worker}/jobs"))
+            .is_some());
+    }
+    // The folded scheduler counters mirror the per-worker split exactly.
+    let folded = report.counter("engine/sched/resource_checks").unwrap();
+    let split: u64 = (0..2)
+        .map(|w| {
+            report
+                .counter(&format!("engine/worker{w}/resource_checks"))
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(folded, split);
+}
+
+#[test]
+fn bench_serve_rejects_bad_flags() {
+    assert!(!mdesc(&["bench-serve", "--jobs", "0"]).status.success());
+    assert!(!mdesc(&["bench-serve", "--machine", "PDP11"])
+        .status
+        .success());
+    assert!(!mdesc(&["bench-serve", "--frobnicate"]).status.success());
+}
+
+#[test]
+fn optimize_jobs_flag_is_deterministic_at_the_cli_level() {
+    let dir = temp_dir("optjobs");
+    let hmdl = machine_hmdl("superspark.hmdl");
+    let one = mdesc(&[
+        "optimize",
+        hmdl.to_str().unwrap(),
+        "--ops",
+        "400",
+        "--jobs",
+        "1",
+    ]);
+    let eight = mdesc(&[
+        "optimize",
+        hmdl.to_str().unwrap(),
+        "--ops",
+        "400",
+        "--jobs",
+        "8",
+    ]);
+    let serial = mdesc(&["optimize", hmdl.to_str().unwrap(), "--ops", "400"]);
+    assert!(one.status.success(), "{}", stderr(&one));
+    assert!(eight.status.success(), "{}", stderr(&eight));
+    assert!(serial.status.success(), "{}", stderr(&serial));
+    // Same seed, any worker count, and the serial path: identical stdout
+    // (op counts, cycles, attempts/op, checks/attempt all match).
+    assert_eq!(stdout(&one), stdout(&eight));
+    assert_eq!(stdout(&one), stdout(&serial));
+    let _ = dir;
+}

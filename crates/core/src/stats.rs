@@ -175,6 +175,10 @@ impl CheckStats {
         }
         self.options_per_attempt
             .record(self.current_attempt_options);
+        // Clear the in-attempt scratch so counters that went through the
+        // same attempts compare equal however they were folded together
+        // (merge starts from fresh scratch; a serial run must too).
+        self.current_attempt_options = 0;
     }
 
     /// Records one successfully scheduled operation.

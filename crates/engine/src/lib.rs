@@ -1,0 +1,333 @@
+//! Concurrent batch scheduling over one shared compiled MDES.
+//!
+//! The paper's low-level MDES is an immutable, heavily-queried artifact:
+//! every transformation (Sections 5–8) exists to make the scheduler's
+//! check/reserve inner loop cheaper, and nothing mutates the description
+//! after customization. This crate exploits that immutability for
+//! parallelism: one [`CompiledMdes`] behind an [`Arc`] is shared read-only
+//! across N workers, while every piece of *mutable* scheduling state — the
+//! RU map, the dependence graph, the [`CheckStats`] counters — is owned by
+//! exactly one worker.
+//!
+//! The crate has **zero external dependencies**; the pool is built from
+//! [`std::thread::scope`] and an atomic work-queue cursor.
+//!
+//! ## Model
+//!
+//! * [`pool::run_batch`] — the generic thread pool: workers drain a shared
+//!   job slice through an atomic cursor, each job's panic is caught and
+//!   surfaced rather than tearing the batch down.
+//! * [`Engine`] — the scheduling front: [`Engine::schedule_batch`] runs
+//!   the list scheduler over a batch of regions (basic blocks) and returns
+//!   index-aligned schedules plus folded statistics.
+//!
+//! ## Determinism contract
+//!
+//! The same region batch with the same shared MDES produces byte-identical
+//! schedules and identical folded [`CheckStats`] regardless of the worker
+//! count: each region is scheduled against its own fresh RU map, so job
+//! results depend only on the job, and per-job statistics are folded in
+//! job-index order ([`CheckStats::merge`] is commutative besides). Only
+//! wall-clock measurements (queue wait, busy time, jobs/sec) vary run to
+//! run. See `docs/concurrency.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mdes_core::{CompiledMdes, UsageEncoding};
+//! use mdes_engine::Engine;
+//! use mdes_sched::{Block, Op, Reg};
+//!
+//! let spec = mdes_lang::compile("
+//!     resource ALU[2];
+//!     or_tree AnyAlu = first_of(for a in 0..2: { ALU[a] @ 0 });
+//!     class alu { constraint = AnyAlu; latency = 1; }
+//! ").unwrap();
+//! let mdes = Arc::new(CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap());
+//! let alu = mdes.class_by_name("alu").unwrap();
+//!
+//! let mut block = Block::new();
+//! for i in 0..4 {
+//!     block.push(Op::new(alu, vec![Reg(i)], vec![]));
+//! }
+//! let blocks = vec![block.clone(), block];
+//!
+//! let outcome = Engine::new(mdes).schedule_batch(&blocks, 2);
+//! assert!(outcome.is_clean());
+//! assert_eq!(outcome.schedules.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+
+use std::sync::Arc;
+
+use mdes_core::{CheckStats, CompiledMdes};
+use mdes_sched::{Block, ListScheduler, Priority, Schedule};
+use mdes_telemetry::Telemetry;
+
+pub use pool::{run_batch, PoolOutcome, WorkerLoad};
+
+/// A scheduling engine: one shared, immutable compiled MDES serving
+/// batches of region-scheduling jobs across a worker pool.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    mdes: Arc<CompiledMdes>,
+    priority: Priority,
+}
+
+impl Engine {
+    /// Creates an engine around a shared compiled description.
+    pub fn new(mdes: Arc<CompiledMdes>) -> Engine {
+        Engine {
+            mdes,
+            priority: Priority::default(),
+        }
+    }
+
+    /// Overrides the list-scheduler priority function.
+    pub fn with_priority(mut self, priority: Priority) -> Engine {
+        self.priority = priority;
+        self
+    }
+
+    /// The shared description this engine schedules against.
+    pub fn mdes(&self) -> &Arc<CompiledMdes> {
+        &self.mdes
+    }
+
+    /// Schedules every block in `blocks` across `jobs` workers (clamped
+    /// to at least one) and returns index-aligned results plus folded
+    /// statistics.
+    ///
+    /// Workers share the compiled MDES read-only; each job schedules
+    /// against its own RU map and its own [`CheckStats`], so the result
+    /// for block *i* is independent of worker count and assignment (see
+    /// the crate-level determinism contract). A job that panics leaves a
+    /// `None` in its result slot and is counted in
+    /// [`BatchOutcome::worker_panics`]; the rest of the batch completes.
+    pub fn schedule_batch(&self, blocks: &[Block], jobs: usize) -> BatchOutcome {
+        let mdes = &*self.mdes;
+        let priority = self.priority;
+        let raw = run_batch(blocks, jobs, |_, _, block| {
+            let scheduler = ListScheduler::new(mdes).with_priority(priority);
+            let mut stats = CheckStats::new();
+            let schedule = scheduler.schedule(block, &mut stats);
+            (schedule, stats)
+        });
+
+        // Fold per-job statistics in job-index order — worker-count
+        // invariant by construction — and per-worker aggregates for the
+        // telemetry breakdown.
+        let mut stats = CheckStats::new();
+        let mut workers: Vec<WorkerReport> = raw
+            .workers
+            .iter()
+            .map(|load| WorkerReport {
+                load: load.clone(),
+                stats: CheckStats::new(),
+            })
+            .collect();
+        let mut schedules: Vec<Option<Schedule>> = Vec::with_capacity(blocks.len());
+        for (slot, worker) in raw.results.into_iter().zip(raw.assigned) {
+            match slot {
+                Some((schedule, job_stats)) => {
+                    stats.merge(&job_stats);
+                    if let Some(worker) = worker {
+                        workers[worker].stats.merge(&job_stats);
+                    }
+                    schedules.push(Some(schedule));
+                }
+                None => schedules.push(None),
+            }
+        }
+        BatchOutcome {
+            schedules,
+            stats,
+            workers,
+            elapsed_nanos: raw.elapsed_nanos,
+        }
+    }
+}
+
+/// One worker's share of a batch: pool-level load plus the scheduling
+/// statistics of the jobs it executed.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// Queue/busy timing and job counts from the pool.
+    pub load: WorkerLoad,
+    /// Folded [`CheckStats`] of this worker's jobs.
+    pub stats: CheckStats,
+}
+
+/// The result of one [`Engine::schedule_batch`] call.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// Per-block schedules, index-aligned with the input; `None` marks a
+    /// job whose worker panicked mid-schedule.
+    pub schedules: Vec<Option<Schedule>>,
+    /// Statistics folded over all completed jobs, in job-index order.
+    pub stats: CheckStats,
+    /// Per-worker load and statistics, indexed by worker id.
+    pub workers: Vec<WorkerReport>,
+    /// Wall-clock nanoseconds for the whole batch.
+    pub elapsed_nanos: u128,
+}
+
+impl BatchOutcome {
+    /// Jobs that completed.
+    pub fn completed(&self) -> usize {
+        self.schedules.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Jobs lost to a panic (their result slots are `None`).
+    pub fn worker_panics(&self) -> u64 {
+        self.workers.iter().map(|w| w.load.panics).sum()
+    }
+
+    /// Whether every job completed without a panic.
+    pub fn is_clean(&self) -> bool {
+        self.worker_panics() == 0 && self.schedules.iter().all(|s| s.is_some())
+    }
+
+    /// Total schedule length over completed jobs, in cycles.
+    pub fn total_cycles(&self) -> i64 {
+        self.schedules
+            .iter()
+            .flatten()
+            .map(|s| i64::from(s.length))
+            .sum()
+    }
+
+    /// Completed jobs per wall-clock second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            return 0.0;
+        }
+        self.completed() as f64 / (self.elapsed_nanos as f64 / 1e9)
+    }
+
+    /// Folds the batch into a telemetry registry under `prefix` (e.g.
+    /// `engine`): the folded scheduling counters under `{prefix}/sched`,
+    /// a `jobs_per_sec` gauge, a `worker_panics` counter (always present,
+    /// zero on clean runs, so metrics consumers can gate on it), and a
+    /// per-worker breakdown — `queue_wait`/`busy` spans via the
+    /// thread-safe [`Telemetry::record_span`] path plus job and
+    /// check/reserve counters.
+    pub fn publish(&self, tel: &Telemetry, prefix: &str) {
+        self.stats.publish(tel, &format!("{prefix}/sched"));
+        tel.counter_add(&format!("{prefix}/jobs_completed"), self.completed() as u64);
+        tel.counter_add(&format!("{prefix}/worker_panics"), self.worker_panics());
+        tel.gauge_set(&format!("{prefix}/jobs_per_sec"), self.jobs_per_sec());
+        tel.gauge_set(&format!("{prefix}/workers"), self.workers.len() as f64);
+        for worker in &self.workers {
+            let base = format!("{prefix}/worker{}", worker.load.worker);
+            tel.record_span(&format!("{base}/queue_wait"), worker.load.queue_wait_nanos);
+            tel.record_span(&format!("{base}/busy"), worker.load.busy_nanos);
+            tel.counter_add(&format!("{base}/jobs"), worker.load.jobs);
+            tel.counter_add(&format!("{base}/attempts"), worker.stats.attempts);
+            tel.counter_add(
+                &format!("{base}/resource_checks"),
+                worker.stats.resource_checks,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::UsageEncoding;
+    use mdes_sched::{Op, Reg};
+
+    fn two_alu_machine() -> Arc<CompiledMdes> {
+        let mut spec = mdes_core::MdesSpec::new();
+        let a0 = spec.resources_mut().add("ALU0").unwrap();
+        let a1 = spec.resources_mut().add("ALU1").unwrap();
+        let o0 = spec.add_option(mdes_core::TableOption::new(vec![
+            mdes_core::ResourceUsage::new(a0, 0),
+        ]));
+        let o1 = spec.add_option(mdes_core::TableOption::new(vec![
+            mdes_core::ResourceUsage::new(a1, 0),
+        ]));
+        let tree = spec.add_or_tree(mdes_core::OrTree::new(vec![o0, o1]));
+        spec.add_class(
+            "alu",
+            mdes_core::Constraint::Or(tree),
+            mdes_core::Latency::new(1),
+            mdes_core::OpFlags::none(),
+        )
+        .unwrap();
+        Arc::new(CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap())
+    }
+
+    fn blocks(mdes: &CompiledMdes, count: usize, ops: usize) -> Vec<Block> {
+        let alu = mdes.class_by_name("alu").unwrap();
+        (0..count)
+            .map(|b| {
+                let mut block = Block::new();
+                for i in 0..ops {
+                    block.push(Op::new(alu, vec![Reg((b * ops + i) as u32)], vec![]));
+                }
+                block
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_serial_scheduling() {
+        let mdes = two_alu_machine();
+        let batch = blocks(&mdes, 7, 5);
+        let outcome = Engine::new(Arc::clone(&mdes)).schedule_batch(&batch, 3);
+        assert!(outcome.is_clean());
+
+        let scheduler = ListScheduler::new(&mdes);
+        let mut serial_stats = CheckStats::new();
+        for (block, got) in batch.iter().zip(&outcome.schedules) {
+            let want = scheduler.schedule(block, &mut serial_stats);
+            assert_eq!(got.as_ref().unwrap(), &want);
+        }
+        assert_eq!(outcome.stats, serial_stats);
+    }
+
+    #[test]
+    fn worker_stats_fold_to_the_batch_total() {
+        let mdes = two_alu_machine();
+        let batch = blocks(&mdes, 9, 4);
+        let outcome = Engine::new(mdes).schedule_batch(&batch, 4);
+        let mut folded = CheckStats::new();
+        for worker in &outcome.workers {
+            folded.merge(&worker.stats);
+        }
+        assert_eq!(folded, outcome.stats);
+        let jobs: u64 = outcome.workers.iter().map(|w| w.load.jobs).sum();
+        assert_eq!(jobs as usize, batch.len());
+    }
+
+    #[test]
+    fn zero_workers_clamp_to_one() {
+        let mdes = two_alu_machine();
+        let batch = blocks(&mdes, 2, 3);
+        let outcome = Engine::new(mdes).schedule_batch(&batch, 0);
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.workers.len(), 1);
+    }
+
+    #[test]
+    fn publish_surfaces_panics_counter_even_when_clean() {
+        let mdes = two_alu_machine();
+        let batch = blocks(&mdes, 3, 3);
+        let outcome = Engine::new(mdes).schedule_batch(&batch, 2);
+        let tel = Telemetry::new();
+        outcome.publish(&tel, "engine");
+        let report = tel.report();
+        assert_eq!(report.counter("engine/worker_panics"), Some(0));
+        assert_eq!(report.counter("engine/jobs_completed"), Some(3));
+        assert!(report.gauge("engine/jobs_per_sec").is_some());
+        assert!(report.span("engine/worker0/busy").is_some());
+        assert!(report.span("engine/worker1/queue_wait").is_some());
+    }
+}

@@ -1,0 +1,179 @@
+//! The generic worker pool: scoped threads draining a shared job slice
+//! through an atomic cursor.
+//!
+//! The queue is the job slice itself plus one [`AtomicUsize`] "next job"
+//! cursor — there is no channel, no allocation per job, and no lock on
+//! the hot path. Each worker claims the next index with a `fetch_add`,
+//! runs the job, and keeps its results locally; the pool merges them into
+//! index-aligned slots after all workers join, so output order never
+//! depends on thread interleaving.
+//!
+//! A panic inside one job is caught ([`std::panic::catch_unwind`]) and
+//! recorded in the claiming worker's [`WorkerLoad::panics`]; the worker
+//! moves on to the next job and the batch completes with a `None` in the
+//! panicked job's slot. Nothing here holds a `Mutex`, so a panic cannot
+//! poison shared state.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Per-worker load measurements.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerLoad {
+    /// Worker id, `0..jobs_threads`.
+    pub worker: usize,
+    /// Jobs completed by this worker.
+    pub jobs: u64,
+    /// Jobs claimed by this worker that panicked.
+    pub panics: u64,
+    /// Nanoseconds spent claiming work from the queue.
+    pub queue_wait_nanos: u128,
+    /// Nanoseconds spent executing jobs.
+    pub busy_nanos: u128,
+}
+
+/// The raw result of [`run_batch`].
+#[derive(Debug)]
+pub struct PoolOutcome<R> {
+    /// Job results, index-aligned with the input slice; `None` marks a
+    /// panicked job.
+    pub results: Vec<Option<R>>,
+    /// Which worker executed each job (`None` for panicked jobs).
+    pub assigned: Vec<Option<usize>>,
+    /// Per-worker load, indexed by worker id.
+    pub workers: Vec<WorkerLoad>,
+    /// Wall-clock nanoseconds from first spawn to last join.
+    pub elapsed_nanos: u128,
+}
+
+/// Runs `work` over every item of `items` on `threads` workers (clamped
+/// to at least one) and returns index-aligned results.
+///
+/// `work` receives `(worker_id, job_index, item)`. It must not assume
+/// anything about which worker runs which job: assignment is first-come
+/// first-served off the shared cursor. Results are merged by job index,
+/// so they are deterministic whenever `work` itself is a pure function of
+/// `(job_index, item)`.
+pub fn run_batch<T, R, F>(items: &[T], threads: usize, work: F) -> PoolOutcome<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let cursor = AtomicUsize::new(0);
+    let started = Instant::now();
+
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut assigned: Vec<Option<usize>> = vec![None; items.len()];
+    let mut workers: Vec<WorkerLoad> = Vec::with_capacity(threads);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let cursor = &cursor;
+                let work = &work;
+                scope.spawn(move || {
+                    let mut load = WorkerLoad {
+                        worker,
+                        ..WorkerLoad::default()
+                    };
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let wait_started = Instant::now();
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        load.queue_wait_nanos += wait_started.elapsed().as_nanos();
+                        if index >= items.len() {
+                            break;
+                        }
+                        let busy_started = Instant::now();
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| work(worker, index, &items[index])));
+                        load.busy_nanos += busy_started.elapsed().as_nanos();
+                        match result {
+                            Ok(value) => {
+                                load.jobs += 1;
+                                produced.push((index, value));
+                            }
+                            Err(_) => load.panics += 1,
+                        }
+                    }
+                    (load, produced)
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Per-job panics are caught inside the worker, so join can
+            // only fail if the pool bookkeeping itself panicked; there is
+            // no state to salvage in that case.
+            let (load, produced) = handle.join().expect("pool worker bookkeeping panicked");
+            for (index, value) in produced {
+                results[index] = Some(value);
+                assigned[index] = Some(load.worker);
+            }
+            workers.push(load);
+        }
+    });
+    workers.sort_by_key(|load| load.worker);
+
+    PoolOutcome {
+        results,
+        assigned,
+        workers,
+        elapsed_nanos: started.elapsed().as_nanos(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_index_aligned_regardless_of_threads() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let outcome = run_batch(&items, threads, |_, index, item| item * 2 + index as u64);
+            let values: Vec<u64> = outcome.results.into_iter().map(Option::unwrap).collect();
+            let expected: Vec<u64> = items.iter().map(|i| i * 3).collect();
+            assert_eq!(values, expected, "{threads} threads");
+            assert_eq!(outcome.workers.len(), threads);
+            let done: u64 = outcome.workers.iter().map(|w| w.jobs).sum();
+            assert_eq!(done, 100);
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..64).collect();
+        run_batch(&items, 8, |_, index, _| {
+            hits[index].fetch_add(1, Ordering::Relaxed);
+        });
+        for (index, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::Relaxed), 1, "job {index}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_job_is_surfaced_and_the_rest_complete() {
+        let items: Vec<usize> = (0..20).collect();
+        let outcome = run_batch(&items, 3, |_, index, item| {
+            assert!(index != 11, "deliberate test panic");
+            *item
+        });
+        assert!(outcome.results[11].is_none());
+        assert!(outcome.assigned[11].is_none());
+        let completed = outcome.results.iter().flatten().count();
+        assert_eq!(completed, 19);
+        let panics: u64 = outcome.workers.iter().map(|w| w.panics).sum();
+        assert_eq!(panics, 1);
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let outcome = run_batch(&[] as &[u8], 4, |_, _, _| ());
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.workers.len(), 4);
+    }
+}

@@ -1,0 +1,66 @@
+//! The engine's determinism contract: worker count must be invisible in
+//! the results. Same seed, `--jobs 1` vs `--jobs 8` produce byte-identical
+//! schedules and identical folded `CheckStats` counters.
+
+use std::sync::Arc;
+
+use mdes_core::{CompiledMdes, UsageEncoding};
+use mdes_engine::Engine;
+use mdes_machines::Machine;
+use mdes_workload::{generate_regions, RegionConfig};
+
+#[test]
+fn one_and_eight_workers_produce_byte_identical_results() {
+    for machine in [Machine::Pa7100, Machine::K5] {
+        let mut spec = machine.spec();
+        mdes_opt::optimize(&mut spec, &mdes_opt::PipelineConfig::full());
+        let compiled = Arc::new(CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap());
+        let config = RegionConfig::new(256).with_seed(0xDE7);
+        let workload = generate_regions(&spec, &config);
+
+        let engine = Engine::new(compiled);
+        let one = engine.schedule_batch(&workload.blocks, 1);
+        let eight = engine.schedule_batch(&workload.blocks, 8);
+        assert!(one.is_clean() && eight.is_clean());
+        assert_eq!(eight.workers.len(), 8, "{}", machine.name());
+
+        // Schedules are structurally equal and byte-identical once
+        // rendered; folded counters (including the Figure-2 histogram)
+        // match exactly.
+        assert_eq!(one.schedules, eight.schedules, "{}", machine.name());
+        assert_eq!(
+            format!("{:?}", one.schedules),
+            format!("{:?}", eight.schedules),
+            "{}",
+            machine.name()
+        );
+        assert_eq!(one.stats, eight.stats, "{}", machine.name());
+
+        // And re-running the same batch reproduces itself.
+        let again = engine.schedule_batch(&workload.blocks, 8);
+        assert_eq!(again.schedules, eight.schedules);
+        assert_eq!(again.stats, eight.stats);
+    }
+}
+
+#[test]
+fn worker_assignment_never_leaks_into_the_fold() {
+    // The per-worker splits differ run to run (first-come first-served
+    // queue), but their fold is pinned to the jobs-order total.
+    let machine = Machine::SuperSparc;
+    let spec = machine.spec();
+    let compiled = Arc::new(CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap());
+    let workload = generate_regions(&spec, &RegionConfig::new(128).with_seed(5));
+    let engine = Engine::new(compiled);
+
+    let reference = engine.schedule_batch(&workload.blocks, 1).stats;
+    for jobs in [2, 3, 5, 8] {
+        let outcome = engine.schedule_batch(&workload.blocks, jobs);
+        assert_eq!(outcome.stats, reference, "{jobs} workers");
+        let mut folded = mdes_core::CheckStats::new();
+        for worker in &outcome.workers {
+            folded.merge(&worker.stats);
+        }
+        assert_eq!(folded, reference, "{jobs} workers (per-worker fold)");
+    }
+}

@@ -159,6 +159,25 @@ impl Telemetry {
         }
     }
 
+    /// Records one completed interval of `nanos` directly under `path`,
+    /// bypassing the nesting stack.
+    ///
+    /// This is the thread-safe complement to [`Telemetry::span`]: workers
+    /// that time their own phases on the side (queue wait, busy time) can
+    /// fold the measurements in concurrently without interleaving on the
+    /// registry's single span stack. The path is taken literally — it is
+    /// not prefixed by any currently-open span.
+    pub fn record_span(&self, path: &str, nanos: u128) {
+        if let Some(mut state) = self.lock() {
+            if !state.spans.contains_key(path) {
+                state.span_order.push(path.to_string());
+            }
+            let stat = state.spans.entry(path.to_string()).or_default();
+            stat.count += 1;
+            stat.nanos += nanos;
+        }
+    }
+
     /// Adds `delta` to the monotonic counter `name` (creating it at zero).
     pub fn counter_add(&self, name: &str, delta: u64) {
         if let Some(mut state) = self.lock() {
@@ -626,6 +645,34 @@ mod tests {
             }
         });
         assert_eq!(tel.report().counter("hits"), Some(4000));
+    }
+
+    #[test]
+    fn record_span_aggregates_across_threads() {
+        let tel = Telemetry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = tel.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        handle.record_span("engine/worker/busy", 5);
+                    }
+                });
+            }
+        });
+        let entry = tel.report().span("engine/worker/busy").cloned().unwrap();
+        assert_eq!(entry.count, 400);
+        assert_eq!(entry.nanos, 2000);
+    }
+
+    #[test]
+    fn record_span_ignores_the_nesting_stack() {
+        let tel = Telemetry::new();
+        let _outer = tel.span("outer");
+        tel.record_span("worker0/wait", 7);
+        let report = tel.report();
+        assert!(report.span("worker0/wait").is_some());
+        assert!(report.span("outer/worker0/wait").is_none());
     }
 
     #[test]

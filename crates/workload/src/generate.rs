@@ -326,7 +326,7 @@ pub fn uniform_config(total_ops: usize) -> WorkloadConfig {
     }
 }
 
-fn make_op(
+pub(crate) fn make_op(
     class: ClassId,
     srcs: usize,
     dests: usize,

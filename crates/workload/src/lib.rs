@@ -33,10 +33,12 @@
 
 pub mod generate;
 pub mod mix;
+pub mod regions;
 pub mod rng;
 
 pub use generate::{
     as_loop_bodies, generate, generate_uniform, uniform_config, Workload, WorkloadConfig,
 };
 pub use mix::{body_mix, end_mix, OpTemplate};
+pub use regions::{generate_regions, RegionConfig};
 pub use rng::Pcg32;

@@ -11,12 +11,15 @@
 //! * [`sched`] — dependence graphs and the list / modulo schedulers;
 //! * [`workload`] — synthetic SPEC CINT92-equivalent workload generators;
 //! * [`automata`] — the finite-state-automaton baseline;
-//! * [`telemetry`] — pipeline-wide timing spans, counters, and gauges.
+//! * [`telemetry`] — pipeline-wide timing spans, counters, and gauges;
+//! * [`engine`] — the concurrent batch-scheduling engine (shared LMDES,
+//!   per-worker scheduler state).
 
 #![forbid(unsafe_code)]
 
 pub use mdes_automata as automata;
 pub use mdes_core as core;
+pub use mdes_engine as engine;
 pub use mdes_guard as guard;
 pub use mdes_lang as lang;
 pub use mdes_machines as machines;

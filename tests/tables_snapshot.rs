@@ -1,0 +1,39 @@
+//! Snapshot stability of the regenerated paper tables under the parallel
+//! driver: the engine's worker count must never change a rendered byte,
+//! so `results/tables.txt` stays reproducible on any `--jobs` setting.
+
+use mdes::core::UsageEncoding;
+use mdes::machines::Machine;
+use mdes_bench::experiment::{default_workload, prepare_spec, run_on, run_on_jobs, Rep, Stage};
+use mdes_bench::tables::{table5, TableConfig};
+use mdes_workload::generate;
+
+#[test]
+fn run_on_jobs_is_worker_count_invariant() {
+    let machine = Machine::Pa7100;
+    let spec = prepare_spec(machine, Rep::AndOr, Stage::Full);
+    let workload = generate(machine, &spec, &default_workload(machine, 1_200));
+
+    let serial = run_on(&spec, &workload, UsageEncoding::BitVector);
+    for jobs in [2, 4] {
+        let parallel = run_on_jobs(&spec, &workload, UsageEncoding::BitVector, jobs);
+        assert_eq!(parallel.schedule_hash, serial.schedule_hash, "{jobs} jobs");
+        assert_eq!(parallel.stats, serial.stats, "{jobs} jobs");
+        assert_eq!(
+            parallel.memory.total(),
+            serial.memory.total(),
+            "{jobs} jobs"
+        );
+    }
+}
+
+#[test]
+fn table_rendering_is_byte_stable_across_regenerations() {
+    // Two independent regenerations (each internally served by run_on,
+    // which now routes through the engine) must render the same bytes.
+    let config = TableConfig { total_ops: 1_200 };
+    let first = table5(&config);
+    let second = table5(&config);
+    assert_eq!(first, second);
+    assert!(first.contains("MDES"), "unexpected table header:\n{first}");
+}

@@ -7,7 +7,7 @@ use common::{arb_spec_plan, build_spec};
 use mdes::core::collision::forbidden_latencies;
 use mdes::core::size::measure;
 use mdes::core::spec::MdesSpec;
-use mdes::core::{CompiledMdes, UsageEncoding};
+use mdes::core::{CheckStats, Checker, ClassId, CompiledMdes, RuMap, UsageEncoding};
 use mdes::opt::pipeline::{optimize, PipelineConfig};
 use mdes::opt::timeshift::Direction;
 use proptest::prelude::*;
@@ -132,6 +132,51 @@ proptest! {
             }
         }
         prop_assert!(spec.validate().is_ok());
+    }
+
+    /// The packed bit-vector check/reserve is semantically identical to
+    /// the naive per-usage scalar walk: same accept/reject verdicts, the
+    /// same chosen options, and byte-identical occupancy afterwards.
+    #[test]
+    fn bitvector_reserve_matches_naive_semantics(
+        plan in arb_spec_plan(),
+        probes in prop::collection::vec((any::<u16>(), 0u8..3), 1..48),
+    ) {
+        let spec = build_spec(&plan);
+        let scalar = CompiledMdes::compile(&spec, UsageEncoding::Scalar).unwrap();
+        let bitvec = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let scalar_checker = Checker::new(&scalar);
+        let bitvec_checker = Checker::new(&bitvec);
+        let mut scalar_ru = RuMap::new();
+        let mut bitvec_ru = RuMap::new();
+        let mut scalar_stats = CheckStats::new();
+        let mut bitvec_stats = CheckStats::new();
+        let classes = scalar.classes().len();
+        let mut cycle = 0i32;
+        for &(pick, advance) in &probes {
+            cycle += i32::from(advance);
+            let class = ClassId::from_index(pick as usize % classes);
+            let from_scalar =
+                scalar_checker.try_reserve(&mut scalar_ru, class, cycle, &mut scalar_stats);
+            let from_bitvec =
+                bitvec_checker.try_reserve(&mut bitvec_ru, class, cycle, &mut bitvec_stats);
+            match (&from_scalar, &from_bitvec) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(&a.selected, &b.selected);
+                    prop_assert_eq!(a.time, b.time);
+                    prop_assert_eq!(a.class, b.class);
+                }
+                (None, None) => {}
+                _ => prop_assert!(
+                    false,
+                    "encodings disagree at cycle {}: scalar={:?} bitvec={:?}",
+                    cycle, from_scalar, from_bitvec
+                ),
+            }
+        }
+        for c in -4..=cycle + 8 {
+            prop_assert_eq!(scalar_ru.word(c), bitvec_ru.word(c), "occupancy differs at {}", c);
+        }
     }
 
     /// Expansion reports exactly the cross-product option counts.
