@@ -1,12 +1,33 @@
 #!/bin/sh
-# Tier-1 gate: build, test, lint, and formatting. Run from the repo root.
+# CI gate. Run from the repo root.
+#
+#   ./ci.sh          fast tier-1 gate: release build, dev-profile tests
+#                    (debug assertions on), formatting
+#   ./ci.sh --full   everything above plus the release-profile workspace
+#                    suites, the bench-serve concurrency smoke, the
+#                    panic-free clippy gate, and the perf regression gate
+#                    against the committed BENCH_5.json baseline
 set -eux
+
+FULL=0
+case "${1:-}" in
+--full) FULL=1 ;;
+"") ;;
+*)
+    echo "usage: ./ci.sh [--full]" >&2
+    exit 1
+    ;;
+esac
 
 cargo build --release
 
 # Functional tests run under the dev profile, with debug assertions
 # enabled, so internal invariants are checked rather than compiled out.
 cargo test -q
+
+cargo fmt --check
+
+test "$FULL" -eq 1 || exit 0
 
 # The concurrency suites (engine pool, conformance, determinism) also run
 # under the release profile: optimized codegen reorders more aggressively,
@@ -15,12 +36,15 @@ cargo test -q
 # suites live in crates/engine/tests/, outside the root package).
 cargo test --release --workspace -q
 
-# Concurrent-serving smoke: a short bench-serve batch on two workers must
-# finish clean — no worker panics and no poisoned locks surfaced in the
-# published metrics.
+# Concurrent-serving smoke: a short bench-serve batch on two workers with
+# a pinned seed must finish clean — every job accounted for, no worker
+# panics, and no poisoned locks surfaced in the published metrics.  The
+# jobs_completed count is exact because the region stream is
+# seed-deterministic and the engine's fold is worker-count invariant.
 METRICS="$(mktemp)"
-./target/release/mdesc bench-serve --jobs 2 --regions 2000 \
+./target/release/mdesc bench-serve --jobs 2 --regions 2000 --seed 42 \
     --metrics "$METRICS"
+grep -q '"engine/jobs_completed":2000' "$METRICS"
 grep -q '"engine/worker_panics":0' "$METRICS"
 if grep -qi 'poison' "$METRICS"; then
     echo 'ci: poisoned lock surfaced in bench-serve metrics' >&2
@@ -34,4 +58,14 @@ rm -f "$METRICS"
 cargo clippy -p mdes-lang -p mdes-opt -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 
-cargo fmt --check
+# Perf regression gate: rerun the deterministic suite and compare against
+# the committed baseline.  Op counts must match exactly (the workloads are
+# seed-deterministic); timings compare the fastest of K repetitions with a
+# 25% per-work-unit tolerance — shared-runner interference (CPU-quota
+# throttling after the suites above) only ever adds time, so min-of-K with
+# generous K finds an unthrottled window.  Exit code 5 on regression — see
+# docs/performance.md.
+PERF_JSON="$(mktemp)"
+./target/release/mdesc perf --reps 15 --json "$PERF_JSON" \
+    --baseline BENCH_5.json --max-regression 0.25
+rm -f "$PERF_JSON"

@@ -136,8 +136,7 @@ impl<'a> Automaton<'a> {
             let tree = &self.mdes.or_trees()[tree_idx as usize];
             let mut chosen = None;
             'options: for &opt_idx in &tree.options {
-                let option = &self.mdes.options()[opt_idx as usize];
-                for check in &option.checks {
+                for check in self.mdes.option_checks(opt_idx as usize) {
                     let slot = (check.time + offset) as usize;
                     if window[slot] & check.mask != 0 {
                         continue 'options;
@@ -147,8 +146,7 @@ impl<'a> Automaton<'a> {
                 break;
             }
             let opt_idx = chosen?;
-            let option = &self.mdes.options()[opt_idx as usize];
-            for check in &option.checks {
+            for check in self.mdes.option_checks(opt_idx as usize) {
                 let slot = (check.time + offset) as usize;
                 window[slot] |= check.mask;
             }

@@ -22,7 +22,7 @@ fn bench_lmdes(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("read-{label}"), machine.name()),
                 &image,
-                |b, image| b.iter(|| lmdes::read(image).unwrap().options().len()),
+                |b, image| b.iter(|| lmdes::read(image).unwrap().num_options()),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("write-{label}"), machine.name()),

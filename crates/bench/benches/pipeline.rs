@@ -40,8 +40,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 b.iter(|| {
                     CompiledMdes::compile(spec, UsageEncoding::BitVector)
                         .unwrap()
-                        .options()
-                        .len()
+                        .num_options()
                 })
             },
         );

@@ -47,6 +47,8 @@ const EXIT_PARSE: u8 = 2;
 const EXIT_VALIDATION: u8 = 3;
 /// Exit code for differential-oracle mismatches under `--guard oracle`.
 const EXIT_ORACLE: u8 = 4;
+/// Exit code for perf-gate failures under `mdesc perf --baseline`.
+const EXIT_PERF: u8 = 5;
 
 /// A CLI failure: the diagnostic text plus the process exit code it maps
 /// to.  Diagnostics always go to stderr (see [`main`]); stdout carries
@@ -185,6 +187,7 @@ fn dispatch(args: &[String], tel: &Telemetry) -> CliResult {
         "check" => check_cmd(rest),
         "bundled" => bundled_cmd(rest),
         "bench-serve" => bench_serve_cmd(rest, tel),
+        "perf" => perf_cmd(rest, tel),
         "schedule" => schedule_cmd(rest, tel),
         "dot" => dot_cmd(rest),
         "lint" => lint_cmd(rest),
@@ -227,6 +230,10 @@ fn usage() -> String {
      \x20         [--seed S]\n\
      \x20         serve a synthetic region stream through the concurrent engine\n\
      \x20         and report per-worker load and jobs/sec\n\
+     \x20 perf    [--seed S] [--scale F] [--reps K] [--filter SUBSTR] [--json PATH]\n\
+     \x20         [--baseline PATH] [--max-regression F] [--quiet]\n\
+     \x20         run the deterministic hot-path benchmark suite; with\n\
+     \x20         --baseline, gate against a committed report (see docs/performance.md)\n\
      \x20 schedule <in.hmdl> [--ops N] [--no-optimize]\n\
      \x20         drive the list scheduler over a synthetic stream and report\n\
      \x20         the paper's efficiency statistics\n\
@@ -239,7 +246,8 @@ fn usage() -> String {
      \x20 1 usage, I/O and other general errors\n\
      \x20 2 parse or elaboration errors in an input description\n\
      \x20 3 structural-validation failures\n\
-     \x20 4 differential-oracle mismatches under --guard oracle"
+     \x20 4 differential-oracle mismatches under --guard oracle\n\
+     \x20 5 perf regression against the baseline under perf --baseline"
         .to_string()
 }
 
@@ -403,7 +411,7 @@ fn dump_cmd(args: &[String]) -> CliResult {
         "{input}: LMDES image, {:?} encoding, {} resources, {} options, {} OR-trees, {} classes",
         compiled.encoding(),
         compiled.num_resources(),
-        compiled.options().len(),
+        compiled.num_options(),
         compiled.or_trees().len(),
         compiled.classes().len()
     );
@@ -820,6 +828,91 @@ fn bench_serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
         )));
     }
     Ok(())
+}
+
+fn perf_cmd(args: &[String], tel: &Telemetry) -> CliResult {
+    let mut config = mdes_perf::BenchConfig::default();
+    let mut json_path: Option<&str> = None;
+    let mut baseline_path: Option<&str> = None;
+    let mut max_regression = 0.25f64;
+    let mut quiet = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                config.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed requires an integer")?;
+            }
+            "--scale" => {
+                config.scale = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &f64| s > 0.0)
+                    .ok_or("--scale requires a positive number")?;
+            }
+            "--filter" => {
+                config.filter = Some(iter.next().ok_or("--filter requires a substring")?.clone());
+            }
+            "--reps" => {
+                config.reps = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r: &usize| r >= 1)
+                    .ok_or("--reps requires a positive integer")?;
+            }
+            "--json" => json_path = Some(iter.next().ok_or("--json requires a path")?),
+            "--baseline" => {
+                baseline_path = Some(iter.next().ok_or("--baseline requires a path")?);
+            }
+            "--max-regression" => {
+                max_regression = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &f64| t >= 0.0)
+                    .ok_or("--max-regression requires a non-negative number")?;
+            }
+            "--quiet" => quiet = true,
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
+        }
+    }
+
+    let report = {
+        let _span = tel.span("perf/suite");
+        mdes_perf::run_all(&config)
+    };
+    report.publish(tel);
+    if !quiet {
+        print!("{}", mdes_perf::report::render_table(&report));
+    }
+    if let Some(path) = json_path {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write report to `{path}`: {e}"))?;
+    }
+
+    let Some(baseline_path) = baseline_path else {
+        return Ok(());
+    };
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
+    let baseline = mdes_perf::Report::from_json(&text)
+        .map_err(|e| format!("bad baseline `{baseline_path}`: {e}"))?;
+    let outcome = mdes_perf::compare(&report, &baseline, max_regression);
+    print!("\n{}", mdes_perf::report::render_deltas(&outcome));
+    if outcome.passed() {
+        println!("perf gate: PASS");
+        Ok(())
+    } else {
+        let failures: Vec<String> = outcome
+            .failures()
+            .map(|d| format!("{} ({:?})", d.name, d.kind))
+            .collect();
+        Err(CliError {
+            code: EXIT_PERF,
+            message: format!("perf gate: FAIL — {}", failures.join(", ")),
+        })
+    }
 }
 
 fn schedule_cmd(args: &[String], tel: &Telemetry) -> CliResult {

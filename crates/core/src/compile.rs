@@ -39,6 +39,12 @@ pub struct CompiledCheck {
 }
 
 /// A compiled reservation-table option: probes in check order.
+///
+/// This is the *construction-time* form (used by [`CompiledMdes::from_parts`]
+/// and the LMDES loader).  Inside a [`CompiledMdes`] the per-option check
+/// lists are flattened into one contiguous arena so the checker's inner loop
+/// walks a dense slice instead of chasing one heap allocation per option;
+/// read them back through [`CompiledMdes::option_checks`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompiledOption {
     /// The probes, in the order the checker performs them.
@@ -49,6 +55,60 @@ impl CompiledOption {
     /// Combined occupancy over all cycles (for diagnostics).
     pub fn total_mask(&self) -> u64 {
         self.checks.iter().fold(0, |m, c| m | c.mask)
+    }
+}
+
+/// A borrowed view of one option's probes in the flat check arena.
+///
+/// Iterating yields [`CompiledCheck`]s by value, so loops written against
+/// the old pointer-chased `Vec<CompiledCheck>` read the same.
+#[derive(Copy, Clone, Debug)]
+pub struct Checks<'a> {
+    checks: &'a [CompiledCheck],
+}
+
+impl<'a> Checks<'a> {
+    /// Number of probes in the option.
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// True for an option with no probes.
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// The `k`-th probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k` is out of range.
+    pub fn at(&self, k: usize) -> CompiledCheck {
+        self.checks[k]
+    }
+
+    /// The probes as a plain slice into the arena.
+    pub fn as_slice(&self) -> &'a [CompiledCheck] {
+        self.checks
+    }
+
+    /// Iterates the probes in check order.
+    pub fn iter(&self) -> impl Iterator<Item = CompiledCheck> + 'a {
+        self.checks.iter().copied()
+    }
+
+    /// Combined occupancy over all cycles (for diagnostics).
+    pub fn total_mask(&self) -> u64 {
+        self.checks.iter().fold(0, |m, c| m | c.mask)
+    }
+}
+
+impl<'a> IntoIterator for Checks<'a> {
+    type Item = CompiledCheck;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, CompiledCheck>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.checks.iter().copied()
     }
 }
 
@@ -90,11 +150,22 @@ pub struct CompiledClass {
 }
 
 /// The flat, checker-ready machine description.
+///
+/// All per-option check lists live in one contiguous arena (`checks`,
+/// delimited by `option_bounds`): probing an option walks one dense slice
+/// of the shared arena rather than chasing a heap allocation per option,
+/// which is what keeps the scheduler's check/reserve inner loop in one or
+/// two cache lines per option.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CompiledMdes {
     encoding: UsageEncoding,
     num_resources: usize,
-    options: Vec<CompiledOption>,
+    /// Every option's probes, concatenated in option order.
+    checks: Vec<CompiledCheck>,
+    /// Arena delimiters: option `i`'s probes occupy
+    /// `option_bounds[i]..option_bounds[i + 1]`.  Length is one more than
+    /// the option count.
+    option_bounds: Vec<u32>,
     or_trees: Vec<CompiledOrTree>,
     classes: Vec<CompiledClass>,
     /// Bypass latency exceptions: (producer, consumer) → latency.
@@ -225,10 +296,12 @@ impl CompiledMdes {
             .unwrap_or(0)
             .max(0);
 
+        let (checks, option_bounds) = flatten_options(&options);
         Ok(CompiledMdes {
             encoding,
             num_resources: spec.resources().len(),
-            options,
+            checks,
+            option_bounds,
             or_trees,
             classes,
             bypasses: spec
@@ -301,10 +374,12 @@ impl CompiledMdes {
                 return Err(MdesError::UnknownClass(format!("bypass {p}->{c}")));
             }
         }
+        let (checks, option_bounds) = flatten_options(&options);
         Ok(CompiledMdes {
             encoding,
             num_resources,
-            options,
+            checks,
+            option_bounds,
             or_trees,
             classes,
             bypasses,
@@ -323,9 +398,27 @@ impl CompiledMdes {
         self.num_resources
     }
 
-    /// The compiled options pool.
-    pub fn options(&self) -> &[CompiledOption] {
-        &self.options
+    /// Number of options in the shared pool.
+    pub fn num_options(&self) -> usize {
+        self.option_bounds.len() - 1
+    }
+
+    /// The probes of option `idx`, as a view into the flat check arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is not a valid option index.
+    pub fn option_checks(&self, idx: usize) -> Checks<'_> {
+        let lo = self.option_bounds[idx] as usize;
+        let hi = self.option_bounds[idx + 1] as usize;
+        Checks {
+            checks: &self.checks[lo..hi],
+        }
+    }
+
+    /// Total number of probes stored in the check arena.
+    pub fn num_checks(&self) -> usize {
+        self.checks.len()
     }
 
     /// The compiled OR-tree pool.
@@ -374,6 +467,20 @@ impl CompiledMdes {
             .map(|&t| self.or_trees[t as usize].options.len())
             .product()
     }
+}
+
+/// Flattens per-option check lists into the arena pair
+/// `(checks, option_bounds)`.
+fn flatten_options(options: &[CompiledOption]) -> (Vec<CompiledCheck>, Vec<u32>) {
+    let total: usize = options.iter().map(|o| o.checks.len()).sum();
+    let mut checks = Vec::with_capacity(total);
+    let mut bounds = Vec::with_capacity(options.len() + 1);
+    bounds.push(0u32);
+    for option in options {
+        checks.extend_from_slice(&option.checks);
+        bounds.push(checks.len() as u32);
+    }
+    (checks, bounds)
 }
 
 /// Compiles one spec option into its probe sequence.
@@ -455,6 +562,7 @@ impl<'a> Checker<'a> {
     /// returned; on failure the RU map is left unchanged.
     ///
     /// Every call counts as one *scheduling attempt* in `stats`.
+    #[inline]
     pub fn try_reserve(
         &self,
         ru: &mut RuMap,
@@ -512,6 +620,22 @@ impl<'a> Checker<'a> {
         }
     }
 
+    /// True when every probe of option `opt_idx` finds its resources free
+    /// at issue time `time`.  Walks one dense slice of the shared check
+    /// arena.
+    #[inline]
+    fn option_free(&self, ru: &RuMap, opt_idx: u32, time: i32, stats: &mut CheckStats) -> bool {
+        let lo = self.mdes.option_bounds[opt_idx as usize] as usize;
+        let hi = self.mdes.option_bounds[opt_idx as usize + 1] as usize;
+        for check in &self.mdes.checks[lo..hi] {
+            stats.count_check();
+            if !ru.is_free(time + check.time, check.mask) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Walks one OR-tree: returns the first option (priority order) whose
     /// probes all succeed.  Does not reserve.
     fn try_or_tree(
@@ -522,30 +646,139 @@ impl<'a> Checker<'a> {
         stats: &mut CheckStats,
     ) -> Option<u32> {
         let tree = &self.mdes.or_trees[tree_idx as usize];
-        'options: for &opt_idx in &tree.options {
+        for &opt_idx in &tree.options {
             stats.count_option();
-            let option = &self.mdes.options[opt_idx as usize];
-            for check in &option.checks {
-                stats.count_check();
-                if !ru.is_free(time + check.time, check.mask) {
-                    continue 'options;
-                }
+            if self.option_free(ru, opt_idx, time, stats) {
+                return Some(opt_idx);
             }
-            return Some(opt_idx);
         }
         None
     }
 
+    /// [`Checker::try_or_tree`] with a success-history hint: the option
+    /// that satisfied this tree last time is probed first, and the
+    /// priority-order scan only runs when the hint misses.  On machines
+    /// with interchangeable units this skips the walk over busy
+    /// higher-priority options that a stable workload keeps re-failing —
+    /// the paper's Section 4 intuition (order options by likelihood of
+    /// success) applied dynamically.
+    fn try_or_tree_hinted(
+        &self,
+        ru: &RuMap,
+        tree_idx: u32,
+        time: i32,
+        stats: &mut CheckStats,
+        hints: &mut OptionHints,
+    ) -> Option<u32> {
+        let tree = &self.mdes.or_trees[tree_idx as usize];
+        let hint = hints.last[tree_idx as usize];
+        if (hint as usize) < tree.options.len() {
+            let opt_idx = tree.options[hint as usize];
+            stats.count_option();
+            if self.option_free(ru, opt_idx, time, stats) {
+                return Some(opt_idx);
+            }
+        }
+        for (pos, &opt_idx) in tree.options.iter().enumerate() {
+            if pos as u32 == hint {
+                continue;
+            }
+            stats.count_option();
+            if self.option_free(ru, opt_idx, time, stats) {
+                hints.last[tree_idx as usize] = pos as u32;
+                return Some(opt_idx);
+            }
+        }
+        None
+    }
+
+    /// [`Checker::try_reserve`] with hint-first option ordering.
+    ///
+    /// Every reservation it makes is a legal option of every tree, so
+    /// schedules built with it always verify — but the *chosen* option
+    /// may be a lower-priority one when the hint hits, which can shift
+    /// which resources are busy (and, through the greedy per-tree walk of
+    /// AND/OR classes, even whether a later attempt succeeds).  Callers
+    /// that must reproduce the paper's exact accounting (the bench
+    /// tables) use the unhinted path; throughput-oriented callers (engine
+    /// serving, the perf harness) opt in.  Determinism holds as long as
+    /// `hints` is owned by one logical scheduling run: the hint state is
+    /// a pure function of the attempt history.
+    #[inline]
+    pub fn try_reserve_hinted(
+        &self,
+        ru: &mut RuMap,
+        class: ClassId,
+        time: i32,
+        stats: &mut CheckStats,
+        hints: &mut OptionHints,
+    ) -> Option<Choice> {
+        stats.begin_attempt();
+        let compiled = self.mdes.class(class);
+        let mut selected: Vec<u32> = Vec::with_capacity(compiled.or_trees.len());
+        for &tree_idx in &compiled.or_trees {
+            match self.try_or_tree_hinted(ru, tree_idx, time, stats, hints) {
+                Some(opt_idx) => {
+                    self.apply_option(ru, opt_idx, time, true);
+                    selected.push(opt_idx);
+                }
+                None => {
+                    for &opt_idx in &selected {
+                        self.apply_option(ru, opt_idx, time, false);
+                    }
+                    stats.end_attempt(false);
+                    return None;
+                }
+            }
+        }
+        stats.end_attempt(true);
+        Some(Choice {
+            class,
+            time,
+            selected,
+        })
+    }
+
     /// Reserves (`set`) or releases (`!set`) all checks of an option.
+    #[inline]
     fn apply_option(&self, ru: &mut RuMap, opt_idx: u32, time: i32, set: bool) {
-        let option = &self.mdes.options[opt_idx as usize];
-        for check in &option.checks {
+        let lo = self.mdes.option_bounds[opt_idx as usize] as usize;
+        let hi = self.mdes.option_bounds[opt_idx as usize + 1] as usize;
+        for check in &self.mdes.checks[lo..hi] {
             if set {
                 ru.reserve(time + check.time, check.mask);
             } else {
                 ru.release(time + check.time, check.mask);
             }
         }
+    }
+}
+
+/// Per-OR-tree memory of the last successful option, for
+/// [`Checker::try_reserve_hinted`].
+///
+/// One instance belongs to one logical scheduling run (e.g. one block);
+/// sharing it across concurrently scheduled blocks would make schedules
+/// depend on interleaving.  `u32::MAX` marks "no success yet", so a fresh
+/// state behaves exactly like the unhinted priority scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OptionHints {
+    /// Last successful option *position within its tree*, indexed by
+    /// OR-tree index.
+    last: Vec<u32>,
+}
+
+impl OptionHints {
+    /// Creates a cleared hint state sized for `mdes`.
+    pub fn new(mdes: &CompiledMdes) -> OptionHints {
+        OptionHints {
+            last: vec![u32::MAX; mdes.or_trees.len()],
+        }
+    }
+
+    /// Forgets all recorded successes.
+    pub fn reset(&mut self) {
+        self.last.fill(u32::MAX);
     }
 }
 
@@ -597,7 +830,7 @@ mod tests {
         spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
             .unwrap();
         let compiled = CompiledMdes::compile(&spec, UsageEncoding::Scalar).unwrap();
-        assert_eq!(compiled.options()[0].checks.len(), 3);
+        assert_eq!(compiled.option_checks(0).len(), 3);
     }
 
     #[test]
@@ -609,17 +842,17 @@ mod tests {
         spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
             .unwrap();
         let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
-        let checks = &compiled.options()[0].checks;
+        let checks = compiled.option_checks(0);
         assert_eq!(checks.len(), 2);
         assert_eq!(
-            checks[0],
+            checks.at(0),
             CompiledCheck {
                 time: 0,
                 mask: 0b011
             }
         );
         assert_eq!(
-            checks[1],
+            checks.at(1),
             CompiledCheck {
                 time: 1,
                 mask: 0b100
@@ -637,10 +870,10 @@ mod tests {
         spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
             .unwrap();
         let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
-        let checks = &compiled.options()[0].checks;
-        assert_eq!(checks[0].time, 1);
-        assert_eq!(checks[0].mask, 0b110);
-        assert_eq!(checks[1].time, 0);
+        let checks = compiled.option_checks(0);
+        assert_eq!(checks.at(0).time, 1);
+        assert_eq!(checks.at(0).mask, 0b110);
+        assert_eq!(checks.at(1).time, 0);
     }
 
     #[test]
@@ -747,5 +980,114 @@ mod tests {
         let compiled = CompiledMdes::compile(&spec, UsageEncoding::Scalar).unwrap();
         let class = compiled.class_by_name("load").unwrap();
         assert_eq!(compiled.class_option_count(class), 2);
+    }
+
+    /// Four interchangeable issue slots behind one OR-tree: the shape
+    /// where hint-first ordering pays (a stable workload keeps re-failing
+    /// the same busy high-priority slots).
+    fn wide_or_spec() -> MdesSpec {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add_indexed("Slot", 4).unwrap();
+        let opts: Vec<_> = (0..4)
+            .map(|r| spec.add_option(TableOption::new(vec![u(r, 0)])))
+            .collect();
+        let tree = spec.add_or_tree(OrTree::new(opts));
+        spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+            .unwrap();
+        spec
+    }
+
+    #[test]
+    fn fresh_hints_behave_like_priority_scan() {
+        let spec = wide_or_spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let checker = Checker::new(&compiled);
+        let class = compiled.class_by_name("op").unwrap();
+
+        let mut ru_plain = RuMap::new();
+        let mut ru_hinted = RuMap::new();
+        let mut stats = CheckStats::new();
+        let mut hints = OptionHints::new(&compiled);
+
+        // With no recorded success, every probe must match the unhinted
+        // walk exactly — same selections, same costs.
+        let mut stats_hinted = CheckStats::new();
+        let plain = checker
+            .try_reserve(&mut ru_plain, class, 0, &mut stats)
+            .unwrap();
+        let hinted = checker
+            .try_reserve_hinted(&mut ru_hinted, class, 0, &mut stats_hinted, &mut hints)
+            .unwrap();
+        assert_eq!(plain, hinted);
+        assert_eq!(stats.resource_checks, stats_hinted.resource_checks);
+    }
+
+    #[test]
+    fn hinted_and_unhinted_agree_on_accept_reject() {
+        let spec = wide_or_spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let checker = Checker::new(&compiled);
+        let class = compiled.class_by_name("op").unwrap();
+
+        let mut ru_plain = RuMap::new();
+        let mut ru_hinted = RuMap::new();
+        let mut stats = CheckStats::new();
+        let mut hints = OptionHints::new(&compiled);
+
+        // Saturate each cycle: 4 slots, issue 5 ops per cycle — the 5th
+        // must fail in both worlds, and both maps stay identical.
+        for time in 0..8 {
+            for attempt in 0..5 {
+                let plain = checker.try_reserve(&mut ru_plain, class, time, &mut stats);
+                let hinted =
+                    checker.try_reserve_hinted(&mut ru_hinted, class, time, &mut stats, &mut hints);
+                assert_eq!(plain.is_some(), hinted.is_some(), "t={time} a={attempt}");
+            }
+            assert_eq!(ru_plain.population(), ru_hinted.population());
+        }
+    }
+
+    #[test]
+    fn hint_skips_busy_higher_priority_options() {
+        let spec = wide_or_spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let checker = Checker::new(&compiled);
+        let class = compiled.class_by_name("op").unwrap();
+
+        let mut ru = RuMap::new();
+        let mut hints = OptionHints::new(&compiled);
+
+        // Slots 0–2 permanently busy: the priority scan pays 3 failed
+        // probes every attempt, the hint lands on slot 3 immediately.
+        for time in 0..4 {
+            ru.reserve(time, 0b0111);
+        }
+        let mut warm = CheckStats::new();
+        let first = checker
+            .try_reserve_hinted(&mut ru, class, 0, &mut warm, &mut hints)
+            .unwrap();
+        assert_eq!(first.selected, vec![3]);
+        assert_eq!(warm.resource_checks, 4); // cold: walked all four
+
+        let mut hot = CheckStats::new();
+        let second = checker
+            .try_reserve_hinted(&mut ru, class, 1, &mut hot, &mut hints)
+            .unwrap();
+        assert_eq!(second.selected, vec![3]);
+        assert_eq!(hot.resource_checks, 1); // hint hit: single probe
+
+        // Unhinted pays the full walk at the same state.
+        let mut cold = CheckStats::new();
+        let plain = checker.try_reserve(&mut ru, class, 2, &mut cold).unwrap();
+        assert_eq!(plain.selected, vec![3]);
+        assert_eq!(cold.resource_checks, 4);
+
+        // After reset the hinted walk is the priority scan again.
+        hints.reset();
+        let mut reset = CheckStats::new();
+        checker
+            .try_reserve_hinted(&mut ru, class, 3, &mut reset, &mut hints)
+            .unwrap();
+        assert_eq!(reset.resource_checks, 4);
     }
 }

@@ -74,10 +74,11 @@ pub fn write(mdes: &CompiledMdes) -> Vec<u8> {
     put_i32(&mut out, mdes.min_check_time());
     put_i32(&mut out, mdes.max_check_time());
 
-    put_u32(&mut out, mdes.options().len() as u32);
-    for option in mdes.options() {
-        put_u32(&mut out, option.checks.len() as u32);
-        for check in &option.checks {
+    put_u32(&mut out, mdes.num_options() as u32);
+    for idx in 0..mdes.num_options() {
+        let checks = mdes.option_checks(idx);
+        put_u32(&mut out, checks.len() as u32);
+        for check in checks {
             put_i32(&mut out, check.time);
             out.extend_from_slice(&check.mask.to_le_bytes());
         }
@@ -419,7 +420,7 @@ mod tests {
                     // Accepted mutations must still be self-consistent.
                     for tree in decoded.or_trees() {
                         for &opt in &tree.options {
-                            assert!((opt as usize) < decoded.options().len());
+                            assert!((opt as usize) < decoded.num_options());
                         }
                     }
                 }

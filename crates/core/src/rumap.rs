@@ -79,6 +79,7 @@ impl RuMap {
     }
 
     /// The occupancy word for `cycle` (0 when outside the stored range).
+    #[inline]
     pub fn word(&self, cycle: i32) -> u64 {
         let idx = i64::from(cycle) - i64::from(self.base);
         if idx < 0 || idx >= self.words.len() as i64 {
@@ -89,6 +90,7 @@ impl RuMap {
     }
 
     /// True if none of the resources in `mask` are reserved at `cycle`.
+    #[inline]
     pub fn is_free(&self, cycle: i32, mask: u64) -> bool {
         self.word(cycle) & mask == 0
     }
@@ -99,6 +101,7 @@ impl RuMap {
     /// stay set); the constraint checker always probes with
     /// [`RuMap::is_free`] first, and the modulo scheduler relies on
     /// idempotent reservation when rotating the map.
+    #[inline]
     pub fn reserve(&mut self, cycle: i32, mask: u64) {
         let idx = self.index_growing(cycle);
         self.words[idx] |= mask;
@@ -109,6 +112,7 @@ impl RuMap {
     /// Outside the stored window this is a no-op by design: an untouched
     /// cycle is all-zero, so there is nothing to clear and no reason to
     /// grow (see the module-level contract).
+    #[inline]
     pub fn release(&mut self, cycle: i32, mask: u64) {
         let idx = i64::from(cycle) - i64::from(self.base);
         if idx >= 0 && idx < self.words.len() as i64 {

@@ -81,14 +81,15 @@ pub fn measure(mdes: &CompiledMdes) -> MemoryReport {
     let reference = WORD_BYTES;
 
     let mut report = MemoryReport {
-        num_options: mdes.options().len(),
+        num_options: mdes.num_options(),
         num_or_trees: mdes.or_trees().len(),
         ..MemoryReport::default()
     };
 
-    for option in mdes.options() {
-        report.option_bytes += header + option.checks.len() * check;
-        report.num_checks += option.checks.len();
+    for idx in 0..mdes.num_options() {
+        let checks = mdes.option_checks(idx).len();
+        report.option_bytes += header + checks * check;
+        report.num_checks += checks;
     }
 
     for tree in mdes.or_trees() {

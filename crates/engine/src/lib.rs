@@ -77,6 +77,7 @@ pub use pool::{run_batch, PoolOutcome, WorkerLoad};
 pub struct Engine {
     mdes: Arc<CompiledMdes>,
     priority: Priority,
+    hints: bool,
 }
 
 impl Engine {
@@ -85,12 +86,24 @@ impl Engine {
         Engine {
             mdes,
             priority: Priority::default(),
+            hints: false,
         }
     }
 
     /// Overrides the list-scheduler priority function.
     pub fn with_priority(mut self, priority: Priority) -> Engine {
         self.priority = priority;
+        self
+    }
+
+    /// Enables hint-first option ordering in the per-job schedulers (see
+    /// [`mdes_sched::ListScheduler::with_hints`]).  Hint state lives
+    /// inside each job's scheduling run, so results stay independent of
+    /// worker count and job order; off by default because hinted runs may
+    /// select different (equally valid) options than strict priority
+    /// order.
+    pub fn with_hints(mut self, hints: bool) -> Engine {
+        self.hints = hints;
         self
     }
 
@@ -112,8 +125,11 @@ impl Engine {
     pub fn schedule_batch(&self, blocks: &[Block], jobs: usize) -> BatchOutcome {
         let mdes = &*self.mdes;
         let priority = self.priority;
+        let hints = self.hints;
         let raw = run_batch(blocks, jobs, |_, _, block| {
-            let scheduler = ListScheduler::new(mdes).with_priority(priority);
+            let scheduler = ListScheduler::new(mdes)
+                .with_priority(priority)
+                .with_hints(hints);
             let mut stats = CheckStats::new();
             let schedule = scheduler.schedule(block, &mut stats);
             (schedule, stats)

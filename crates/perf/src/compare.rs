@@ -1,0 +1,219 @@
+//! The regression gate: current run vs committed baseline.
+//!
+//! Two different comparisons, because the two halves of a sample have
+//! different natures:
+//!
+//! * **work counts** (`ops`) are seed-deterministic — any drift means
+//!   the measured code path changed shape without the baseline being
+//!   regenerated, and is always a failure;
+//! * **timings** are wall-clock on a shared machine — only a slowdown
+//!   beyond the configured tolerance (25% by default) fails, compared
+//!   on ns-per-work-unit so runs at different `--scale` remain
+//!   comparable.  Both sides use the *fastest* repetition
+//!   ([`crate::Sample::min_ns_per_op`]): interference on a shared
+//!   runner (CPU-quota throttling, noisy neighbors) only ever adds
+//!   time, so the minimum over K repetitions estimates true speed where
+//!   the median can absorb a whole throttle window.
+//!
+//! A bench present in the baseline but missing from the run fails (a
+//! silently dropped bench is how perf coverage rots); a new bench not
+//! yet in the baseline is reported but passes.
+
+use crate::Report;
+
+/// How one bench moved against the baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// Bench name.
+    pub name: String,
+    /// Baseline ns per work unit (fastest repetition).
+    pub baseline_ns_per_op: f64,
+    /// Current ns per work unit, fastest repetition (0 when missing
+    /// from the run).
+    pub current_ns_per_op: f64,
+    /// `current / baseline - 1`: positive is slower.
+    pub ratio: f64,
+    /// Classification under the configured tolerance.
+    pub kind: DeltaKind,
+}
+
+/// Gate classification of one bench.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DeltaKind {
+    /// Within tolerance (or faster).
+    Ok,
+    /// Slower than the tolerance allows.
+    Regressed,
+    /// Deterministic op count differs from the baseline.
+    CountDrift,
+    /// In the baseline but not in this run.
+    Missing,
+    /// In this run but not in the baseline yet.
+    New,
+}
+
+/// The gate's verdict over a whole report.
+#[derive(Clone, Debug)]
+pub struct CompareOutcome {
+    /// Per-bench deltas, baseline order then new benches.
+    pub deltas: Vec<Delta>,
+    /// Allowed slowdown, e.g. `0.25`.
+    pub max_regression: f64,
+}
+
+impl CompareOutcome {
+    /// True when no bench regressed, drifted, or went missing.
+    pub fn passed(&self) -> bool {
+        self.deltas
+            .iter()
+            .all(|d| matches!(d.kind, DeltaKind::Ok | DeltaKind::New))
+    }
+
+    /// The benches that make [`CompareOutcome::passed`] false.
+    pub fn failures(&self) -> impl Iterator<Item = &Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| !matches!(d.kind, DeltaKind::Ok | DeltaKind::New))
+    }
+}
+
+/// Compares `current` against `baseline` with `max_regression` timing
+/// tolerance (0.25 = fail beyond 25% slower per work unit).
+pub fn compare(current: &Report, baseline: &Report, max_regression: f64) -> CompareOutcome {
+    let mut deltas = Vec::new();
+    for base in &baseline.benches {
+        let delta = match current.bench(&base.name) {
+            None => Delta {
+                name: base.name.clone(),
+                baseline_ns_per_op: base.min_ns_per_op(),
+                current_ns_per_op: 0.0,
+                ratio: 0.0,
+                kind: DeltaKind::Missing,
+            },
+            Some(now) => {
+                let baseline_ns = base.min_ns_per_op();
+                let current_ns = now.min_ns_per_op();
+                let ratio = if baseline_ns > 0.0 {
+                    current_ns / baseline_ns - 1.0
+                } else {
+                    0.0
+                };
+                let kind = if now.ops != base.ops {
+                    DeltaKind::CountDrift
+                } else if ratio > max_regression {
+                    DeltaKind::Regressed
+                } else {
+                    DeltaKind::Ok
+                };
+                Delta {
+                    name: base.name.clone(),
+                    baseline_ns_per_op: baseline_ns,
+                    current_ns_per_op: current_ns,
+                    ratio,
+                    kind,
+                }
+            }
+        };
+        deltas.push(delta);
+    }
+    for now in &current.benches {
+        if baseline.bench(&now.name).is_none() {
+            deltas.push(Delta {
+                name: now.name.clone(),
+                baseline_ns_per_op: 0.0,
+                current_ns_per_op: now.min_ns_per_op(),
+                ratio: 0.0,
+                kind: DeltaKind::New,
+            });
+        }
+    }
+    CompareOutcome {
+        deltas,
+        max_regression,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sample;
+
+    fn report(benches: &[(&str, u64, u128)]) -> Report {
+        Report {
+            schema: 1,
+            seed: 1,
+            benches: benches
+                .iter()
+                .map(|&(name, ops, median_ns)| Sample {
+                    name: name.to_string(),
+                    iters: 10,
+                    reps: 3,
+                    ops,
+                    median_ns,
+                    min_ns: median_ns,
+                })
+                .collect(),
+            checker_speedup: 0.0,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(&[("a", 100, 1000), ("b", 5, 700)]);
+        let outcome = compare(&r, &r, 0.25);
+        assert!(outcome.passed());
+        assert!(outcome.deltas.iter().all(|d| d.kind == DeltaKind::Ok));
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_fails_within_passes() {
+        let base = report(&[("a", 100, 1000)]);
+        let slower_ok = report(&[("a", 100, 1200)]);
+        let slower_bad = report(&[("a", 100, 1300)]);
+        assert!(compare(&slower_ok, &base, 0.25).passed());
+        let outcome = compare(&slower_bad, &base, 0.25);
+        assert!(!outcome.passed());
+        assert_eq!(
+            outcome.failures().next().unwrap().kind,
+            DeltaKind::Regressed
+        );
+    }
+
+    #[test]
+    fn speedups_always_pass() {
+        let base = report(&[("a", 100, 1000)]);
+        let faster = report(&[("a", 100, 10)]);
+        assert!(compare(&faster, &base, 0.0).passed());
+    }
+
+    #[test]
+    fn op_count_drift_fails_even_when_faster() {
+        let base = report(&[("a", 100, 1000)]);
+        let drifted = report(&[("a", 99, 10)]);
+        let outcome = compare(&drifted, &base, 0.25);
+        assert!(!outcome.passed());
+        assert_eq!(
+            outcome.failures().next().unwrap().kind,
+            DeltaKind::CountDrift
+        );
+    }
+
+    #[test]
+    fn missing_bench_fails_new_bench_passes() {
+        let base = report(&[("a", 100, 1000)]);
+        let renamed = report(&[("b", 100, 1000)]);
+        let outcome = compare(&renamed, &base, 0.25);
+        assert!(!outcome.passed());
+        let kinds: Vec<DeltaKind> = outcome.deltas.iter().map(|d| d.kind).collect();
+        assert_eq!(kinds, vec![DeltaKind::Missing, DeltaKind::New]);
+    }
+
+    #[test]
+    fn scale_invariance_through_ns_per_op() {
+        // Same per-op speed at 10x the iterations: no regression.
+        let base = report(&[("a", 100, 1000)]);
+        let mut scaled = report(&[("a", 100, 10_000)]);
+        scaled.benches[0].iters = 100;
+        assert!(compare(&scaled, &base, 0.01).passed());
+    }
+}

@@ -1,0 +1,276 @@
+//! The bench suite: what gets measured and how much work each bench
+//! does per iteration.
+//!
+//! Per-iteration work is a pure function of the config seed, so the
+//! `ops` column of every sample is byte-stable run to run — that is
+//! what the CI gate compares exactly, while timings get a noise
+//! tolerance.
+
+use std::sync::Arc;
+
+use mdes_core::{
+    CheckStats, Checker, ClassId, CompiledMdes, Constraint, Latency, MdesSpec, OpFlags,
+    OptionHints, OrTree, ResourceId, ResourceUsage, RuMap, TableOption, UsageEncoding,
+};
+use mdes_engine::Engine;
+use mdes_machines::Machine;
+use mdes_sched::ListScheduler;
+use mdes_workload::{generate_regions, Pcg32, RegionConfig};
+
+use crate::reference::PointerChasedChecker;
+use crate::{measure, BenchConfig, Sample};
+
+/// The baseline side of the derived `checker_speedup` figure.
+pub(crate) const POINTER_CHASED_BENCH: &str = "checker/pointer_chased/wide";
+/// The optimized side (flat check arena + hint-first ordering).
+pub(crate) const HINTED_BENCH: &str = "checker/hinted/wide";
+
+/// Machines the per-machine benches cover: one rigid early machine, one
+/// flexible late one — enough to see both MDES shapes without making
+/// the suite crawl.
+const MACHINES: [Machine; 2] = [Machine::Pa7100, Machine::K5];
+
+pub(crate) fn run(config: &BenchConfig, out: &mut Vec<Sample>) {
+    rumap_word_ops(config, out);
+    checker_replay(config, out);
+    wide_tree_checkers(config, out);
+    automaton_pack(config, out);
+    list_scheduling(config, out);
+    engine_batches(config, out);
+}
+
+/// `RuMap::is_free` / `reserve` / `release`: the word operations every
+/// other bench bottoms out in.
+fn rumap_word_ops(config: &BenchConfig, out: &mut Vec<Sample>) {
+    let name = "rumap/word_ops";
+    if !config.matches(name) {
+        return;
+    }
+    let mut rng = Pcg32::new(config.seed, 0x10);
+    let probes: Vec<(i32, u64)> = (0..4096)
+        .map(|_| {
+            let cycle = rng.gen_range(256) as i32;
+            let mask = (u64::from(rng.next_u32()) << 32 | u64::from(rng.next_u32())) | 1;
+            (cycle, mask)
+        })
+        .collect();
+    out.push(measure(name, config.iters(200), config.reps, || {
+        let mut ru = RuMap::new();
+        let mut ops = 0u64;
+        for &(cycle, mask) in &probes {
+            ops += 1;
+            if ru.is_free(cycle, mask) {
+                ru.reserve(cycle, mask);
+                ops += 1;
+            }
+        }
+        for &(cycle, mask) in &probes {
+            if !ru.is_free(cycle, mask) {
+                ru.release(cycle, mask);
+                ops += 1;
+            }
+        }
+        ops
+    }));
+}
+
+/// The per-option check loop of the production checker under both
+/// usage encodings, replaying a seeded probe stream against bundled
+/// machines.  Work unit: one resource check.
+fn checker_replay(config: &BenchConfig, out: &mut Vec<Sample>) {
+    for machine in MACHINES {
+        for (label, encoding) in [
+            ("scalar", UsageEncoding::Scalar),
+            ("bitvector", UsageEncoding::BitVector),
+        ] {
+            let name = format!("checker/{label}/{}", machine.name().to_lowercase());
+            if !config.matches(&name) {
+                continue;
+            }
+            let spec = machine.spec();
+            let compiled = CompiledMdes::compile(&spec, encoding).unwrap();
+            let checker = Checker::new(&compiled);
+            let probes = probe_stream(config.seed, compiled.classes().len(), 2048);
+            out.push(measure(&name, config.iters(50), config.reps, || {
+                let mut ru = RuMap::new();
+                let mut stats = CheckStats::new();
+                for &(class, time) in &probes {
+                    checker.try_reserve(&mut ru, class, time, &mut stats);
+                }
+                stats.resource_checks
+            }));
+        }
+    }
+}
+
+/// A seeded `(class, issue-time)` stream shared by the checker benches.
+fn probe_stream(seed: u64, classes: usize, len: usize) -> Vec<(ClassId, i32)> {
+    let mut rng = Pcg32::new(seed, 0x20);
+    (0..len)
+        .map(|_| {
+            let class = ClassId::from_index(rng.gen_range(classes as u32) as usize);
+            let time = rng.gen_range(32) as i32;
+            (class, time)
+        })
+        .collect()
+}
+
+/// Sixteen interchangeable issue slots behind one OR-tree, with the
+/// fifteen highest-priority slots kept busy: the access pattern where
+/// both the flat check arena and hint-first ordering show up.  Three
+/// checkers run the identical attempt stream; the derived
+/// `checker_speedup` divides the first sample's median time by the
+/// last's.
+fn wide_tree_checkers(config: &BenchConfig, out: &mut Vec<Sample>) {
+    const SLOTS: usize = 16;
+    const ATTEMPTS: i32 = 1024;
+    let arena_name = "checker/arena/wide";
+    let wanted = [POINTER_CHASED_BENCH, arena_name, HINTED_BENCH];
+    if !wanted.iter().any(|n| config.matches(n)) {
+        return;
+    }
+
+    let mut spec = MdesSpec::new();
+    spec.resources_mut().add_indexed("Slot", SLOTS).unwrap();
+    let opts: Vec<_> = (0..SLOTS)
+        .map(|r| {
+            spec.add_option(TableOption::new(vec![ResourceUsage::new(
+                ResourceId::from_index(r),
+                0,
+            )]))
+        })
+        .collect();
+    let tree = spec.add_or_tree(OrTree::new(opts));
+    spec.add_class("op", Constraint::Or(tree), Latency::new(1), OpFlags::none())
+        .unwrap();
+    let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+    let class = compiled.class_by_name("op").unwrap();
+    // All slots but the last busy at every cycle: the priority scan
+    // re-fails SLOTS-1 options per attempt, the hint lands on the free
+    // slot directly.
+    let busy: u64 = (1 << (SLOTS - 1)) - 1;
+
+    if config.matches(POINTER_CHASED_BENCH) {
+        let checker = PointerChasedChecker::new(&compiled);
+        out.push(measure(
+            POINTER_CHASED_BENCH,
+            config.iters(100),
+            config.reps,
+            || {
+                let mut ru = RuMap::new();
+                let mut stats = CheckStats::new();
+                for t in 0..ATTEMPTS {
+                    ru.reserve(t, busy);
+                    checker.try_reserve(&mut ru, class, t, &mut stats);
+                }
+                stats.resource_checks
+            },
+        ));
+    }
+    if config.matches(arena_name) {
+        let checker = Checker::new(&compiled);
+        out.push(measure(arena_name, config.iters(100), config.reps, || {
+            let mut ru = RuMap::new();
+            let mut stats = CheckStats::new();
+            for t in 0..ATTEMPTS {
+                ru.reserve(t, busy);
+                checker.try_reserve(&mut ru, class, t, &mut stats);
+            }
+            stats.resource_checks
+        }));
+    }
+    if config.matches(HINTED_BENCH) {
+        let checker = Checker::new(&compiled);
+        out.push(measure(
+            HINTED_BENCH,
+            config.iters(100),
+            config.reps,
+            || {
+                let mut ru = RuMap::new();
+                let mut stats = CheckStats::new();
+                let mut hints = OptionHints::new(&compiled);
+                for t in 0..ATTEMPTS {
+                    ru.reserve(t, busy);
+                    checker.try_reserve_hinted(&mut ru, class, t, &mut stats, &mut hints);
+                }
+                stats.resource_checks
+            },
+        ));
+    }
+}
+
+/// The automaton checker walking a seeded class stream (greedy in-order
+/// packing).  Work unit: one issued operation.
+fn automaton_pack(config: &BenchConfig, out: &mut Vec<Sample>) {
+    let name = "automaton/pack/pa7100";
+    if !config.matches(name) {
+        return;
+    }
+    let spec = Machine::Pa7100.spec();
+    let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+    let mut automaton = mdes_automata::Automaton::new(&compiled);
+    let mut rng = Pcg32::new(config.seed, 0x30);
+    let classes: Vec<ClassId> = (0..512)
+        .map(|_| ClassId::from_index(rng.gen_range(compiled.classes().len() as u32) as usize))
+        .collect();
+    out.push(measure(name, config.iters(50), config.reps, || {
+        automaton.pack_in_order(&classes);
+        classes.len() as u64
+    }));
+}
+
+/// Full list scheduling of `mdes-workload` region streams, unhinted and
+/// hinted.  Work unit: one resource check, so the hinted sample also
+/// documents how many checks the hint saves on a real machine.
+fn list_scheduling(config: &BenchConfig, out: &mut Vec<Sample>) {
+    for machine in MACHINES {
+        let machine_name = machine.name().to_lowercase();
+        let plain_name = format!("sched/list/{machine_name}");
+        let hinted_name = format!("sched/list_hinted/{machine_name}");
+        if !config.matches(&plain_name) && !config.matches(&hinted_name) {
+            continue;
+        }
+        let spec = machine.spec();
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let blocks = generate_regions(&spec, &RegionConfig::new(32).with_seed(config.seed)).blocks;
+        for (name, hints) in [(&plain_name, false), (&hinted_name, true)] {
+            if !config.matches(name) {
+                continue;
+            }
+            let scheduler = ListScheduler::new(&compiled).with_hints(hints);
+            out.push(measure(name, config.iters(10), config.reps, || {
+                let mut stats = CheckStats::new();
+                for block in &blocks {
+                    scheduler.schedule(block, &mut stats);
+                }
+                stats.resource_checks
+            }));
+        }
+    }
+}
+
+/// `Engine::schedule_batch` throughput at 1/2/4 workers over one shared
+/// compiled description.  Work unit: one resource check (worker-count
+/// invariant by the engine's determinism contract; wall-clock is where
+/// worker scaling shows, on machines that have the cores for it).
+fn engine_batches(config: &BenchConfig, out: &mut Vec<Sample>) {
+    let names: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|jobs| format!("engine/batch/w{jobs}"))
+        .collect();
+    if !names.iter().any(|n| config.matches(n)) {
+        return;
+    }
+    let spec = Machine::Pa7100.spec();
+    let compiled = Arc::new(CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap());
+    let blocks = generate_regions(&spec, &RegionConfig::new(128).with_seed(config.seed)).blocks;
+    let engine = Engine::new(compiled);
+    for (name, jobs) in names.iter().zip([1usize, 2, 4]) {
+        if !config.matches(name) {
+            continue;
+        }
+        out.push(measure(name, config.iters(3), config.reps, || {
+            engine.schedule_batch(&blocks, jobs).stats.resource_checks
+        }));
+    }
+}

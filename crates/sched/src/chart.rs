@@ -54,8 +54,7 @@ pub fn occupancy_chart(
     for (index, placed) in schedule.ops.iter().enumerate() {
         let label = op_label(index);
         for &opt_idx in &placed.choice.selected {
-            let option = &mdes.options()[opt_idx as usize];
-            for check in &option.checks {
+            for check in mdes.option_checks(opt_idx as usize) {
                 let column = (placed.cycle + check.time - min_cycle) as usize;
                 for bit in 0..64 {
                     if check.mask & (1 << bit) != 0 && (bit as usize) < num_resources {
@@ -143,8 +142,7 @@ pub fn resource_utilization(mdes: &CompiledMdes, schedule: &Schedule) -> Vec<f64
     let mut busy = vec![vec![false; width]; num_resources];
     for placed in &schedule.ops {
         for &opt_idx in &placed.choice.selected {
-            let option = &mdes.options()[opt_idx as usize];
-            for check in &option.checks {
+            for check in mdes.option_checks(opt_idx as usize) {
                 let column = (placed.cycle + check.time - min_cycle) as usize;
                 for (bit, row) in busy.iter_mut().enumerate().take(64) {
                     if check.mask & (1 << bit) != 0 {

@@ -11,7 +11,7 @@
 //! supplying a different compiled MDES, which is the portability claim of
 //! the two-tier model.
 
-use mdes_core::{Checker, Choice, CompiledMdes, RuMap};
+use mdes_core::{Checker, Choice, CompiledMdes, OptionHints, RuMap};
 
 use crate::depgraph::DepGraph;
 use crate::operation::Block;
@@ -93,8 +93,7 @@ impl Schedule {
         let mut ru = RuMap::new();
         for (index, placed) in self.ops.iter().enumerate() {
             for &opt_idx in &placed.choice.selected {
-                let option = &mdes.options()[opt_idx as usize];
-                for check in &option.checks {
+                for check in mdes.option_checks(opt_idx as usize) {
                     let cycle = placed.cycle + check.time;
                     if !ru.is_free(cycle, check.mask) {
                         return Err(format!(
@@ -129,6 +128,7 @@ pub enum Priority {
 pub struct ListScheduler<'a> {
     mdes: &'a CompiledMdes,
     priority: Priority,
+    hints: bool,
 }
 
 impl<'a> ListScheduler<'a> {
@@ -138,12 +138,25 @@ impl<'a> ListScheduler<'a> {
         ListScheduler {
             mdes,
             priority: Priority::Height,
+            hints: false,
         }
     }
 
     /// Selects a different priority function.
     pub fn with_priority(mut self, priority: Priority) -> ListScheduler<'a> {
         self.priority = priority;
+        self
+    }
+
+    /// Enables hint-first option ordering: the checker probes each
+    /// OR-tree's most-recently-successful option before falling back to
+    /// the priority scan.  Hint state is owned by each `schedule*` call,
+    /// so the same block always yields the same schedule — but because a
+    /// lower-priority option can win when the hinted one matches first,
+    /// hinted schedules may pick different options than the paper's
+    /// strict-priority accounting.  Leave off for paper reproduction.
+    pub fn with_hints(mut self, hints: bool) -> ListScheduler<'a> {
+        self.hints = hints;
         self
     }
 
@@ -222,6 +235,9 @@ impl<'a> ListScheduler<'a> {
         }
         let checker = Checker::new(self.mdes);
         let heights = graph.heights();
+        // Fresh hint state per run: schedules depend only on the block,
+        // never on what was scheduled before.
+        let mut hints = self.hints.then(|| OptionHints::new(self.mdes));
 
         let mut placed: Vec<Option<ScheduledOp>> = vec![None; n];
         let mut attempts: Vec<u32> = vec![0; n];
@@ -251,7 +267,11 @@ impl<'a> ListScheduler<'a> {
                 }
                 let class = block.ops[op].class;
                 attempts[op] += 1;
-                if let Some(choice) = checker.try_reserve(&mut ru, class, cycle, stats) {
+                let choice = match hints.as_mut() {
+                    Some(h) => checker.try_reserve_hinted(&mut ru, class, cycle, stats, h),
+                    None => checker.try_reserve(&mut ru, class, cycle, stats),
+                };
+                if let Some(choice) = choice {
                     stats.count_operation();
                     placed[op] = Some(ScheduledOp { cycle, choice });
                     remaining -= 1;

@@ -72,8 +72,7 @@ impl ModuloSchedule {
         let mut mrt = RuMap::new();
         for (op, selection) in self.selections.iter().enumerate() {
             for &opt_idx in selection {
-                let option = &mdes.options()[opt_idx as usize];
-                for check in &option.checks {
+                for check in mdes.option_checks(opt_idx as usize) {
                     let slot = (self.cycles[op] + check.time).rem_euclid(self.ii);
                     if !mrt.is_free(slot, check.mask) {
                         return Err(format!(
@@ -121,8 +120,7 @@ impl<'a> ModuloScheduler<'a> {
         for op in &looped.body.ops {
             for &tree_idx in &self.mdes.class(op.class).or_trees {
                 let tree = &self.mdes.or_trees()[tree_idx as usize];
-                let opt = &self.mdes.options()[tree.options[0] as usize];
-                for check in &opt.checks {
+                for check in self.mdes.option_checks(tree.options[0] as usize) {
                     let mut mask = check.mask;
                     while mask != 0 {
                         let bit = mask.trailing_zeros();
@@ -391,8 +389,7 @@ impl<'a> ModuloScheduler<'a> {
             let mut found = None;
             'options: for &opt_idx in &tree.options {
                 stats.count_option();
-                let option = &self.mdes.options()[opt_idx as usize];
-                for check in &option.checks {
+                for check in self.mdes.option_checks(opt_idx as usize) {
                     stats.count_check();
                     if !mrt.is_free((time + check.time).rem_euclid(ii), check.mask) {
                         continue 'options;
@@ -418,8 +415,7 @@ impl<'a> ModuloScheduler<'a> {
     }
 
     fn apply_modulo(&self, mrt: &mut RuMap, opt_idx: u32, time: i32, ii: i32, set: bool) {
-        let option = &self.mdes.options()[opt_idx as usize];
-        for check in &option.checks {
+        for check in self.mdes.option_checks(opt_idx as usize) {
             let slot = (time + check.time).rem_euclid(ii);
             if set {
                 mrt.reserve(slot, check.mask);
@@ -454,12 +450,10 @@ impl<'a> ModuloScheduler<'a> {
         // Evict conflicting ops.
         let conflicts = |selection: &[u32], at: i32| -> bool {
             for &mine in &forced {
-                let my_option = &self.mdes.options()[mine as usize];
-                for my_check in &my_option.checks {
+                for my_check in self.mdes.option_checks(mine as usize) {
                     let my_slot = (slot + my_check.time).rem_euclid(ii);
                     for &theirs in selection {
-                        let their_option = &self.mdes.options()[theirs as usize];
-                        for their_check in &their_option.checks {
+                        for their_check in self.mdes.option_checks(theirs as usize) {
                             let their_slot = (at + their_check.time).rem_euclid(ii);
                             if my_slot == their_slot && my_check.mask & their_check.mask != 0 {
                                 return true;

@@ -1,0 +1,166 @@
+//! Collision-vector oracle tests (Section 7).
+//!
+//! `forbidden_latencies` is the analytical form of a question the RU map
+//! answers operationally: may an operation using option B issue `t`
+//! cycles after one using option A?  These tests pin the two answers
+//! together on every bundled machine description, and check the
+//! structural properties that make collision vectors usable as an
+//! analysis tool (direction duality, zero-latency symmetry, full matrix
+//! coverage).
+
+use mdes_core::collision::{collision_matrix, forbidden_latencies, latency_allowed};
+use mdes_core::spec::TableOption;
+use mdes_core::RuMap;
+use mdes_machines::Machine;
+
+/// The latency window worth probing for a pair: beyond the span of
+/// either table no usage times can coincide, so every larger latency is
+/// trivially allowed.
+fn probe_window(a: &TableOption, b: &TableOption) -> i32 {
+    let span = |o: &TableOption| {
+        let lo = o.usages.iter().map(|u| u.time).min().unwrap_or(0);
+        let hi = o.usages.iter().map(|u| u.time).max().unwrap_or(0);
+        hi - lo
+    };
+    span(a) + span(b) + 2
+}
+
+/// Replays the pair on a fresh RU map: reserve all of `a`'s usages at
+/// issue cycle 0, then ask whether all of `b`'s usages are free at issue
+/// cycle `t`.  One resource bit per spec resource, exactly like the
+/// scalar usage encoding.
+fn replay_allows(a: &TableOption, b: &TableOption, t: i32) -> bool {
+    let mut ru = RuMap::new();
+    for ua in &a.usages {
+        ru.reserve(ua.time, 1u64 << ua.resource.index());
+    }
+    b.usages
+        .iter()
+        .all(|ub| ru.is_free(t + ub.time, 1u64 << ub.resource.index()))
+}
+
+/// `latency_allowed` must agree with brute-force RU-map replay for every
+/// ordered option pair of every bundled machine, across the whole
+/// window where collisions are possible.
+#[test]
+fn latency_allowed_agrees_with_rumap_replay_on_bundled_machines() {
+    for machine in Machine::all() {
+        let spec = machine.spec();
+        assert!(
+            spec.resources().len() <= 64,
+            "{}: replay oracle needs one bit per resource",
+            machine.name()
+        );
+        for a in spec.option_ids() {
+            for b in spec.option_ids() {
+                let (oa, ob) = (spec.option(a), spec.option(b));
+                for t in 0..=probe_window(oa, ob) {
+                    assert_eq!(
+                        latency_allowed(oa, ob, t),
+                        replay_allows(oa, ob, t),
+                        "{}: pair ({a:?}, {b:?}) at latency {t}",
+                        machine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A zero-latency collision is issue-slot contention, which cannot
+/// depend on which operation is called "first": 0 is forbidden for
+/// (a, b) exactly when it is forbidden for (b, a).
+#[test]
+fn zero_latency_collisions_are_symmetric() {
+    for machine in Machine::all() {
+        let spec = machine.spec();
+        for a in spec.option_ids() {
+            for b in spec.option_ids() {
+                let ab = forbidden_latencies(spec.option(a), spec.option(b));
+                let ba = forbidden_latencies(spec.option(b), spec.option(a));
+                assert_eq!(
+                    ab.contains(&0),
+                    ba.contains(&0),
+                    "{}: pair ({a:?}, {b:?})",
+                    machine.name()
+                );
+            }
+        }
+    }
+}
+
+/// Direction duality: "b collides t cycles after a" is the same event
+/// as "a collides t cycles *before* b", so the two ordered collision
+/// vectors together are exactly the pair's usage-time difference set.
+#[test]
+fn reversed_pairs_partition_the_difference_set() {
+    for machine in Machine::all() {
+        let spec = machine.spec();
+        for a in spec.option_ids() {
+            for b in spec.option_ids() {
+                let (oa, ob) = (spec.option(a), spec.option(b));
+                let mut differences: Vec<i32> = oa
+                    .usages
+                    .iter()
+                    .flat_map(|ua| {
+                        ob.usages
+                            .iter()
+                            .filter(|ub| ub.resource == ua.resource)
+                            .map(|ub| ua.time - ub.time)
+                    })
+                    .collect();
+                differences.sort_unstable();
+                differences.dedup();
+
+                let forward = forbidden_latencies(oa, ob);
+                let backward = forbidden_latencies(ob, oa);
+                let mut reunited: Vec<i32> = forward
+                    .iter()
+                    .copied()
+                    .chain(backward.iter().map(|&t| -t))
+                    .collect();
+                reunited.sort_unstable();
+                reunited.dedup();
+                assert_eq!(
+                    differences,
+                    reunited,
+                    "{}: pair ({a:?}, {b:?})",
+                    machine.name()
+                );
+            }
+        }
+    }
+}
+
+/// `collision_matrix` covers every ordered pair exactly once and each
+/// entry matches a direct `forbidden_latencies` call.
+#[test]
+fn collision_matrix_is_complete_and_consistent() {
+    for machine in Machine::all() {
+        let spec = machine.spec();
+        let options: Vec<_> = spec.option_ids().collect();
+        let matrix = collision_matrix(&spec);
+        assert_eq!(
+            matrix.len(),
+            options.len() * options.len(),
+            "{}",
+            machine.name()
+        );
+        for ((a, b), vector) in &matrix {
+            assert_eq!(
+                *vector,
+                forbidden_latencies(spec.option(*a), spec.option(*b)),
+                "{}: pair ({a:?}, {b:?})",
+                machine.name()
+            );
+            // Forbidden latencies are initiation intervals: non-negative
+            // by construction.
+            assert!(vector.iter().all(|&t| t >= 0), "{}", machine.name());
+        }
+        // Every ordered pair appears exactly once.
+        let mut keys: Vec<_> = matrix.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), matrix.len(), "{}", machine.name());
+    }
+}
