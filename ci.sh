@@ -4,9 +4,9 @@
 #   ./ci.sh          fast tier-1 gate: release build, dev-profile tests
 #                    (debug assertions on), formatting
 #   ./ci.sh --full   everything above plus the release-profile workspace
-#                    suites, the bench-serve concurrency smoke, the
+#                    suites, the bench-serve concurrency smokes, the
 #                    panic-free clippy gate, and the perf regression gate
-#                    against the committed BENCH_5.json baseline
+#                    against the committed BENCH_6.json baseline
 set -eux
 
 FULL=0
@@ -52,6 +52,16 @@ if grep -qi 'poison' "$METRICS"; then
 fi
 rm -f "$METRICS"
 
+# The same smoke at eight workers: oversubscribed relative to most CI
+# boxes, so the chunked/stealing hand-off and per-worker state reuse get
+# exercised under real contention — and must still lose zero jobs.
+METRICS8="$(mktemp)"
+./target/release/mdesc bench-serve --jobs 8 --regions 2000 --seed 42 \
+    --metrics "$METRICS8"
+grep -q '"engine/jobs_completed":2000' "$METRICS8"
+grep -q '"engine/worker_panics":0' "$METRICS8"
+rm -f "$METRICS8"
+
 # Input-reachable front-end and optimizer code must stay panic-free: no
 # unwrap/expect outside #[cfg(test)] modules (test code is exempt
 # because only the lib targets are linted here).  See docs/robustness.md.
@@ -63,9 +73,11 @@ cargo clippy -p mdes-lang -p mdes-opt -- \
 # seed-deterministic); timings compare the fastest of K repetitions with a
 # 25% per-work-unit tolerance — shared-runner interference (CPU-quota
 # throttling after the suites above) only ever adds time, so min-of-K with
-# generous K finds an unthrottled window.  Exit code 5 on regression — see
-# docs/performance.md.
+# generous K finds an unthrottled window.  The gate also enforces the
+# hardware-aware batch_scaling floor (engine w1 ÷ w4 parallel speedup:
+# >= 3.0 on hosts with 4+ CPUs, a 0.85 no-harm bound on smaller boxes —
+# see docs/performance.md).  Exit code 5 on regression.
 PERF_JSON="$(mktemp)"
 ./target/release/mdesc perf --reps 15 --json "$PERF_JSON" \
-    --baseline BENCH_5.json --max-regression 0.25
+    --baseline BENCH_6.json --max-regression 0.25
 rm -f "$PERF_JSON"

@@ -813,9 +813,10 @@ fn bench_serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
     );
     for worker in &outcome.workers {
         println!(
-            "  worker{}: {} jobs, {} checks, busy {:.3}ms, queue wait {:.3}ms",
+            "  worker{}: {} jobs, {} steals, {} checks, busy {:.3}ms, queue wait {:.3}ms",
             worker.load.worker,
             worker.load.jobs,
+            worker.load.steals,
             worker.stats.resource_checks,
             worker.load.busy_nanos as f64 / 1e6,
             worker.load.queue_wait_nanos as f64 / 1e6,
@@ -898,8 +899,12 @@ fn perf_cmd(args: &[String], tel: &Telemetry) -> CliResult {
         .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
     let baseline = mdes_perf::Report::from_json(&text)
         .map_err(|e| format!("bad baseline `{baseline_path}`: {e}"))?;
-    let outcome = mdes_perf::compare(&report, &baseline, max_regression);
+    let floor = mdes_perf::batch_scaling_floor();
+    let outcome = mdes_perf::compare(&report, &baseline, max_regression, floor);
     print!("\n{}", mdes_perf::report::render_deltas(&outcome));
+    println!(
+        "batch_scaling floor on this host: {floor:.2}x (hardware-aware, see docs/performance.md)"
+    );
     if outcome.passed() {
         println!("perf gate: PASS");
         Ok(())

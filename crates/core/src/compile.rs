@@ -780,6 +780,16 @@ impl OptionHints {
     pub fn reset(&mut self) {
         self.last.fill(u32::MAX);
     }
+
+    /// Clears the hint state and re-sizes it for `mdes`, reusing the
+    /// allocation when the capacity already fits.  Lets one instance
+    /// serve many logical scheduling runs (the engine's per-worker
+    /// scratch) while each run still starts from the cleared state
+    /// [`OptionHints::new`] would give it.
+    pub fn reset_for(&mut self, mdes: &CompiledMdes) {
+        self.last.clear();
+        self.last.resize(mdes.or_trees.len(), u32::MAX);
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,13 @@ impl Histogram {
             .map(|(i, &c)| (i, c))
     }
 
+    /// Zeroes every bucket in place, keeping the capacity — a reset
+    /// histogram compares equal to a freshly constructed one of the same
+    /// capacity without reallocating.
+    pub fn reset(&mut self) {
+        self.buckets.fill(0);
+    }
+
     /// Merges another histogram into this one.
     ///
     /// # Panics
@@ -149,6 +156,21 @@ impl CheckStats {
             options_per_attempt: Histogram::default(),
             current_attempt_options: 0,
         }
+    }
+
+    /// Zeroes every counter and histogram bucket in place, keeping the
+    /// histogram allocation.  A reset instance compares equal to
+    /// [`CheckStats::new`], so hot loops (the engine's per-worker job
+    /// scratch) can reuse one instance across runs instead of paying the
+    /// histogram allocation per job.
+    pub fn reset(&mut self) {
+        self.operations = 0;
+        self.attempts = 0;
+        self.successes = 0;
+        self.options_checked = 0;
+        self.resource_checks = 0;
+        self.options_per_attempt.reset();
+        self.current_attempt_options = 0;
     }
 
     /// Marks the start of a scheduling attempt.
@@ -319,6 +341,32 @@ mod tests {
         assert_eq!(stats.options_per_attempt_avg(), 0.0);
         assert_eq!(stats.checks_per_attempt(), 0.0);
         assert_eq!(stats.checks_per_option(), 0.0);
+    }
+
+    #[test]
+    fn reset_compares_equal_to_fresh_counters() {
+        let mut stats = CheckStats::new();
+        stats.begin_attempt();
+        stats.count_option();
+        stats.count_check();
+        stats.end_attempt(true);
+        stats.count_operation();
+        // Also leave mid-attempt scratch dirty, as a panicked run would.
+        stats.begin_attempt();
+        stats.count_option();
+
+        stats.reset();
+        assert_eq!(stats, CheckStats::new());
+
+        // A reset instance accumulates exactly like a fresh one.
+        stats.begin_attempt();
+        stats.count_option();
+        stats.end_attempt(true);
+        let mut fresh = CheckStats::new();
+        fresh.begin_attempt();
+        fresh.count_option();
+        fresh.end_attempt(true);
+        assert_eq!(stats, fresh);
     }
 
     #[test]

@@ -6,30 +6,46 @@
 //! after customization. This crate exploits that immutability for
 //! parallelism: one [`CompiledMdes`] behind an [`Arc`] is shared read-only
 //! across N workers, while every piece of *mutable* scheduling state — the
-//! RU map, the dependence graph, the [`CheckStats`] counters — is owned by
-//! exactly one worker.
+//! RU map, the placement buffers, the [`CheckStats`] counters — is owned by
+//! exactly one worker and **reused across every job that worker runs**
+//! (reset on entry, never reallocated).
 //!
 //! The crate has **zero external dependencies**; the pool is built from
-//! [`std::thread::scope`] and an atomic work-queue cursor.
+//! [`std::thread::scope`], a chunked atomic dispenser, and per-worker
+//! range words that idle workers steal from.
 //!
 //! ## Model
 //!
-//! * [`pool::run_batch`] — the generic thread pool: workers drain a shared
-//!   job slice through an atomic cursor, each job's panic is caught and
-//!   surfaced rather than tearing the batch down.
+//! * [`pool::run_batch_stateful`] — the generic thread pool: workers claim
+//!   contiguous chunks of the shared job slice (one `fetch_add` amortized
+//!   over a whole chunk), steal half-chunks from each other when idle, and
+//!   carry one long-lived state value across all their jobs. Each job's
+//!   panic is caught and surfaced rather than tearing the batch down.
 //! * [`Engine`] — the scheduling front: [`Engine::schedule_batch`] runs
-//!   the list scheduler over a batch of regions (basic blocks) and returns
-//!   index-aligned schedules plus folded statistics.
+//!   the list scheduler over a batch of regions (basic blocks) against
+//!   borrowed per-worker scratch ([`mdes_sched::SchedScratch`]) and
+//!   returns index-aligned schedules plus folded statistics.
 //!
 //! ## Determinism contract
 //!
 //! The same region batch with the same shared MDES produces byte-identical
 //! schedules and identical folded [`CheckStats`] regardless of the worker
-//! count: each region is scheduled against its own fresh RU map, so job
-//! results depend only on the job, and per-job statistics are folded in
-//! job-index order ([`CheckStats::merge`] is commutative besides). Only
-//! wall-clock measurements (queue wait, busy time, jobs/sec) vary run to
-//! run. See `docs/concurrency.md`.
+//! count, chunk size, or steal interleaving. Two facts carry the argument:
+//!
+//! 1. **Each job is a pure function of its block.** A job schedules
+//!    against per-worker scratch that is *reset on entry* to a state
+//!    observationally identical to freshly allocated scratch
+//!    (`RuMap::clear` keeps only capacity, `CheckStats::reset` compares
+//!    equal to `CheckStats::new()`, hint tables are re-initialized), so
+//!    which worker runs a job — and what ran before it — cannot leak into
+//!    its schedule. Results land in index-aligned slots.
+//! 2. **The stats fold is partition-invariant.** [`CheckStats::merge`] is
+//!    pure addition (counter adds plus histogram bucket adds), so folding
+//!    per-worker accumulators equals folding per-job stats in job-index
+//!    order, whatever the job-to-worker assignment was.
+//!
+//! Only wall-clock measurements (queue wait, busy time, jobs/sec, steal
+//! counts) vary run to run. See `docs/concurrency.md`.
 //!
 //! # Example
 //!
@@ -66,10 +82,10 @@ pub mod pool;
 use std::sync::Arc;
 
 use mdes_core::{CheckStats, CompiledMdes};
-use mdes_sched::{Block, ListScheduler, Priority, Schedule};
+use mdes_sched::{Block, ListScheduler, Priority, SchedScratch, Schedule};
 use mdes_telemetry::Telemetry;
 
-pub use pool::{run_batch, PoolOutcome, WorkerLoad};
+pub use pool::{chunk_size, run_batch, run_batch_stateful, PoolOutcome, WorkerLoad};
 
 /// A scheduling engine: one shared, immutable compiled MDES serving
 /// batches of region-scheduling jobs across a worker pool.
@@ -116,52 +132,75 @@ impl Engine {
     /// to at least one) and returns index-aligned results plus folded
     /// statistics.
     ///
-    /// Workers share the compiled MDES read-only; each job schedules
-    /// against its own RU map and its own [`CheckStats`], so the result
-    /// for block *i* is independent of worker count and assignment (see
-    /// the crate-level determinism contract). A job that panics leaves a
-    /// `None` in its result slot and is counted in
-    /// [`BatchOutcome::worker_panics`]; the rest of the batch completes.
+    /// Workers share the compiled MDES read-only; each worker owns one
+    /// long-lived [`SchedScratch`] (RU map, placement buffers, hint
+    /// table) and one [`CheckStats`] scratch that are *reset* — not
+    /// reallocated — at the start of every job, so the result for block
+    /// *i* is independent of worker count and assignment (see the
+    /// crate-level determinism contract). A job that panics leaves a
+    /// `None` at its own index in [`BatchOutcome::schedules`] — results
+    /// are written in place by job index, never shifted — and is counted
+    /// in [`BatchOutcome::worker_panics`]; the rest of the batch
+    /// completes, and the panicked job's partial [`CheckStats`] are
+    /// discarded (a job's stats fold into its worker's accumulator only
+    /// after the job returns).
     pub fn schedule_batch(&self, blocks: &[Block], jobs: usize) -> BatchOutcome {
         let mdes = &*self.mdes;
         let priority = self.priority;
         let hints = self.hints;
-        let raw = run_batch(blocks, jobs, |_, _, block| {
-            let scheduler = ListScheduler::new(mdes)
-                .with_priority(priority)
-                .with_hints(hints);
-            let mut stats = CheckStats::new();
-            let schedule = scheduler.schedule(block, &mut stats);
-            (schedule, stats)
-        });
 
-        // Fold per-job statistics in job-index order — worker-count
-        // invariant by construction — and per-worker aggregates for the
-        // telemetry breakdown.
+        struct WorkerState {
+            scratch: SchedScratch,
+            acc: CheckStats,
+            job_stats: CheckStats,
+        }
+
+        let (raw, states) = run_batch_stateful(
+            blocks,
+            jobs,
+            |_| WorkerState {
+                scratch: SchedScratch::new(),
+                acc: CheckStats::new(),
+                job_stats: CheckStats::new(),
+            },
+            |state, _, _, block| {
+                let scheduler = ListScheduler::new(mdes)
+                    .with_priority(priority)
+                    .with_hints(hints);
+                // Reset on entry: a panicked predecessor may have left
+                // job_stats (and the scratch) mid-flight.
+                state.job_stats.reset();
+                let schedule =
+                    scheduler.schedule_reusing(block, &mut state.scratch, &mut state.job_stats);
+                // Fold only after the fallible part is done, so a panicked
+                // job contributes nothing to the accumulator.
+                state.acc.merge(&state.job_stats);
+                schedule
+            },
+        );
+
+        // The batch total is the fold of the per-worker accumulators.
+        // CheckStats::merge is pure addition, so this equals the job-index
+        // -order fold of per-job stats regardless of how the queue
+        // partitioned jobs across workers.
         let mut stats = CheckStats::new();
-        let mut workers: Vec<WorkerReport> = raw
+        let workers: Vec<WorkerReport> = raw
             .workers
             .iter()
-            .map(|load| WorkerReport {
-                load: load.clone(),
-                stats: CheckStats::new(),
+            .zip(states)
+            .map(|(load, state)| {
+                stats.merge(&state.acc);
+                WorkerReport {
+                    load: load.clone(),
+                    stats: state.acc,
+                }
             })
             .collect();
-        let mut schedules: Vec<Option<Schedule>> = Vec::with_capacity(blocks.len());
-        for (slot, worker) in raw.results.into_iter().zip(raw.assigned) {
-            match slot {
-                Some((schedule, job_stats)) => {
-                    stats.merge(&job_stats);
-                    if let Some(worker) = worker {
-                        workers[worker].stats.merge(&job_stats);
-                    }
-                    schedules.push(Some(schedule));
-                }
-                None => schedules.push(None),
-            }
-        }
+
         BatchOutcome {
-            schedules,
+            // Index-assigned by the pool: a panicked job is `None` at its
+            // own slot, later results never shift.
+            schedules: raw.results,
             stats,
             workers,
             elapsed_nanos: raw.elapsed_nanos,
@@ -204,6 +243,12 @@ impl BatchOutcome {
         self.workers.iter().map(|w| w.load.panics).sum()
     }
 
+    /// Half-chunk steals performed across the batch (load-balance
+    /// telemetry; varies run to run and never affects results).
+    pub fn steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.load.steals).sum()
+    }
+
     /// Whether every job completed without a panic.
     pub fn is_clean(&self) -> bool {
         self.worker_panics() == 0 && self.schedules.iter().all(|s| s.is_some())
@@ -239,11 +284,13 @@ impl BatchOutcome {
         tel.counter_add(&format!("{prefix}/worker_panics"), self.worker_panics());
         tel.gauge_set(&format!("{prefix}/jobs_per_sec"), self.jobs_per_sec());
         tel.gauge_set(&format!("{prefix}/workers"), self.workers.len() as f64);
+        tel.counter_add(&format!("{prefix}/steals"), self.steals());
         for worker in &self.workers {
             let base = format!("{prefix}/worker{}", worker.load.worker);
             tel.record_span(&format!("{base}/queue_wait"), worker.load.queue_wait_nanos);
             tel.record_span(&format!("{base}/busy"), worker.load.busy_nanos);
             tel.counter_add(&format!("{base}/jobs"), worker.load.jobs);
+            tel.counter_add(&format!("{base}/steals"), worker.load.steals);
             tel.counter_add(&format!("{base}/attempts"), worker.stats.attempts);
             tel.counter_add(
                 &format!("{base}/resource_checks"),
@@ -321,6 +368,47 @@ mod tests {
         assert_eq!(folded, outcome.stats);
         let jobs: u64 = outcome.workers.iter().map(|w| w.load.jobs).sum();
         assert_eq!(jobs as usize, batch.len());
+    }
+
+    #[test]
+    fn a_panicked_job_leaves_none_at_its_own_index() {
+        let mdes = two_alu_machine();
+        let mut batch = blocks(&mdes, 7, 3);
+        // Job 3 references a class the machine does not have, which
+        // panics inside the scheduler mid-batch.
+        batch[3] = {
+            let mut block = Block::new();
+            block.push(Op::new(
+                mdes_core::ClassId::from_index(999),
+                vec![Reg(0)],
+                vec![],
+            ));
+            block
+        };
+        let outcome = Engine::new(Arc::clone(&mdes)).schedule_batch(&batch, 2);
+        assert!(!outcome.is_clean());
+        assert_eq!(outcome.worker_panics(), 1);
+        assert_eq!(outcome.completed(), 6);
+        assert!(outcome.schedules[3].is_none(), "panicked job's own slot");
+
+        // Every other result sits at its own index (nothing shifted), and
+        // the jobs the panicking worker ran *afterwards* on the same
+        // reused scratch still match serial scheduling.
+        let scheduler = ListScheduler::new(&mdes);
+        let mut serial = CheckStats::new();
+        for (index, block) in batch.iter().enumerate() {
+            if index == 3 {
+                continue;
+            }
+            let want = scheduler.schedule(block, &mut serial);
+            assert_eq!(
+                outcome.schedules[index].as_ref().unwrap(),
+                &want,
+                "job {index}"
+            );
+        }
+        // The panicked job's partial stats were discarded from the fold.
+        assert_eq!(outcome.stats, serial);
     }
 
     #[test]

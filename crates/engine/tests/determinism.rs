@@ -1,6 +1,8 @@
 //! The engine's determinism contract: worker count must be invisible in
-//! the results. Same seed, `--jobs 1` vs `--jobs 8` produce byte-identical
-//! schedules and identical folded `CheckStats` counters.
+//! the results. Same seed, `--jobs 1` vs `--jobs 8` vs `--jobs 16`
+//! produce byte-identical schedules and identical folded `CheckStats`
+//! counters — under the chunked work-stealing queue, whatever got stolen
+//! by whom.
 
 use std::sync::Arc;
 
@@ -10,7 +12,7 @@ use mdes_machines::Machine;
 use mdes_workload::{generate_regions, RegionConfig};
 
 #[test]
-fn one_and_eight_workers_produce_byte_identical_results() {
+fn one_eight_and_sixteen_workers_produce_byte_identical_results() {
     for machine in [Machine::Pa7100, Machine::K5] {
         let mut spec = machine.spec();
         mdes_opt::optimize(&mut spec, &mdes_opt::PipelineConfig::full());
@@ -20,26 +22,71 @@ fn one_and_eight_workers_produce_byte_identical_results() {
 
         let engine = Engine::new(compiled);
         let one = engine.schedule_batch(&workload.blocks, 1);
-        let eight = engine.schedule_batch(&workload.blocks, 8);
-        assert!(one.is_clean() && eight.is_clean());
-        assert_eq!(eight.workers.len(), 8, "{}", machine.name());
+        for jobs in [8, 16] {
+            let wide = engine.schedule_batch(&workload.blocks, jobs);
+            assert!(one.is_clean() && wide.is_clean());
+            assert_eq!(wide.workers.len(), jobs, "{}", machine.name());
 
-        // Schedules are structurally equal and byte-identical once
-        // rendered; folded counters (including the Figure-2 histogram)
-        // match exactly.
-        assert_eq!(one.schedules, eight.schedules, "{}", machine.name());
-        assert_eq!(
-            format!("{:?}", one.schedules),
-            format!("{:?}", eight.schedules),
-            "{}",
-            machine.name()
+            // Schedules are structurally equal and byte-identical once
+            // rendered; folded counters (including the Figure-2
+            // histogram) match exactly.
+            assert_eq!(one.schedules, wide.schedules, "{} w{jobs}", machine.name());
+            assert_eq!(
+                format!("{:?}", one.schedules),
+                format!("{:?}", wide.schedules),
+                "{} w{jobs}",
+                machine.name()
+            );
+            assert_eq!(one.stats, wide.stats, "{} w{jobs}", machine.name());
+
+            // And re-running the same batch reproduces itself.
+            let again = engine.schedule_batch(&workload.blocks, jobs);
+            assert_eq!(again.schedules, wide.schedules);
+            assert_eq!(again.stats, wide.stats);
+        }
+    }
+}
+
+#[test]
+fn a_skewed_workload_is_stolen_without_breaking_the_fold() {
+    // One giant region buried at the front of a batch of tiny ones: the
+    // worker that claims the first chunk is stuck scheduling the giant
+    // block while the tiny jobs parked behind it in the same chunk can
+    // only be run by other workers stealing them. The batch must still be
+    // byte-identical to the single-worker run — stealing moves work, not
+    // results.
+    let machine = Machine::Pa7100;
+    let spec = machine.spec();
+    let compiled = Arc::new(CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap());
+
+    let giant = generate_regions(
+        &spec,
+        &RegionConfig::new(1).with_mean_ops(4096).with_seed(77),
+    );
+    let tiny = generate_regions(
+        &spec,
+        &RegionConfig::new(255).with_mean_ops(4).with_seed(78),
+    );
+    let mut blocks = giant.blocks;
+    blocks.extend(tiny.blocks);
+
+    let engine = Engine::new(compiled);
+    let serial = engine.schedule_batch(&blocks, 1);
+    assert!(serial.is_clean());
+
+    for jobs in [4, 16] {
+        let outcome = engine.schedule_batch(&blocks, jobs);
+        assert!(outcome.is_clean(), "{jobs} workers");
+        assert_eq!(outcome.schedules, serial.schedules, "{jobs} workers");
+        assert_eq!(outcome.stats, serial.stats, "{jobs} workers");
+        // The giant job pins its worker for far longer than the rest of
+        // the batch takes, so the tiny jobs parked in its chunk must have
+        // been stolen for the batch to complete — and the fold above
+        // proves the steals changed nothing.
+        assert!(
+            outcome.steals() >= 1,
+            "{jobs} workers: expected the blocked chunk's tail to be stolen"
         );
-        assert_eq!(one.stats, eight.stats, "{}", machine.name());
-
-        // And re-running the same batch reproduces itself.
-        let again = engine.schedule_batch(&workload.blocks, 8);
-        assert_eq!(again.schedules, eight.schedules);
-        assert_eq!(again.stats, eight.stats);
     }
 }
 

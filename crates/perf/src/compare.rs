@@ -18,6 +18,14 @@
 //! A bench present in the baseline but missing from the run fails (a
 //! silently dropped bench is how perf coverage rots); a new bench not
 //! yet in the baseline is reported but passes.
+//!
+//! On top of the per-bench comparison, the gate enforces a **floor** on
+//! the report's derived `batch_scaling` figure (the engine's measured
+//! parallel speedup at 4 workers): unlike a timing, a speedup ratio is
+//! compared against an absolute bound, not against the baseline, so a
+//! run whose w4 batch does not beat the floor fails even if the
+//! baseline was just as bad.  The floor is hardware-aware — see
+//! [`crate::batch_scaling_floor_for`].
 
 use crate::Report;
 
@@ -50,6 +58,10 @@ pub enum DeltaKind {
     Missing,
     /// In this run but not in the baseline yet.
     New,
+    /// A derived gauge (e.g. `batch_scaling`) is below its required
+    /// floor.  For gauge deltas the `*_ns_per_op` fields carry the floor
+    /// and the measured value instead of timings.
+    BelowFloor,
 }
 
 /// The gate's verdict over a whole report.
@@ -78,8 +90,17 @@ impl CompareOutcome {
 }
 
 /// Compares `current` against `baseline` with `max_regression` timing
-/// tolerance (0.25 = fail beyond 25% slower per work unit).
-pub fn compare(current: &Report, baseline: &Report, max_regression: f64) -> CompareOutcome {
+/// tolerance (0.25 = fail beyond 25% slower per work unit) and fails
+/// the run when its `batch_scaling` figure is below
+/// `batch_scaling_floor` (pass [`crate::batch_scaling_floor`] for the
+/// current host's bound).  The floor check is skipped when the engine
+/// benches were filtered out of the run (`batch_scaling == 0`).
+pub fn compare(
+    current: &Report,
+    baseline: &Report,
+    max_regression: f64,
+    batch_scaling_floor: f64,
+) -> CompareOutcome {
     let mut deltas = Vec::new();
     for base in &baseline.benches {
         let delta = match current.bench(&base.name) {
@@ -127,6 +148,19 @@ pub fn compare(current: &Report, baseline: &Report, max_regression: f64) -> Comp
             });
         }
     }
+    if current.batch_scaling > 0.0 && batch_scaling_floor > 0.0 {
+        deltas.push(Delta {
+            name: "batch_scaling (floor)".to_string(),
+            baseline_ns_per_op: batch_scaling_floor,
+            current_ns_per_op: current.batch_scaling,
+            ratio: current.batch_scaling / batch_scaling_floor - 1.0,
+            kind: if current.batch_scaling < batch_scaling_floor {
+                DeltaKind::BelowFloor
+            } else {
+                DeltaKind::Ok
+            },
+        });
+    }
     CompareOutcome {
         deltas,
         max_regression,
@@ -140,7 +174,7 @@ mod tests {
 
     fn report(benches: &[(&str, u64, u128)]) -> Report {
         Report {
-            schema: 1,
+            schema: 2,
             seed: 1,
             benches: benches
                 .iter()
@@ -154,13 +188,14 @@ mod tests {
                 })
                 .collect(),
             checker_speedup: 0.0,
+            batch_scaling: 0.0,
         }
     }
 
     #[test]
     fn identical_reports_pass() {
         let r = report(&[("a", 100, 1000), ("b", 5, 700)]);
-        let outcome = compare(&r, &r, 0.25);
+        let outcome = compare(&r, &r, 0.25, 0.0);
         assert!(outcome.passed());
         assert!(outcome.deltas.iter().all(|d| d.kind == DeltaKind::Ok));
     }
@@ -170,8 +205,8 @@ mod tests {
         let base = report(&[("a", 100, 1000)]);
         let slower_ok = report(&[("a", 100, 1200)]);
         let slower_bad = report(&[("a", 100, 1300)]);
-        assert!(compare(&slower_ok, &base, 0.25).passed());
-        let outcome = compare(&slower_bad, &base, 0.25);
+        assert!(compare(&slower_ok, &base, 0.25, 0.0).passed());
+        let outcome = compare(&slower_bad, &base, 0.25, 0.0);
         assert!(!outcome.passed());
         assert_eq!(
             outcome.failures().next().unwrap().kind,
@@ -183,14 +218,14 @@ mod tests {
     fn speedups_always_pass() {
         let base = report(&[("a", 100, 1000)]);
         let faster = report(&[("a", 100, 10)]);
-        assert!(compare(&faster, &base, 0.0).passed());
+        assert!(compare(&faster, &base, 0.0, 0.0).passed());
     }
 
     #[test]
     fn op_count_drift_fails_even_when_faster() {
         let base = report(&[("a", 100, 1000)]);
         let drifted = report(&[("a", 99, 10)]);
-        let outcome = compare(&drifted, &base, 0.25);
+        let outcome = compare(&drifted, &base, 0.25, 0.0);
         assert!(!outcome.passed());
         assert_eq!(
             outcome.failures().next().unwrap().kind,
@@ -202,10 +237,42 @@ mod tests {
     fn missing_bench_fails_new_bench_passes() {
         let base = report(&[("a", 100, 1000)]);
         let renamed = report(&[("b", 100, 1000)]);
-        let outcome = compare(&renamed, &base, 0.25);
+        let outcome = compare(&renamed, &base, 0.25, 0.0);
         assert!(!outcome.passed());
         let kinds: Vec<DeltaKind> = outcome.deltas.iter().map(|d| d.kind).collect();
         assert_eq!(kinds, vec![DeltaKind::Missing, DeltaKind::New]);
+    }
+
+    #[test]
+    fn batch_scaling_below_floor_fails_above_passes() {
+        let base = report(&[("a", 100, 1000)]);
+        let mut now = report(&[("a", 100, 1000)]);
+        now.batch_scaling = 0.7;
+        let outcome = compare(&now, &base, 0.25, 0.9);
+        assert!(!outcome.passed());
+        assert_eq!(
+            outcome.failures().next().unwrap().kind,
+            DeltaKind::BelowFloor
+        );
+        now.batch_scaling = 3.4;
+        assert!(compare(&now, &base, 0.25, 3.0).passed());
+    }
+
+    #[test]
+    fn floor_is_skipped_when_engine_benches_were_filtered_out() {
+        // batch_scaling stays 0 when the engine benches did not run; a
+        // filtered run must not trip the floor.
+        let base = report(&[("a", 100, 1000)]);
+        let now = report(&[("a", 100, 1000)]);
+        assert!(compare(&now, &base, 0.25, 3.0).passed());
+    }
+
+    #[test]
+    fn floor_for_cpus_is_hardware_aware() {
+        assert_eq!(crate::batch_scaling_floor_for(1), 0.85);
+        assert_eq!(crate::batch_scaling_floor_for(2), 0.85);
+        assert_eq!(crate::batch_scaling_floor_for(4), 3.0);
+        assert_eq!(crate::batch_scaling_floor_for(64), 3.0);
     }
 
     #[test]
@@ -214,6 +281,6 @@ mod tests {
         let base = report(&[("a", 100, 1000)]);
         let mut scaled = report(&[("a", 100, 10_000)]);
         scaled.benches[0].iters = 100;
-        assert!(compare(&scaled, &base, 0.01).passed());
+        assert!(compare(&scaled, &base, 0.01, 0.0).passed());
     }
 }

@@ -6,7 +6,7 @@
 use crate::{Report, Sample};
 
 /// Serializes a report (stable key order, one bench per line — the
-/// committed `BENCH_5.json` should diff cleanly).
+/// committed `BENCH_6.json` should diff cleanly).
 pub fn to_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -15,6 +15,10 @@ pub fn to_json(report: &Report) -> String {
     out.push_str(&format!(
         "  \"checker_speedup\": {:.3},\n",
         report.checker_speedup
+    ));
+    out.push_str(&format!(
+        "  \"batch_scaling\": {:.3},\n",
+        report.batch_scaling
     ));
     out.push_str("  \"benches\": [\n");
     for (i, s) in report.benches.iter().enumerate() {
@@ -48,11 +52,15 @@ impl Report {
         let value = Parser::new(text).parse()?;
         let top = value.as_object("top level")?;
         let schema = get(top, "schema")?.as_u64("schema")? as u32;
-        if schema != 1 {
+        // Schema 2 added `batch_scaling` and the w8/w16 engine benches;
+        // schema-1 baselines predate the scaling gate and must be
+        // regenerated, not silently compared against.
+        if schema != 2 {
             return Err(format!("unsupported report schema {schema}"));
         }
         let seed = get(top, "seed")?.as_u64("seed")?;
         let checker_speedup = get(top, "checker_speedup")?.as_f64("checker_speedup")?;
+        let batch_scaling = get(top, "batch_scaling")?.as_f64("batch_scaling")?;
         let mut benches = Vec::new();
         for (i, entry) in get(top, "benches")?.as_array("benches")?.iter().enumerate() {
             let obj = entry.as_object(&format!("benches[{i}]"))?;
@@ -70,6 +78,7 @@ impl Report {
             seed,
             benches,
             checker_speedup,
+            batch_scaling,
         })
     }
 }
@@ -311,13 +320,14 @@ mod tests {
 
     fn report() -> Report {
         Report {
-            schema: 1,
+            schema: 2,
             seed: 42,
             benches: vec![
                 sample("rumap/word_ops", 8192, 1_000_000),
                 sample("checker/arena/wide", 2048, 50_000),
             ],
             checker_speedup: 2.5,
+            batch_scaling: 3.2,
         }
     }
 
@@ -335,8 +345,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_wrong_schema() {
-        let text = report().to_json().replace("\"schema\": 1", "\"schema\": 9");
-        assert!(Report::from_json(&text).unwrap_err().contains("schema"));
+        for old in ["\"schema\": 1", "\"schema\": 9"] {
+            let text = report().to_json().replace("\"schema\": 2", old);
+            assert!(Report::from_json(&text).unwrap_err().contains("schema"));
+        }
     }
 
     #[test]

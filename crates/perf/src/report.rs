@@ -38,6 +38,10 @@ pub fn render_table(report: &Report) -> String {
         "\nseed {:#x} · checker speedup (pointer-chased ÷ hinted): {:.2}x\n",
         report.seed, report.checker_speedup
     ));
+    out.push_str(&format!(
+        "batch scaling (engine w1 ÷ w4): {:.2}x\n",
+        report.batch_scaling
+    ));
     out
 }
 
@@ -64,6 +68,7 @@ pub fn render_deltas(outcome: &CompareOutcome) -> String {
             DeltaKind::CountDrift => "COUNT DRIFT",
             DeltaKind::Missing => "MISSING",
             DeltaKind::New => "new",
+            DeltaKind::BelowFloor => "BELOW FLOOR",
         };
         out.push_str(&format!(
             "{:<name_width$}  {:>12.2}  {:>12.2}  {:>+7.1}%  {status}\n",
@@ -100,7 +105,7 @@ mod tests {
     #[test]
     fn table_lists_every_bench_and_the_speedup() {
         let report = Report {
-            schema: 1,
+            schema: 2,
             seed: 7,
             benches: vec![Sample {
                 name: "rumap/word_ops".into(),
@@ -111,17 +116,19 @@ mod tests {
                 min_ns: 12_000,
             }],
             checker_speedup: 1.75,
+            batch_scaling: 3.12,
         };
         let table = render_table(&report);
         assert!(table.contains("rumap/word_ops"));
         assert!(table.contains("12.35us"));
         assert!(table.contains("1.75x"));
+        assert!(table.contains("3.12x"));
     }
 
     #[test]
     fn delta_table_marks_failures() {
         let mk = |ns: u128| Report {
-            schema: 1,
+            schema: 2,
             seed: 7,
             benches: vec![Sample {
                 name: "a".into(),
@@ -132,8 +139,9 @@ mod tests {
                 min_ns: ns,
             }],
             checker_speedup: 0.0,
+            batch_scaling: 0.0,
         };
-        let outcome = compare(&mk(2000), &mk(1000), 0.25);
+        let outcome = compare(&mk(2000), &mk(1000), 0.25, 0.0);
         let rendered = render_deltas(&outcome);
         assert!(rendered.contains("REGRESSED"));
         assert!(rendered.contains("+100.0%"));

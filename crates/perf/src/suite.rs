@@ -24,6 +24,10 @@ use crate::{measure, BenchConfig, Sample};
 pub(crate) const POINTER_CHASED_BENCH: &str = "checker/pointer_chased/wide";
 /// The optimized side (flat check arena + hint-first ordering).
 pub(crate) const HINTED_BENCH: &str = "checker/hinted/wide";
+/// The serial side of the derived `batch_scaling` figure.
+pub(crate) const BATCH_W1_BENCH: &str = "engine/batch/w1";
+/// The parallel side of the derived `batch_scaling` figure.
+pub(crate) const BATCH_W4_BENCH: &str = "engine/batch/w4";
 
 /// Machines the per-machine benches cover: one rigid early machine, one
 /// flexible late one — enough to see both MDES shapes without making
@@ -249,12 +253,15 @@ fn list_scheduling(config: &BenchConfig, out: &mut Vec<Sample>) {
     }
 }
 
-/// `Engine::schedule_batch` throughput at 1/2/4 workers over one shared
-/// compiled description.  Work unit: one resource check (worker-count
-/// invariant by the engine's determinism contract; wall-clock is where
-/// worker scaling shows, on machines that have the cores for it).
+/// `Engine::schedule_batch` throughput at 1/2/4/8/16 workers over one
+/// shared compiled description.  Work unit: one resource check
+/// (worker-count invariant by the engine's determinism contract;
+/// wall-clock is where worker scaling shows, on machines that have the
+/// cores for it).  The derived `batch_scaling` figure divides the w1
+/// sample's fastest repetition by the w4 sample's.
 fn engine_batches(config: &BenchConfig, out: &mut Vec<Sample>) {
-    let names: Vec<String> = [1usize, 2, 4]
+    const WORKER_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+    let names: Vec<String> = WORKER_COUNTS
         .iter()
         .map(|jobs| format!("engine/batch/w{jobs}"))
         .collect();
@@ -265,7 +272,7 @@ fn engine_batches(config: &BenchConfig, out: &mut Vec<Sample>) {
     let compiled = Arc::new(CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap());
     let blocks = generate_regions(&spec, &RegionConfig::new(128).with_seed(config.seed)).blocks;
     let engine = Engine::new(compiled);
-    for (name, jobs) in names.iter().zip([1usize, 2, 4]) {
+    for (name, jobs) in names.iter().zip(WORKER_COUNTS) {
         if !config.matches(name) {
             continue;
         }

@@ -109,6 +109,40 @@ impl Schedule {
     }
 }
 
+/// Reusable mutable state for repeated list-scheduling runs.
+///
+/// One instance serves any number of sequential [`ListScheduler`] runs —
+/// the engine gives each *worker* one scratch that persists across all
+/// jobs it executes, so the per-job cost drops to resets instead of
+/// allocations: the RU map keeps its grown cycle window (`RuMap::clear`
+/// zeroes occupancy without shrinking), the solver vectors keep their
+/// capacity, and the hint table (when hinting is on) keeps its
+/// allocation while being cleared back to the fresh state.
+///
+/// Every `schedule*_reusing` entry point resets all of this **on
+/// entry**, so a scratch left in an arbitrary state — including by a
+/// run that panicked mid-schedule — never influences the next run.
+/// That entry-reset discipline is what makes the engine's determinism
+/// contract (schedules independent of worker count and job order)
+/// survive state reuse.
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    ru: RuMap,
+    placed: Vec<Option<ScheduledOp>>,
+    unscheduled_preds: Vec<usize>,
+    ready_time: Vec<i32>,
+    order: Vec<usize>,
+    hints: Option<OptionHints>,
+}
+
+impl SchedScratch {
+    /// Creates an empty scratch; buffers grow on first use and are
+    /// reused afterwards.
+    pub fn new() -> SchedScratch {
+        SchedScratch::default()
+    }
+}
+
 /// Operation priority function for list scheduling.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub enum Priority {
@@ -160,11 +194,12 @@ impl<'a> ListScheduler<'a> {
         self
     }
 
-    /// The priority order the forward scheduler uses: a permutation of
-    /// operation indices, most urgent first.
-    fn priority_order(&self, graph: &DepGraph, heights: &[i32]) -> Vec<usize> {
+    /// The priority order the forward scheduler uses: fills `order` with
+    /// a permutation of operation indices, most urgent first.
+    fn priority_order_into(&self, graph: &DepGraph, heights: &[i32], order: &mut Vec<usize>) {
         let n = graph.num_ops;
-        let mut order: Vec<usize> = (0..n).collect();
+        order.clear();
+        order.extend(0..n);
         match self.priority {
             Priority::Height => {
                 order.sort_by_key(|&i| (std::cmp::Reverse(heights[i]), i));
@@ -182,7 +217,6 @@ impl<'a> ListScheduler<'a> {
             }
             Priority::SourceOrder => {}
         }
-        order
     }
 
     /// Schedules `block` forward, accumulating checker statistics into
@@ -196,6 +230,29 @@ impl<'a> ListScheduler<'a> {
     pub fn schedule(&self, block: &Block, stats: &mut CheckStats) -> Schedule {
         let graph = DepGraph::build(block, self.mdes);
         self.schedule_with_graph(block, &graph, stats)
+    }
+
+    /// The reset-and-reuse entry point: schedules `block` against
+    /// borrowed scratch state instead of allocating fresh per-run state.
+    ///
+    /// Produces exactly the schedule and statistics [`ListScheduler::schedule`]
+    /// would — the scratch is fully reset on entry (see [`SchedScratch`]),
+    /// so reuse is invisible in the results and only visible in the
+    /// allocator profile.  This is what the engine's workers call for
+    /// every job they claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine description can never issue some operation,
+    /// like [`ListScheduler::schedule`].
+    pub fn schedule_reusing(
+        &self,
+        block: &Block,
+        scratch: &mut SchedScratch,
+        stats: &mut CheckStats,
+    ) -> Schedule {
+        let graph = DepGraph::build(block, self.mdes);
+        self.schedule_with_graph_reusing(block, &graph, scratch, stats)
     }
 
     /// [`ListScheduler::schedule`] with a `sched/list` timing span and
@@ -225,6 +282,19 @@ impl<'a> ListScheduler<'a> {
         graph: &DepGraph,
         stats: &mut CheckStats,
     ) -> Schedule {
+        self.schedule_with_graph_reusing(block, graph, &mut SchedScratch::new(), stats)
+    }
+
+    /// [`ListScheduler::schedule_with_graph`] against borrowed scratch
+    /// state — the forward cycle-driven core all other entry points
+    /// bottom out in.
+    pub fn schedule_with_graph_reusing(
+        &self,
+        block: &Block,
+        graph: &DepGraph,
+        scratch: &mut SchedScratch,
+        stats: &mut CheckStats,
+    ) -> Schedule {
         let n = block.ops.len();
         if n == 0 {
             return Schedule {
@@ -235,15 +305,36 @@ impl<'a> ListScheduler<'a> {
         }
         let checker = Checker::new(self.mdes);
         let heights = graph.heights();
-        // Fresh hint state per run: schedules depend only on the block,
-        // never on what was scheduled before.
-        let mut hints = self.hints.then(|| OptionHints::new(self.mdes));
 
-        let mut placed: Vec<Option<ScheduledOp>> = vec![None; n];
+        // Reset every piece of borrowed state on entry: a cleared RU map
+        // is observationally a fresh one (the window placement is not a
+        // contract surface), and cleared hint state is exactly what a
+        // fresh run starts from — schedules depend only on the block,
+        // never on what was scheduled before.
+        let SchedScratch {
+            ru,
+            placed,
+            unscheduled_preds,
+            ready_time,
+            order,
+            hints: hint_slot,
+        } = scratch;
+        ru.clear();
+        placed.clear();
+        placed.resize(n, None);
+        unscheduled_preds.clear();
+        unscheduled_preds.extend(graph.preds.iter().map(Vec::len));
+        ready_time.clear();
+        ready_time.resize(n, 0);
+        let hints = if self.hints {
+            let hints = hint_slot.get_or_insert_with(|| OptionHints::new(self.mdes));
+            hints.reset_for(self.mdes);
+            Some(hints)
+        } else {
+            None
+        };
+
         let mut attempts: Vec<u32> = vec![0; n];
-        let mut unscheduled_preds: Vec<usize> = graph.preds.iter().map(Vec::len).collect();
-        let mut ready_time: Vec<i32> = vec![0; n];
-        let mut ru = RuMap::new();
         let mut remaining = n;
         let mut cycle = 0i32;
 
@@ -254,22 +345,23 @@ impl<'a> ListScheduler<'a> {
         let height_bound: i32 = heights.iter().copied().max().unwrap_or(0);
         let limit = height_bound + (n as i32 + 4) * span + 64;
 
-        let order = self.priority_order(graph, &heights);
+        self.priority_order_into(graph, &heights, order);
 
+        let mut hints = hints;
         while remaining > 0 {
             assert!(
                 cycle <= limit,
                 "scheduler exceeded cycle bound {limit}: some operation can never issue"
             );
-            for &op in &order {
+            for &op in order.iter() {
                 if placed[op].is_some() || unscheduled_preds[op] > 0 || ready_time[op] > cycle {
                     continue;
                 }
                 let class = block.ops[op].class;
                 attempts[op] += 1;
-                let choice = match hints.as_mut() {
-                    Some(h) => checker.try_reserve_hinted(&mut ru, class, cycle, stats, h),
-                    None => checker.try_reserve(&mut ru, class, cycle, stats),
+                let choice = match hints.as_deref_mut() {
+                    Some(h) => checker.try_reserve_hinted(ru, class, cycle, stats, h),
+                    None => checker.try_reserve(ru, class, cycle, stats),
                 };
                 if let Some(choice) = choice {
                     stats.count_operation();
@@ -284,7 +376,7 @@ impl<'a> ListScheduler<'a> {
             cycle += 1;
         }
 
-        let ops: Vec<ScheduledOp> = placed.into_iter().map(Option::unwrap).collect();
+        let ops: Vec<ScheduledOp> = placed.drain(..).map(Option::unwrap).collect();
         let length = ops.iter().map(|s| s.cycle).max().unwrap_or(-1) + 1;
         Schedule {
             ops,
