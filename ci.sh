@@ -5,8 +5,10 @@
 #                    (debug assertions on), formatting
 #   ./ci.sh --full   everything above plus the release-profile workspace
 #                    suites, the bench-serve concurrency smokes, the
-#                    panic-free clippy gate, and the perf regression gate
-#                    against the committed BENCH_6.json baseline
+#                    daemon serving smoke (verified closed-loop client
+#                    with a hot reload and an injected-corrupt reload),
+#                    the panic-free clippy gate, and the perf regression
+#                    gate against the committed BENCH_6.json baseline
 set -eux
 
 FULL=0
@@ -61,6 +63,38 @@ METRICS8="$(mktemp)"
 grep -q '"engine/jobs_completed":2000' "$METRICS8"
 grep -q '"engine/worker_panics":0' "$METRICS8"
 rm -f "$METRICS8"
+
+# Serving smoke: boot the daemon, then drive a verified closed-loop
+# client through 2000 requests with one good hot reload and one
+# injected-corrupt reload fired mid-run.  serve-load exits nonzero if a
+# single request is dropped, an answer fails client-side re-scheduling
+# verification, or a reload outcome surprises it (good rejected /
+# corrupt accepted); the daemon's own metrics must then show the serve
+# counters present, nothing left in flight, and zero engine panics.
+SERVE_SOCK="${TMPDIR:-/tmp}/mdesc-ci-serve-$$.sock"
+SERVE_METRICS="$(mktemp)"
+GOOD_HMDL="$(mktemp)"
+GOOD_IMG="$(mktemp)"
+BAD_IMG="$(mktemp)"
+./target/release/mdesc bundled pentium >"$GOOD_HMDL"
+./target/release/mdesc compile "$GOOD_HMDL" -o "$GOOD_IMG"
+printf 'not an lmdes image and not hmdl either {' >"$BAD_IMG"
+./target/release/mdesc --metrics "$SERVE_METRICS" serve --machine k5 \
+    --socket "$SERVE_SOCK" --workers 4 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    test -S "$SERVE_SOCK" && break
+    sleep 0.1
+done
+./target/release/mdesc serve-load --socket "$SERVE_SOCK" --machine k5 \
+    --requests 2000 --connections 4 \
+    --reload-at "700:$GOOD_IMG" --reload-corrupt-at "1400:$BAD_IMG" \
+    --shutdown
+wait "$SERVE_PID"
+grep -q '"serve/shed"' "$SERVE_METRICS"
+grep -q '"serve/dropped":0' "$SERVE_METRICS"
+grep -q '"engine/worker_panics":0' "$SERVE_METRICS"
+rm -f "$SERVE_METRICS" "$GOOD_HMDL" "$GOOD_IMG" "$BAD_IMG" "$SERVE_SOCK"
 
 # Input-reachable front-end and optimizer code must stay panic-free: no
 # unwrap/expect outside #[cfg(test)] modules (test code is exempt

@@ -17,6 +17,8 @@
 //! mdesc check   <in.hmdl>
 //! mdesc bundled <PA7100|Pentium|SuperSPARC|K5>
 //! mdesc bench-serve [--machine NAME] [--jobs N] [--regions M]
+//! mdesc serve   [--machine NAME] [--socket PATH] [--workers N] [--chaos]
+//! mdesc serve-load --socket PATH [--requests N] [--reload-at I:PATH]
 //! ```
 //!
 //! The binary is also installed as `mdes`.  The global `--metrics <path>`
@@ -37,6 +39,7 @@ use mdes_core::{lmdes, CompiledMdes, MdesSpec, UsageEncoding};
 use mdes_guard::{optimize_guarded, Fault, FaultKind, GuardConfig, GuardMode, GuardedReport};
 use mdes_opt::pipeline::{optimize, optimize_with_telemetry, PipelineConfig, StageId};
 use mdes_opt::timeshift::Direction;
+use mdes_serve::{BenchFlags, BindAddr, ImageStore, LoadOptions, ReloadEvent, ServeConfig};
 use mdes_telemetry::Telemetry;
 
 /// Exit code for usage, I/O and other general failures.
@@ -187,6 +190,8 @@ fn dispatch(args: &[String], tel: &Telemetry) -> CliResult {
         "check" => check_cmd(rest),
         "bundled" => bundled_cmd(rest),
         "bench-serve" => bench_serve_cmd(rest, tel),
+        "serve" => serve_cmd(rest, tel),
+        "serve-load" => serve_load_cmd(rest, tel),
         "perf" => perf_cmd(rest, tel),
         "schedule" => schedule_cmd(rest, tel),
         "dot" => dot_cmd(rest),
@@ -230,6 +235,17 @@ fn usage() -> String {
      \x20         [--seed S]\n\
      \x20         serve a synthetic region stream through the concurrent engine\n\
      \x20         and report per-worker load and jobs/sec\n\
+     \x20 serve   [--machine NAME | <in.hmdl|in.lmdes>] [--socket PATH | --tcp ADDR]\n\
+     \x20         [--workers N] [--queue N] [--read-timeout-ms MS] [--deadline-ms MS]\n\
+     \x20         [--chaos] [--seed S]\n\
+     \x20         run the fault-tolerant scheduling daemon (line-delimited JSON\n\
+     \x20         protocol with hot reload and backpressure; see docs/serve.md)\n\
+     \x20 serve-load (--socket PATH | --tcp ADDR) [--machine NAME] [--requests N]\n\
+     \x20         [--connections N] [--jobs N] [--regions M] [--mean-ops K] [--seed S]\n\
+     \x20         [--deadline-ms MS] [--max-retries N] [--reload-at I:PATH]\n\
+     \x20         [--reload-corrupt-at I:PATH] [--no-verify] [--shutdown]\n\
+     \x20         closed-loop verified client against a running daemon; fails\n\
+     \x20         if any request is dropped or any answer is wrong\n\
      \x20 perf    [--seed S] [--scale F] [--reps K] [--filter SUBSTR] [--json PATH]\n\
      \x20         [--baseline PATH] [--max-regression F] [--quiet]\n\
      \x20         run the deterministic hot-path benchmark suite; with\n\
@@ -736,53 +752,19 @@ fn verify_cmd(args: &[String], tel: &Telemetry) -> CliResult {
 /// worker panicked (the `engine/worker_panics` counter is always
 /// present, so metrics consumers can gate on it too).
 fn bench_serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
-    let mut machine = mdes_machines::Machine::Pa7100;
-    let mut jobs = 1usize;
-    let mut regions = 512usize;
-    let mut mean_ops = 16usize;
-    let mut seed = 0xC1D7A5u64;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        match arg.as_str() {
-            "--machine" => {
-                let name = iter.next().ok_or("--machine requires a name")?;
-                machine = mdes_machines::Machine::all()
-                    .into_iter()
-                    .find(|m| m.name().eq_ignore_ascii_case(name))
-                    .ok_or_else(|| {
-                        format!("unknown machine `{name}` (PA7100, Pentium, SuperSPARC, K5)")
-                    })?;
-            }
-            "--jobs" => {
-                jobs = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .ok_or("--jobs requires a positive integer")?;
-            }
-            "--regions" => {
-                regions = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .ok_or("--regions requires a positive integer")?;
-            }
-            "--mean-ops" => {
-                mean_ops = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .ok_or("--mean-ops requires a positive integer")?;
-            }
-            "--seed" => {
-                seed = iter
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .ok_or("--seed requires an integer")?;
-            }
-            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
-        }
+    // The workload flags are shared with `serve-load`: one parser, one
+    // contract (crates/serve/src/client.rs).
+    let (flags, rest) = BenchFlags::parse(args)?;
+    if let Some(extra) = rest.first() {
+        return Err(CliError::from(format!("unexpected argument `{extra}`")));
     }
+    let BenchFlags {
+        machine,
+        jobs,
+        regions,
+        mean_ops,
+        seed,
+    } = flags;
 
     let mut spec = machine.spec();
     optimize_with_telemetry(&mut spec, &PipelineConfig::full(), tel);
@@ -826,6 +808,245 @@ fn bench_serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
         return Err(CliError::from(format!(
             "{} worker panic(s) while serving the batch",
             outcome.worker_panics()
+        )));
+    }
+    Ok(())
+}
+
+/// Maps a reload/boot rejection onto the CLI exit-code ladder (the wire
+/// error numbers 1–4 and the exit codes agree by contract).
+fn reload_error(err: mdes_serve::ReloadError) -> CliError {
+    CliError {
+        code: err.code().num() as u8,
+        message: err.message().to_string(),
+    }
+}
+
+/// Runs the scheduling daemon until a client sends the `shutdown` verb.
+/// Serves a bundled machine (`--machine`) or a vetted description file;
+/// see `docs/serve.md` for the protocol.
+fn serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
+    let mut machine: Option<mdes_machines::Machine> = None;
+    let mut input: Option<&str> = None;
+    let mut addr: Option<BindAddr> = None;
+    let mut config = ServeConfig::default();
+    let positive = |v: Option<&String>, flag: &str| -> CliResult<usize> {
+        v.and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| CliError::from(format!("{flag} requires a positive integer")))
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--machine" => {
+                let name = iter.next().ok_or("--machine requires a name")?;
+                machine = Some(
+                    mdes_machines::Machine::all()
+                        .into_iter()
+                        .find(|m| m.name().eq_ignore_ascii_case(name))
+                        .ok_or_else(|| {
+                            format!("unknown machine `{name}` (PA7100, Pentium, SuperSPARC, K5)")
+                        })?,
+                );
+            }
+            "--socket" => {
+                addr = Some(BindAddr::Unix(
+                    iter.next().ok_or("--socket requires a path")?.into(),
+                ));
+            }
+            "--tcp" => {
+                addr = Some(BindAddr::Tcp(
+                    iter.next().ok_or("--tcp requires an address")?.clone(),
+                ));
+            }
+            "--workers" => config.workers = positive(iter.next(), "--workers")?,
+            "--queue" => config.queue_capacity = positive(iter.next(), "--queue")?,
+            "--read-timeout-ms" => {
+                config.read_timeout_ms = positive(iter.next(), "--read-timeout-ms")? as u64;
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(positive(iter.next(), "--deadline-ms")? as u64);
+            }
+            "--chaos" => config.chaos = true,
+            "--seed" => {
+                config.seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed requires an integer")?;
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other),
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
+        }
+    }
+
+    let (mdes, origin) = match (input, machine) {
+        (Some(_), Some(_)) => {
+            return Err("serve takes either --machine or an input file, not both".into())
+        }
+        (Some(path), None) => {
+            // An input file is untrusted: it goes through the same
+            // compile-and-vet path as a hot reload.
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let mdes = mdes_serve::compile_source(&bytes, config.seed).map_err(reload_error)?;
+            (mdes, path.to_string())
+        }
+        (None, machine) => {
+            let machine = machine.unwrap_or(mdes_machines::Machine::Pa7100);
+            (
+                mdes_serve::compile_machine(machine),
+                machine.name().to_string(),
+            )
+        }
+    };
+
+    let addr = addr.unwrap_or_else(|| {
+        BindAddr::Unix(
+            std::env::temp_dir().join(format!("mdesc-serve-{}.sock", std::process::id())),
+        )
+    });
+    let store = std::sync::Arc::new(ImageStore::new(mdes, &origin, config.seed));
+    let handle =
+        mdes_serve::serve(addr, store, config).map_err(|e| format!("cannot bind daemon: {e}"))?;
+    match handle.addr() {
+        BindAddr::Unix(path) => println!("serving `{origin}` on unix socket {}", path.display()),
+        BindAddr::Tcp(spec) => println!("serving `{origin}` on tcp {spec}"),
+    }
+
+    // Blocks until a client sends the `shutdown` verb; the daemon drains
+    // every admitted request before join returns.
+    let stats = std::sync::Arc::clone(handle.stats());
+    let store = std::sync::Arc::clone(handle.store());
+    handle.join();
+    stats.publish(tel);
+    let image = store.current();
+    println!(
+        "daemon stopped at epoch {}: answered {}, shed {}, reloads {} (+{} rejected), \
+         p50 {}us, p99 {}us",
+        image.epoch,
+        stats.answered.load(std::sync::atomic::Ordering::Relaxed),
+        stats.shed.load(std::sync::atomic::Ordering::Relaxed),
+        stats.reloads.load(std::sync::atomic::Ordering::Relaxed),
+        stats
+            .reload_failures
+            .load(std::sync::atomic::Ordering::Relaxed),
+        stats.latency.percentile(0.50).unwrap_or(0),
+        stats.latency.percentile(0.99).unwrap_or(0),
+    );
+    if stats.in_flight() != 0 {
+        return Err(CliError::from(format!(
+            "{} admitted request(s) were never answered",
+            stats.in_flight()
+        )));
+    }
+    Ok(())
+}
+
+/// Parses a `--reload-at` / `--reload-corrupt-at` operand of the form
+/// `<request-index>:<path>`.
+fn parse_reload_event(text: &str, expect_rejection: bool) -> CliResult<ReloadEvent> {
+    let (at, path) = text.split_once(':').ok_or_else(|| {
+        CliError::from(format!("reload event wants <index>:<path>, got `{text}`"))
+    })?;
+    let at = at
+        .parse()
+        .map_err(|_| CliError::from(format!("bad reload index in `{text}`")))?;
+    Ok(ReloadEvent {
+        at,
+        path: path.to_string(),
+        expect_rejection,
+    })
+}
+
+/// The closed-loop verified client: drives `--requests` schedule
+/// requests over `--connections` connections against a running daemon,
+/// optionally firing scripted hot reloads, and checks every answer
+/// against a locally recomputed expectation.  Exits non-zero if any
+/// request was dropped, any answer was wrong, or any scripted reload
+/// misbehaved.
+fn serve_load_cmd(args: &[String], tel: &Telemetry) -> CliResult {
+    let (flags, rest) = BenchFlags::parse(args)?;
+    let mut addr: Option<BindAddr> = None;
+    let mut requests = 256usize;
+    let mut connections = 2usize;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_retries = 16usize;
+    let mut verify = true;
+    let mut shutdown = false;
+    let mut reloads: Vec<ReloadEvent> = Vec::new();
+    let positive = |v: Option<&String>, flag: &str| -> CliResult<usize> {
+        v.and_then(|v| v.parse().ok())
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| CliError::from(format!("{flag} requires a positive integer")))
+    };
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--socket" => {
+                addr = Some(BindAddr::Unix(
+                    iter.next().ok_or("--socket requires a path")?.into(),
+                ));
+            }
+            "--tcp" => {
+                addr = Some(BindAddr::Tcp(
+                    iter.next().ok_or("--tcp requires an address")?.clone(),
+                ));
+            }
+            "--requests" => requests = positive(iter.next(), "--requests")?,
+            "--connections" => connections = positive(iter.next(), "--connections")?,
+            "--deadline-ms" => {
+                deadline_ms = Some(positive(iter.next(), "--deadline-ms")? as u64);
+            }
+            "--max-retries" => max_retries = positive(iter.next(), "--max-retries")?,
+            "--no-verify" => verify = false,
+            "--shutdown" => shutdown = true,
+            "--reload-at" => reloads.push(parse_reload_event(
+                iter.next().ok_or("--reload-at requires <index>:<path>")?,
+                false,
+            )?),
+            "--reload-corrupt-at" => reloads.push(parse_reload_event(
+                iter.next()
+                    .ok_or("--reload-corrupt-at requires <index>:<path>")?,
+                true,
+            )?),
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let addr = addr.ok_or("serve-load needs --socket <path> or --tcp <addr>")?;
+
+    // The verifier needs the source bytes of every image the daemon may
+    // legitimately serve: the boot machine plus every good reload target
+    // (corrupt targets are never promoted, so never serve).
+    let mut known_sources = Vec::new();
+    if verify {
+        known_sources.push(lmdes::write(&mdes_serve::compile_machine(flags.machine)));
+        for event in reloads.iter().filter(|e| !e.expect_rejection) {
+            let bytes = std::fs::read(&event.path)
+                .map_err(|e| format!("cannot read reload target `{}`: {e}", event.path))?;
+            known_sources.push(bytes);
+        }
+    }
+
+    let report = mdes_serve::run_load(&LoadOptions {
+        addr,
+        connections,
+        requests,
+        params: flags.params(),
+        deadline_ms,
+        reloads,
+        known_sources,
+        verify_responses: verify,
+        shutdown_when_done: shutdown,
+        max_retries,
+    })?;
+    report.publish(tel);
+    println!("{}", report.to_json().render());
+    for error in &report.errors {
+        eprintln!("serve-load: {error}");
+    }
+    if !report.is_clean() {
+        return Err(CliError::from(format!(
+            "load run not clean: {} dropped, {} mismatched, {} reload surprise(s)",
+            report.dropped, report.mismatches, report.reload_surprises
         )));
     }
     Ok(())

@@ -142,10 +142,10 @@ pub fn read(bytes: &[u8]) -> Result<CompiledMdes, LmdesError> {
     let min_time = r.i32()?;
     let max_time = r.i32()?;
 
-    let num_options = r.len_u32()?;
+    let num_options = r.count(4)?;
     let mut options = Vec::with_capacity(num_options);
     for _ in 0..num_options {
-        let num_checks = r.len_u32()?;
+        let num_checks = r.count(12)?;
         let mut checks = Vec::with_capacity(num_checks);
         for _ in 0..num_checks {
             let time = r.i32()?;
@@ -155,10 +155,10 @@ pub fn read(bytes: &[u8]) -> Result<CompiledMdes, LmdesError> {
         options.push(CompiledOption { checks });
     }
 
-    let num_trees = r.len_u32()?;
+    let num_trees = r.count(4)?;
     let mut or_trees = Vec::with_capacity(num_trees);
     for _ in 0..num_trees {
-        let count = r.len_u32()?;
+        let count = r.count(4)?;
         let mut tree_options = Vec::with_capacity(count);
         for _ in 0..count {
             let idx = r.u32()?;
@@ -172,10 +172,10 @@ pub fn read(bytes: &[u8]) -> Result<CompiledMdes, LmdesError> {
         });
     }
 
-    let num_classes = r.len_u32()?;
+    let num_classes = r.count(26)?;
     let mut classes = Vec::with_capacity(num_classes);
     for _ in 0..num_classes {
-        let name_len = r.len_u32()?;
+        let name_len = r.count(1)?;
         let name = String::from_utf8(r.take(name_len)?.to_vec())
             .map_err(|_| LmdesError::InvalidField("class name"))?;
         let kind = match r.u8()? {
@@ -191,7 +191,7 @@ pub fn read(bytes: &[u8]) -> Result<CompiledMdes, LmdesError> {
             Latency::with_mem(dest, mem).with_src(src)
         };
         let flags = flags_from_byte(r.u8()?)?;
-        let count = r.len_u32()?;
+        let count = r.count(4)?;
         let mut class_trees = Vec::with_capacity(count);
         for _ in 0..count {
             let idx = r.u32()?;
@@ -213,7 +213,7 @@ pub fn read(bytes: &[u8]) -> Result<CompiledMdes, LmdesError> {
         });
     }
 
-    let num_bypasses = r.len_u32()?;
+    let num_bypasses = r.count(12)?;
     let mut bypasses = Vec::with_capacity(num_bypasses);
     for _ in 0..num_bypasses {
         let p = r.u32()?;
@@ -223,6 +223,13 @@ pub fn read(bytes: &[u8]) -> Result<CompiledMdes, LmdesError> {
             return Err(LmdesError::DanglingIndex);
         }
         bypasses.push((p, c, latency));
+    }
+
+    // A well-formed image is consumed exactly; bytes past the structure
+    // mean the payload was corrupted (or is not the image it claims to
+    // be), so reject rather than silently ignore them.
+    if r.pos != bytes.len() {
+        return Err(LmdesError::InvalidField("trailing bytes"));
     }
 
     CompiledMdes::from_parts(
@@ -293,11 +300,18 @@ impl<'a> Reader<'a> {
         Ok(u32::from_le_bytes(bytes))
     }
 
-    /// A u32 used as a length: additionally bounded by the remaining
-    /// image size so corrupt lengths cannot trigger huge allocations.
-    fn len_u32(&mut self) -> Result<usize, LmdesError> {
+    /// A u32 used as an element count, where each element occupies at
+    /// least `min_element_bytes` in the image.  The count is bounded by
+    /// the bytes actually remaining: a bit-flipped length field can then
+    /// never drive `Vec::with_capacity` beyond what the image could
+    /// possibly encode, so adversarial images fail with
+    /// [`LmdesError::Truncated`] instead of over-allocating.
+    fn count(&mut self, min_element_bytes: usize) -> Result<usize, LmdesError> {
         let value = self.u32()? as usize;
-        if value > self.bytes.len() {
+        let need = value
+            .checked_mul(min_element_bytes.max(1))
+            .ok_or(LmdesError::Truncated)?;
+        if need > self.bytes.len() - self.pos {
             return Err(LmdesError::Truncated);
         }
         Ok(value)
@@ -403,6 +417,19 @@ mod tests {
     }
 
     #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = write(&sample());
+        bytes.push(0);
+        assert_eq!(
+            read(&bytes),
+            Err(LmdesError::InvalidField("trailing bytes"))
+        );
+        let mut bytes = write(&sample());
+        bytes.extend_from_slice(b"garbage after a valid image");
+        assert!(read(&bytes).is_err());
+    }
+
+    #[test]
     fn dangling_option_index_is_rejected() {
         let mdes = sample();
         let mut bytes = write(&mdes);
@@ -428,6 +455,51 @@ mod tests {
             bytes[pos] = original;
         }
         assert!(found_rejection, "no corruption was ever rejected");
+    }
+
+    /// Overwrites the 4 bytes at `pos` with `value` little-endian.
+    fn splice_u32(bytes: &mut [u8], pos: usize, value: u32) {
+        bytes[pos..pos + 4].copy_from_slice(&value.to_le_bytes());
+    }
+
+    #[test]
+    fn huge_length_fields_are_rejected_without_allocating() {
+        // The option-count field sits right after the 19-byte header.
+        // A bit-flipped count must fail with Truncated: the reader bounds
+        // every count by the bytes remaining, so u32::MAX can never reach
+        // Vec::with_capacity.
+        let bytes = write(&sample());
+        for huge in [u32::MAX, u32::MAX / 2, 1 << 24] {
+            let mut corrupt = bytes.clone();
+            splice_u32(&mut corrupt, 19, huge);
+            assert_eq!(read(&corrupt), Err(LmdesError::Truncated), "count {huge}");
+        }
+    }
+
+    #[test]
+    fn every_u32_field_splice_is_rejected_or_structurally_valid() {
+        // Sweep a large value over every byte offset (not just aligned
+        // ones): whatever field it lands in — a section length, an index,
+        // a latency — the decoder must either reject the image or produce
+        // a self-consistent MDES.  This is the bit-flipped-section-length
+        // guarantee the serving daemon's reload path depends on.
+        let bytes = write(&sample());
+        for pos in 0..bytes.len().saturating_sub(4) {
+            let mut corrupt = bytes.clone();
+            splice_u32(&mut corrupt, pos, 0xFFFF_FF00);
+            if let Ok(decoded) = read(&corrupt) {
+                for tree in decoded.or_trees() {
+                    for &opt in &tree.options {
+                        assert!((opt as usize) < decoded.num_options(), "offset {pos}");
+                    }
+                }
+                for class in decoded.classes() {
+                    for &tree in &class.or_trees {
+                        assert!((tree as usize) < decoded.or_trees().len(), "offset {pos}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -155,10 +155,22 @@ fn randomized_machines_agree_across_all_three_checkers() {
     );
 }
 
+/// Every bundled description: the four `Machine` variants plus the two
+/// HMDL-only machines (pentiumpro, superspark_approx), per the ROADMAP
+/// scenario-diversity item.
+fn bundled_specs() -> Vec<MdesSpec> {
+    let mut specs: Vec<MdesSpec> = mdes_machines::Machine::all()
+        .into_iter()
+        .map(|machine| machine.spec())
+        .collect();
+    specs.push(mdes_machines::pentium_pro());
+    specs.push(mdes_machines::approximate_superspark());
+    specs
+}
+
 #[test]
 fn bundled_machines_agree_across_all_three_checkers() {
-    for machine in mdes_machines::Machine::all() {
-        let spec = machine.spec();
+    for spec in bundled_specs() {
         conform(&spec, 41, 400);
         let mut optimized = spec.clone();
         mdes_opt::optimize(&mut optimized, &mdes_opt::PipelineConfig::full());
@@ -188,5 +200,28 @@ fn engine_batches_agree_with_serial_scheduling_on_random_machines() {
             assert_eq!(got.as_ref().unwrap(), &want);
         }
         assert_eq!(outcome.stats, serial_stats);
+    }
+}
+
+#[test]
+fn engine_batches_agree_with_serial_scheduling_on_bundled_machines() {
+    // Same contract on every bundled description: the concurrent engine
+    // must be byte-identical to the serial scheduler, regardless of MDES
+    // shape (rigid early machines through flexible late ones).
+    for (i, spec) in bundled_specs().into_iter().enumerate() {
+        let compiled = Arc::new(CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap());
+        let config = mdes_workload::RegionConfig::new(24).with_seed(0x5EED + i as u64);
+        let workload = mdes_workload::generate_regions(&spec, &config);
+
+        let outcome = Engine::new(Arc::clone(&compiled)).schedule_batch(&workload.blocks, 4);
+        assert!(outcome.is_clean());
+
+        let scheduler = ListScheduler::new(&compiled);
+        let mut serial_stats = CheckStats::new();
+        for (block, got) in workload.blocks.iter().zip(&outcome.schedules) {
+            let want = scheduler.schedule(block, &mut serial_stats);
+            assert_eq!(got.as_ref().unwrap(), &want, "machine {i}");
+        }
+        assert_eq!(outcome.stats, serial_stats, "machine {i}");
     }
 }

@@ -15,6 +15,11 @@ use mdes_opt::pipeline::StageId;
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// Number of fixed header bytes in an LMDES image (magic + encoding +
+/// resource count + check-time bounds) — the region [`ImageFault::
+/// TruncateHeader`] cuts inside.
+const LMDES_HEADER_LEN: usize = 19;
+
 /// A class of stage-output corruption.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FaultKind {
@@ -205,4 +210,147 @@ pub fn apply_fault(spec: &mut MdesSpec, kind: FaultKind) -> Option<String> {
             Some(format!("cleared every usage of option {}", id.index()))
         }
     }
+}
+
+/// A class of *binary image* corruption — damage to the serialized LMDES
+/// bytes rather than to the in-memory spec.  These model what a serving
+/// daemon sees when a reload source is bad: partial writes, disk/link bit
+/// rot, tampered length fields, concatenation accidents.
+///
+/// Every kind in [`ImageFault::fatal`] is guaranteed to make
+/// `mdes_core::lmdes::read` fail on any well-formed input image.
+/// [`ImageFault::BitFlip`] may instead produce an image that still
+/// decodes — possibly even to an equivalent description — which is
+/// exactly the case the deeper [`crate::image::vet_image`] /
+/// differential-oracle layers exist for.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ImageFault {
+    /// Cut the image inside its fixed header (a write interrupted almost
+    /// immediately).
+    TruncateHeader,
+    /// Cut the image at a seeded offset past the header (a partial
+    /// write or truncated transfer).
+    TruncateBody,
+    /// Corrupt one byte of the magic/version prefix (wrong file, wrong
+    /// format version).
+    SmashMagic,
+    /// Splice an absurd element count into the first count field (a
+    /// tampered or bit-rotted length — the classic over-allocation DoS).
+    HugeCount,
+    /// Flip one seeded bit anywhere in the image.
+    BitFlip,
+    /// Append seeded garbage past the valid structure (concatenation or
+    /// buffer-reuse accident).
+    GarbageTail,
+}
+
+impl ImageFault {
+    /// Every image corruption class, for exhaustive test loops.
+    pub fn all() -> [ImageFault; 6] {
+        [
+            ImageFault::TruncateHeader,
+            ImageFault::TruncateBody,
+            ImageFault::SmashMagic,
+            ImageFault::HugeCount,
+            ImageFault::BitFlip,
+            ImageFault::GarbageTail,
+        ]
+    }
+
+    /// The subset guaranteed to be rejected by the decoder on any valid
+    /// input image — what rollback tests inject when they need a reload
+    /// that *must* fail.
+    pub fn fatal() -> [ImageFault; 5] {
+        [
+            ImageFault::TruncateHeader,
+            ImageFault::TruncateBody,
+            ImageFault::SmashMagic,
+            ImageFault::HugeCount,
+            ImageFault::GarbageTail,
+        ]
+    }
+
+    /// Short diagnostic name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ImageFault::TruncateHeader => "truncate-header",
+            ImageFault::TruncateBody => "truncate-body",
+            ImageFault::SmashMagic => "smash-magic",
+            ImageFault::HugeCount => "huge-count",
+            ImageFault::BitFlip => "bit-flip",
+            ImageFault::GarbageTail => "garbage-tail",
+        }
+    }
+
+    /// Parses an [`ImageFault::name`] back into the kind (for CLI flags).
+    pub fn parse(name: &str) -> Option<ImageFault> {
+        ImageFault::all().into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for ImageFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One step of the splitmix64 stream — enough entropy for picking
+/// corruption sites without pulling in a workload-grade RNG.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Applies `fault` to a serialized LMDES image at a `seed`-chosen site.
+/// Deterministic: equal `(image, fault, seed)` produce equal corruption.
+/// The input is never mutated; an empty input comes back empty (there is
+/// nothing to corrupt).
+pub fn corrupt_image(image: &[u8], fault: ImageFault, seed: u64) -> Vec<u8> {
+    let mut out = image.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let mut state = seed ^ 0x4C4D_4445_53_u64; // "LMDES"
+    let draw = splitmix(&mut state);
+    match fault {
+        ImageFault::TruncateHeader => {
+            let cut = draw as usize % out.len().min(LMDES_HEADER_LEN);
+            out.truncate(cut);
+        }
+        ImageFault::TruncateBody => {
+            if out.len() <= LMDES_HEADER_LEN + 1 {
+                // Too small to have a body; cutting the header still
+                // yields a guaranteed-invalid image.
+                out.truncate(draw as usize % out.len());
+            } else {
+                let span = out.len() - LMDES_HEADER_LEN - 1;
+                out.truncate(LMDES_HEADER_LEN + draw as usize % span);
+            }
+        }
+        ImageFault::SmashMagic => {
+            let at = draw as usize % out.len().min(6); // the 6 magic bytes
+            out[at] ^= 0x5A;
+        }
+        ImageFault::HugeCount => {
+            // Offset 19 is the option-count field on a well-formed image;
+            // on anything shorter, clobbering the tail is just as fatal.
+            let at = LMDES_HEADER_LEN.min(out.len().saturating_sub(4));
+            let end = (at + 4).min(out.len());
+            out[at..end].copy_from_slice(&u32::MAX.to_le_bytes()[..end - at]);
+        }
+        ImageFault::BitFlip => {
+            let bit = draw as usize % (out.len() * 8);
+            out[bit / 8] ^= 1 << (bit % 8);
+        }
+        ImageFault::GarbageTail => {
+            let extra = 1 + draw as usize % 32;
+            for _ in 0..extra {
+                out.push(splitmix(&mut state) as u8);
+            }
+        }
+    }
+    out
 }

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod image;
 pub mod inject;
 pub mod oracle;
 
@@ -62,7 +63,8 @@ use mdes_telemetry::Telemetry;
 use std::fmt;
 use std::str::FromStr;
 
-pub use inject::{apply_fault, Fault, FaultKind};
+pub use image::{vet_image, ImageVetting, MAX_CHECK_TIME, MAX_LATENCY};
+pub use inject::{apply_fault, corrupt_image, Fault, FaultKind, ImageFault};
 pub use oracle::{differential_check, IncidentKind, OracleFailure};
 
 /// How much checking a guarded run performs per stage.

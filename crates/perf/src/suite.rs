@@ -29,10 +29,24 @@ pub(crate) const BATCH_W1_BENCH: &str = "engine/batch/w1";
 /// The parallel side of the derived `batch_scaling` figure.
 pub(crate) const BATCH_W4_BENCH: &str = "engine/batch/w4";
 
-/// Machines the per-machine benches cover: one rigid early machine, one
-/// flexible late one — enough to see both MDES shapes without making
-/// the suite crawl.
-const MACHINES: [Machine; 2] = [Machine::Pa7100, Machine::K5];
+/// Machines the per-machine benches cover: every bundled description —
+/// the four `Machine` variants plus the two HMDL-only machines — so the
+/// checker replay and scheduling benches see the full range of MDES
+/// shapes (rigid early machines through flexible late ones).  Names are
+/// the bench-name suffixes; filters (`--bench checker/scalar/k5`) keep
+/// single-machine runs cheap.
+fn bench_machines() -> Vec<(String, MdesSpec)> {
+    let mut machines: Vec<(String, MdesSpec)> = Machine::all()
+        .into_iter()
+        .map(|machine| (machine.name().to_lowercase(), machine.spec()))
+        .collect();
+    machines.push(("pentiumpro".to_string(), mdes_machines::pentium_pro()));
+    machines.push((
+        "superspark_approx".to_string(),
+        mdes_machines::approximate_superspark(),
+    ));
+    machines
+}
 
 pub(crate) fn run(config: &BenchConfig, out: &mut Vec<Sample>) {
     rumap_word_ops(config, out);
@@ -41,6 +55,7 @@ pub(crate) fn run(config: &BenchConfig, out: &mut Vec<Sample>) {
     automaton_pack(config, out);
     list_scheduling(config, out);
     engine_batches(config, out);
+    serve_roundtrip(config, out);
 }
 
 /// `RuMap::is_free` / `reserve` / `release`: the word operations every
@@ -82,16 +97,15 @@ fn rumap_word_ops(config: &BenchConfig, out: &mut Vec<Sample>) {
 /// usage encodings, replaying a seeded probe stream against bundled
 /// machines.  Work unit: one resource check.
 fn checker_replay(config: &BenchConfig, out: &mut Vec<Sample>) {
-    for machine in MACHINES {
+    for (machine_name, spec) in bench_machines() {
         for (label, encoding) in [
             ("scalar", UsageEncoding::Scalar),
             ("bitvector", UsageEncoding::BitVector),
         ] {
-            let name = format!("checker/{label}/{}", machine.name().to_lowercase());
+            let name = format!("checker/{label}/{machine_name}");
             if !config.matches(&name) {
                 continue;
             }
-            let spec = machine.spec();
             let compiled = CompiledMdes::compile(&spec, encoding).unwrap();
             let checker = Checker::new(&compiled);
             let probes = probe_stream(config.seed, compiled.classes().len(), 2048);
@@ -227,14 +241,12 @@ fn automaton_pack(config: &BenchConfig, out: &mut Vec<Sample>) {
 /// hinted.  Work unit: one resource check, so the hinted sample also
 /// documents how many checks the hint saves on a real machine.
 fn list_scheduling(config: &BenchConfig, out: &mut Vec<Sample>) {
-    for machine in MACHINES {
-        let machine_name = machine.name().to_lowercase();
+    for (machine_name, spec) in bench_machines() {
         let plain_name = format!("sched/list/{machine_name}");
         let hinted_name = format!("sched/list_hinted/{machine_name}");
         if !config.matches(&plain_name) && !config.matches(&hinted_name) {
             continue;
         }
-        let spec = machine.spec();
         let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
         let blocks = generate_regions(&spec, &RegionConfig::new(32).with_seed(config.seed)).blocks;
         for (name, hints) in [(&plain_name, false), (&hinted_name, true)] {
@@ -280,4 +292,54 @@ fn engine_batches(config: &BenchConfig, out: &mut Vec<Sample>) {
             engine.schedule_batch(&blocks, jobs).stats.resource_checks
         }));
     }
+}
+
+/// One client connection round-tripping `schedule` requests through a
+/// live daemon over a Unix socket: frame parse + admission queue +
+/// engine + reply render per request.  Work unit: one answered request,
+/// so the timing is the full serve path, not just the engine.
+fn serve_roundtrip(config: &BenchConfig, out: &mut Vec<Sample>) {
+    use std::io::{BufRead, BufReader, Write};
+
+    const REQUESTS: u64 = 64;
+    let name = "serve/roundtrip";
+    if !config.matches(name) {
+        return;
+    }
+    let path = std::env::temp_dir().join(format!("mdes-perf-serve-{}.sock", std::process::id()));
+    let store = Arc::new(mdes_serve::ImageStore::new(
+        mdes_serve::compile_machine(Machine::K5),
+        Machine::K5.name(),
+        config.seed,
+    ));
+    let handle = mdes_serve::serve(
+        mdes_serve::BindAddr::Unix(path.clone()),
+        store,
+        mdes_serve::ServeConfig::default(),
+    )
+    .expect("daemon binds");
+    let stream = std::os::unix::net::UnixStream::connect(&path).expect("connect");
+    let mut reader = BufReader::new(stream);
+    out.push(measure(name, config.iters(5), config.reps, || {
+        let mut line = String::new();
+        for i in 0..REQUESTS {
+            let request = format!(
+                "{{\"id\": {i}, \"verb\": \"schedule\", \"regions\": 4, \"mean_ops\": 8, \
+                 \"seed\": {}}}\n",
+                config.seed.wrapping_add(i)
+            );
+            reader
+                .get_mut()
+                .write_all(request.as_bytes())
+                .expect("write");
+            line.clear();
+            reader.read_line(&mut line).expect("read");
+            let reply = mdes_serve::proto::parse_reply(line.trim_end()).expect("reply");
+            assert!(reply.ok, "daemon error: {line}");
+        }
+        REQUESTS
+    }));
+    drop(reader);
+    handle.shutdown();
+    handle.join();
 }

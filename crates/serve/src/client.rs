@@ -1,0 +1,630 @@
+//! The closed-loop client: load generator, correctness checker, and the
+//! flag parser shared with `mdesc bench-serve`.
+//!
+//! The client is the other half of the chaos harness.  Every `schedule`
+//! request it sends is derived from a per-request seed, and the daemon's
+//! answer carries the content hash of the image that served it — so the
+//! client can *recompute the expected answer locally* for any image it
+//! knows the source of, and assert byte-for-byte agreement across hot
+//! reloads, shedding, and injected faults.  A response served by epoch
+//! N is checked against epoch N's description, no matter when the swap
+//! happened relative to admission.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mdes_core::CompiledMdes;
+use mdes_machines::Machine;
+use mdes_sched::{CheckStats, ListScheduler, SchedScratch};
+use mdes_telemetry::json::Json;
+use mdes_telemetry::{LatencyRecorder, Telemetry};
+use mdes_workload::{generate_compiled_regions, RegionConfig};
+
+use crate::image::{compile_source, content_hash};
+use crate::proto::{obj, parse_reply, Reply, WorkParams};
+use crate::server::{BindAddr, Stream};
+
+/// The workload flags shared by `mdesc bench-serve` (in-process) and
+/// `mdesc serve-load` (over a socket): one parser, one contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchFlags {
+    /// The bundled machine to schedule for.
+    pub machine: Machine,
+    /// Engine workers per batch/request.
+    pub jobs: usize,
+    /// Regions per batch/request.
+    pub regions: usize,
+    /// Mean operations per region.
+    pub mean_ops: usize,
+    /// Base workload seed.
+    pub seed: u64,
+}
+
+impl Default for BenchFlags {
+    fn default() -> BenchFlags {
+        BenchFlags {
+            machine: Machine::Pa7100,
+            jobs: 1,
+            regions: 512,
+            mean_ops: 16,
+            seed: 0xC1D7A5,
+        }
+    }
+}
+
+impl BenchFlags {
+    /// Parses the shared flags out of `args`, returning the flags plus
+    /// every argument the shared set does not claim (callers decide
+    /// whether leftovers are their own flags or errors).
+    pub fn parse(args: &[String]) -> Result<(BenchFlags, Vec<String>), String> {
+        let mut flags = BenchFlags::default();
+        let mut rest = Vec::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--machine" => {
+                    let name = iter.next().ok_or("--machine requires a name")?;
+                    flags.machine = Machine::all()
+                        .into_iter()
+                        .find(|m| m.name().eq_ignore_ascii_case(name))
+                        .ok_or_else(|| {
+                            format!("unknown machine `{name}` (PA7100, Pentium, SuperSPARC, K5)")
+                        })?;
+                }
+                "--jobs" => flags.jobs = positive(iter.next(), "--jobs")?,
+                "--regions" => flags.regions = positive(iter.next(), "--regions")?,
+                "--mean-ops" => flags.mean_ops = positive(iter.next(), "--mean-ops")?,
+                "--seed" => {
+                    flags.seed = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--seed requires an integer")?;
+                }
+                other => rest.push(other.to_string()),
+            }
+        }
+        Ok((flags, rest))
+    }
+
+    /// The per-request work parameters these flags describe.
+    pub fn params(&self) -> WorkParams {
+        WorkParams {
+            regions: self.regions,
+            mean_ops: self.mean_ops,
+            seed: self.seed,
+            jobs: self.jobs,
+        }
+    }
+}
+
+fn positive(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    value
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .ok_or_else(|| format!("{flag} requires a positive integer"))
+}
+
+/// A scripted mid-run reload.
+#[derive(Clone, Debug)]
+pub struct ReloadEvent {
+    /// Fire when this request index is claimed.
+    pub at: usize,
+    /// Path the daemon is told to reload.
+    pub path: String,
+    /// Whether the reload is expected to be *rejected* (a corrupt image
+    /// planted by the harness): an accepted reload then counts as a
+    /// failure, and vice versa.
+    pub expect_rejection: bool,
+}
+
+/// Closed-loop run configuration.
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Daemon address.
+    pub addr: BindAddr,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Total `schedule` requests across all connections.
+    pub requests: usize,
+    /// Per-request workload shape; request `i` uses `seed + i`.
+    pub params: WorkParams,
+    /// Optional per-request deadline forwarded to the daemon.
+    pub deadline_ms: Option<u64>,
+    /// Scripted reloads, fired by whichever connection claims the
+    /// trigger index.
+    pub reloads: Vec<ReloadEvent>,
+    /// Source bytes of every image the run may serve (boot + reload
+    /// targets); responses hashing to one of these are re-derived and
+    /// checked locally.
+    pub known_sources: Vec<Vec<u8>>,
+    /// Verify every answer against the local expectation (the chaos
+    /// harness's correctness assertion).  Off for pure load generation.
+    pub verify_responses: bool,
+    /// Send `shutdown` after the run completes.
+    pub shutdown_when_done: bool,
+    /// How many times one request retries after being shed before the
+    /// run counts it as dropped.
+    pub max_retries: usize,
+}
+
+/// What the run observed.  `dropped`, `mismatches`, and
+/// `reload_surprises` must be zero on a healthy daemon.
+#[derive(Debug, Default)]
+pub struct ClientReport {
+    /// Requests answered with a success result.
+    pub answered: u64,
+    /// Requests answered with `deadline` (a valid answer under load).
+    pub deadline_errors: u64,
+    /// Requests answered with `panic` (isolated daemon-side).
+    pub panic_errors: u64,
+    /// Shed responses that were retried.
+    pub shed_retries: u64,
+    /// Requests never answered (timeouts, dead connections, retry
+    /// budget exhausted).  Must be zero.
+    pub dropped: u64,
+    /// Answers that contradicted the local expectation.  Must be zero.
+    pub mismatches: u64,
+    /// Answers served by an image the client has no source for (cannot
+    /// happen when `known_sources` covers the run).
+    pub unverified: u64,
+    /// Reloads acknowledged as promotions.
+    pub reload_acks: u64,
+    /// Reloads rejected as expected (corrupt images).
+    pub reload_rejections: u64,
+    /// Reloads whose outcome contradicted the script.  Must be zero.
+    pub reload_surprises: u64,
+    /// p50 request latency, microseconds.
+    pub p50_us: u64,
+    /// p99 request latency, microseconds.
+    pub p99_us: u64,
+    /// First few failure descriptions, for diagnostics.
+    pub errors: Vec<String>,
+}
+
+impl ClientReport {
+    /// The chaos invariant: every request answered, every answer right,
+    /// every scripted reload behaving as scripted.
+    pub fn is_clean(&self) -> bool {
+        self.dropped == 0 && self.mismatches == 0 && self.reload_surprises == 0
+    }
+
+    /// Renders the report for the CLI.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("answered", Json::Num(self.answered as f64)),
+            ("deadline_errors", Json::Num(self.deadline_errors as f64)),
+            ("panic_errors", Json::Num(self.panic_errors as f64)),
+            ("shed_retries", Json::Num(self.shed_retries as f64)),
+            ("dropped", Json::Num(self.dropped as f64)),
+            ("mismatches", Json::Num(self.mismatches as f64)),
+            ("unverified", Json::Num(self.unverified as f64)),
+            ("reload_acks", Json::Num(self.reload_acks as f64)),
+            (
+                "reload_rejections",
+                Json::Num(self.reload_rejections as f64),
+            ),
+            ("reload_surprises", Json::Num(self.reload_surprises as f64)),
+            ("p50_us", Json::Num(self.p50_us as f64)),
+            ("p99_us", Json::Num(self.p99_us as f64)),
+        ])
+    }
+
+    /// Folds the client-observed quantities into telemetry gauges.
+    pub fn publish(&self, tel: &Telemetry) {
+        tel.gauge_set("serve/p50_us", self.p50_us as f64);
+        tel.gauge_set("serve/p99_us", self.p99_us as f64);
+        tel.counter_add("serve/client_answered", self.answered);
+        tel.counter_add("serve/client_shed_retries", self.shed_retries);
+        tel.counter_add("serve/client_dropped", self.dropped);
+        tel.counter_add("serve/client_mismatches", self.mismatches);
+        tel.counter_add("serve/client_reload_acks", self.reload_acks);
+    }
+}
+
+/// The local oracle: compiled descriptions keyed by content hash, plus
+/// the serial scheduler that re-derives expected answers.
+struct Verifier {
+    images: HashMap<u64, Arc<CompiledMdes>>,
+}
+
+impl Verifier {
+    fn new(sources: &[Vec<u8>], seed: u64) -> Result<Verifier, String> {
+        let mut images = HashMap::new();
+        for bytes in sources {
+            let mdes = compile_source(bytes, seed)
+                .map_err(|e| format!("known source rejected locally: {}", e.message()))?;
+            // Key under the raw-bytes hash (what a reload of these bytes
+            // reports) *and* the canonical-image hash (what a boot from
+            // this description reports); they differ for HMDL sources.
+            images.insert(content_hash(bytes), Arc::clone(&mdes));
+            images.insert(
+                content_hash(&mdes_core::lmdes::write(&mdes)),
+                Arc::clone(&mdes),
+            );
+        }
+        Ok(Verifier { images })
+    }
+
+    /// Recomputes `(cycles, ops)` for `params` against the image with
+    /// `hash`, or `None` when the image is unknown.  Serial scheduling
+    /// with scratch reuse — by the engine's determinism contract this
+    /// equals what any worker count produces.
+    fn expect(&self, hash: u64, params: WorkParams) -> Option<(i64, u64)> {
+        let mdes = self.images.get(&hash)?;
+        let config = RegionConfig::new(params.regions)
+            .with_mean_ops(params.mean_ops)
+            .with_seed(params.seed);
+        let workload = generate_compiled_regions(mdes, &config);
+        let scheduler = ListScheduler::new(mdes);
+        let mut scratch = SchedScratch::new();
+        let mut stats = CheckStats::new();
+        let cycles = workload
+            .blocks
+            .iter()
+            .map(|block| {
+                i64::from(
+                    scheduler
+                        .schedule_reusing(block, &mut scratch, &mut stats)
+                        .length,
+                )
+            })
+            .sum();
+        Some((cycles, workload.total_ops as u64))
+    }
+}
+
+/// One connection with line framing and a read deadline.
+struct Connection {
+    reader: BufReader<Stream>,
+}
+
+impl Connection {
+    fn open(addr: &BindAddr) -> Result<Connection, String> {
+        let stream = Stream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        Ok(Connection {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one line and reads one reply line.
+    fn round_trip(&mut self, line: &str) -> Result<Reply, String> {
+        let stream = self.reader.get_mut();
+        stream
+            .write_all(line.as_bytes())
+            .and_then(|_| stream.write_all(b"\n"))
+            .map_err(|e| format!("write: {e}"))?;
+        let mut response = String::new();
+        loop {
+            match self.reader.read_line(&mut response) {
+                Ok(0) => return Err("connection closed by daemon".to_string()),
+                Ok(_) => return parse_reply(response.trim_end()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+    }
+}
+
+fn schedule_line(id: u64, params: WorkParams, deadline_ms: Option<u64>, verify: bool) -> String {
+    let verb = if verify { "verify" } else { "schedule" };
+    let deadline = match deadline_ms {
+        Some(ms) => format!(", \"deadline_ms\": {ms}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"id\": {id}, \"verb\": \"{verb}\", \"regions\": {}, \"mean_ops\": {}, \
+         \"seed\": {}, \"jobs\": {}{deadline}}}",
+        params.regions, params.mean_ops, params.seed, params.jobs
+    )
+}
+
+struct RunState {
+    next: AtomicUsize,
+    latency: LatencyRecorder,
+    answered: AtomicU64,
+    deadline_errors: AtomicU64,
+    panic_errors: AtomicU64,
+    shed_retries: AtomicU64,
+    dropped: AtomicU64,
+    mismatches: AtomicU64,
+    unverified: AtomicU64,
+    reload_acks: AtomicU64,
+    reload_rejections: AtomicU64,
+    reload_surprises: AtomicU64,
+    errors: Mutex<Vec<String>>,
+}
+
+impl RunState {
+    fn note_error(&self, message: String) {
+        let mut errors = self.errors.lock().unwrap();
+        if errors.len() < 16 {
+            errors.push(message);
+        }
+    }
+}
+
+/// Runs the closed loop: `connections` threads drain a shared request
+/// counter until `requests` have been attempted, firing scripted
+/// reloads along the way, retrying shed requests, and (optionally)
+/// checking every answer against the local oracle.
+pub fn run_load(options: &LoadOptions) -> Result<ClientReport, String> {
+    let verifier = if options.verify_responses {
+        Some(Verifier::new(&options.known_sources, 0x5E17E)?)
+    } else {
+        None
+    };
+    let state = RunState {
+        next: AtomicUsize::new(0),
+        latency: LatencyRecorder::new(8192),
+        answered: AtomicU64::new(0),
+        deadline_errors: AtomicU64::new(0),
+        panic_errors: AtomicU64::new(0),
+        shed_retries: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+        mismatches: AtomicU64::new(0),
+        unverified: AtomicU64::new(0),
+        reload_acks: AtomicU64::new(0),
+        reload_rejections: AtomicU64::new(0),
+        reload_surprises: AtomicU64::new(0),
+        errors: Mutex::new(Vec::new()),
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..options.connections.max(1) {
+            scope.spawn(|| connection_worker(options, &state, verifier.as_ref()));
+        }
+    });
+
+    if options.shutdown_when_done {
+        let mut conn = Connection::open(&options.addr)?;
+        let reply = conn.round_trip("{\"id\": 0, \"verb\": \"shutdown\"}")?;
+        if !reply.ok {
+            return Err("daemon refused shutdown".to_string());
+        }
+    }
+
+    let errors = std::mem::take(&mut *state.errors.lock().unwrap());
+    Ok(ClientReport {
+        answered: state.answered.load(Ordering::Relaxed),
+        deadline_errors: state.deadline_errors.load(Ordering::Relaxed),
+        panic_errors: state.panic_errors.load(Ordering::Relaxed),
+        shed_retries: state.shed_retries.load(Ordering::Relaxed),
+        dropped: state.dropped.load(Ordering::Relaxed),
+        mismatches: state.mismatches.load(Ordering::Relaxed),
+        unverified: state.unverified.load(Ordering::Relaxed),
+        reload_acks: state.reload_acks.load(Ordering::Relaxed),
+        reload_rejections: state.reload_rejections.load(Ordering::Relaxed),
+        reload_surprises: state.reload_surprises.load(Ordering::Relaxed),
+        p50_us: state.latency.percentile(0.50).unwrap_or(0),
+        p99_us: state.latency.percentile(0.99).unwrap_or(0),
+        errors,
+    })
+}
+
+fn connection_worker(options: &LoadOptions, state: &RunState, verifier: Option<&Verifier>) {
+    let mut conn = match Connection::open(&options.addr) {
+        Ok(conn) => conn,
+        Err(e) => {
+            // Count everything this thread would have claimed as dropped.
+            loop {
+                let i = state.next.fetch_add(1, Ordering::Relaxed);
+                if i >= options.requests {
+                    break;
+                }
+                state.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            state.note_error(e);
+            return;
+        }
+    };
+    loop {
+        let index = state.next.fetch_add(1, Ordering::Relaxed);
+        if index >= options.requests {
+            return;
+        }
+        for event in &options.reloads {
+            if event.at == index {
+                fire_reload(&mut conn, event, state);
+            }
+        }
+        run_one(&mut conn, options, state, verifier, index);
+    }
+}
+
+fn fire_reload(conn: &mut Connection, event: &ReloadEvent, state: &RunState) {
+    let line = format!(
+        "{{\"id\": 900000, \"verb\": \"reload\", \"path\": {}}}",
+        Json::Str(event.path.clone()).render()
+    );
+    match conn.round_trip(&line) {
+        Ok(reply) => {
+            let rejected = !reply.ok;
+            if rejected == event.expect_rejection {
+                if rejected {
+                    state.reload_rejections.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    state.reload_acks.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                state.reload_surprises.fetch_add(1, Ordering::Relaxed);
+                state.note_error(format!(
+                    "reload of `{}` expected rejection={} but got ok={}",
+                    event.path, event.expect_rejection, reply.ok
+                ));
+            }
+        }
+        Err(e) => {
+            state.reload_surprises.fetch_add(1, Ordering::Relaxed);
+            state.note_error(format!("reload of `{}` failed: {e}", event.path));
+        }
+    }
+}
+
+fn run_one(
+    conn: &mut Connection,
+    options: &LoadOptions,
+    state: &RunState,
+    verifier: Option<&Verifier>,
+    index: usize,
+) {
+    let params = WorkParams {
+        seed: options.params.seed.wrapping_add(index as u64),
+        ..options.params
+    };
+    let line = schedule_line(index as u64, params, options.deadline_ms, false);
+    let started = Instant::now();
+    let mut retries = 0usize;
+    loop {
+        let reply = match conn.round_trip(&line) {
+            Ok(reply) => reply,
+            Err(e) => {
+                state.dropped.fetch_add(1, Ordering::Relaxed);
+                state.note_error(format!("request {index}: {e}"));
+                // The connection may be dead; try to re-open for the
+                // remaining requests this thread will claim.
+                if let Ok(fresh) = Connection::open(&options.addr) {
+                    *conn = fresh;
+                }
+                return;
+            }
+        };
+        if reply.ok {
+            state.latency.record(started.elapsed().as_micros() as u64);
+            state.answered.fetch_add(1, Ordering::Relaxed);
+            if let Some(verifier) = verifier {
+                check_answer(&reply, params, verifier, state, index);
+            }
+            return;
+        }
+        match reply.error_num() {
+            Some(6) => {
+                // Shed: back off by the daemon's hint and retry.
+                if retries >= options.max_retries {
+                    state.dropped.fetch_add(1, Ordering::Relaxed);
+                    state.note_error(format!("request {index}: retry budget exhausted"));
+                    return;
+                }
+                retries += 1;
+                state.shed_retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = reply.retry_after_ms().unwrap_or(10).min(1_000);
+                std::thread::sleep(Duration::from_millis(backoff));
+            }
+            Some(5) => {
+                state.deadline_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Some(7) => {
+                state.panic_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            other => {
+                state.dropped.fetch_add(1, Ordering::Relaxed);
+                state.note_error(format!("request {index}: unexpected error code {other:?}"));
+                return;
+            }
+        }
+    }
+}
+
+fn check_answer(
+    reply: &Reply,
+    params: WorkParams,
+    verifier: &Verifier,
+    state: &RunState,
+    index: usize,
+) {
+    let hash = reply
+        .body
+        .get("result")
+        .and_then(|r| r.get("hash"))
+        .and_then(Json::as_str)
+        .and_then(|h| u64::from_str_radix(h, 16).ok());
+    let (cycles, ops) = match (reply.result_u64("cycles"), reply.result_u64("ops")) {
+        (Some(cycles), Some(ops)) => (cycles as i64, ops),
+        _ => {
+            state.mismatches.fetch_add(1, Ordering::Relaxed);
+            state.note_error(format!("request {index}: result missing cycles/ops"));
+            return;
+        }
+    };
+    let Some(hash) = hash else {
+        state.mismatches.fetch_add(1, Ordering::Relaxed);
+        state.note_error(format!("request {index}: result missing image hash"));
+        return;
+    };
+    match verifier.expect(hash, params) {
+        None => {
+            state.unverified.fetch_add(1, Ordering::Relaxed);
+        }
+        Some((want_cycles, want_ops)) => {
+            if cycles != want_cycles || ops != want_ops {
+                state.mismatches.fetch_add(1, Ordering::Relaxed);
+                state.note_error(format!(
+                    "request {index}: image {hash:016x} answered {cycles} cycles / {ops} ops, \
+                     expected {want_cycles} / {want_ops}"
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn shared_flags_parse_and_return_leftovers() {
+        let (flags, rest) = BenchFlags::parse(&strings(&[
+            "--machine",
+            "k5",
+            "--regions",
+            "64",
+            "--connect",
+            "/tmp/x.sock",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(flags.machine, Machine::K5);
+        assert_eq!(flags.regions, 64);
+        assert_eq!(flags.seed, 9);
+        assert_eq!(rest, strings(&["--connect", "/tmp/x.sock"]));
+    }
+
+    #[test]
+    fn shared_flags_reject_bad_values() {
+        assert!(BenchFlags::parse(&strings(&["--machine", "vax"])).is_err());
+        assert!(BenchFlags::parse(&strings(&["--regions", "0"])).is_err());
+        assert!(BenchFlags::parse(&strings(&["--jobs"])).is_err());
+    }
+
+    #[test]
+    fn schedule_lines_round_trip_through_the_frame_parser() {
+        let params = WorkParams {
+            regions: 3,
+            mean_ops: 5,
+            seed: 77,
+            jobs: 2,
+        };
+        let line = schedule_line(12, params, Some(40), true);
+        let frame = crate::proto::parse_frame(&line).unwrap();
+        assert_eq!(frame.id, 12);
+        assert_eq!(
+            frame.request,
+            crate::proto::Request::Verify {
+                params,
+                deadline_ms: Some(40)
+            }
+        );
+    }
+}

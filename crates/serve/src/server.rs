@@ -1,0 +1,779 @@
+//! The daemon: listeners, connection handling, the worker pool, and the
+//! serving statistics.
+//!
+//! ## Threading model
+//!
+//! One accept thread, one thread per connection, and a fixed pool of
+//! request workers draining the [`AdmissionQueue`].  A connection thread
+//! is the client's agent: it frames requests, answers the cheap verbs
+//! (`query`, `stats`, `reload`, `shutdown`) inline, and for work verbs
+//! (`schedule`, `verify`, `poison`) captures the serving image, pushes a
+//! job, and blocks for the worker's reply.  Request/response on one
+//! connection is strictly serial — the line protocol has no pipelining —
+//! so blocking is the natural backpressure toward the client.
+//!
+//! ## Robustness contract
+//!
+//! * The serving image for a request is the one current *at admission*;
+//!   a concurrent reload never changes an admitted request's answer.
+//! * A full queue sheds instantly (`overload` + `retry_after_ms`);
+//!   nothing waits anywhere unbounded.
+//! * A deadline that expires while the job is still queued cancels it at
+//!   pop time (`deadline` error) without doing the work.
+//! * Worker panics are confined to the request that caused them
+//!   (`panic` error); the worker thread survives.
+//! * Malformed frames get `parse` errors on the same connection; an
+//!   oversized or stalled (slow-loris) partial frame drops only that
+//!   connection.
+//! * Shutdown stops admissions, then drains: every admitted request is
+//!   answered before the daemon exits.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mdes_engine::Engine;
+use mdes_sched::DepGraph;
+use mdes_telemetry::json::Json;
+use mdes_telemetry::{LatencyRecorder, Telemetry};
+use mdes_workload::{generate_compiled_regions, RegionConfig};
+
+use crate::image::{ImageStore, ReloadOutcome, ServeImage};
+use crate::proto::{
+    err_response, obj, ok_response, parse_frame, ErrorCode, Request, WorkParams, MAX_FRAME,
+};
+use crate::queue::{AdmissionQueue, PushError};
+
+/// Where the daemon listens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BindAddr {
+    /// A filesystem Unix socket (removed on shutdown).
+    Unix(PathBuf),
+    /// A TCP address like `127.0.0.1:0` (0 picks an ephemeral port).
+    Tcp(String),
+}
+
+/// Daemon tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Request worker threads.
+    pub workers: usize,
+    /// Admission queue bound; pushes past it shed.
+    pub queue_capacity: usize,
+    /// How long a *partial* frame may dangle before the connection is
+    /// dropped as a slow-loris writer.  Idle connections (no partial
+    /// frame) are never timed out.
+    pub read_timeout_ms: u64,
+    /// Deadline applied to work requests that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+    /// Enables the `poison` verb (deliberate worker panic, for chaos
+    /// testing panic isolation).
+    pub chaos: bool,
+    /// Seed for reload vetting and the reload oracle.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            read_timeout_ms: 2_000,
+            default_deadline_ms: None,
+            chaos: false,
+            seed: 0x5E17E,
+        }
+    }
+}
+
+/// Monotonic serving counters plus the latency reservoir.  Everything is
+/// lock-free except the reservoir, which takes one short mutex per
+/// answered request.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Work requests admitted to the queue.
+    pub admitted: AtomicU64,
+    /// Work requests answered (success or error) after admission.
+    pub answered: AtomicU64,
+    /// Work requests shed by the full queue.
+    pub shed: AtomicU64,
+    /// Admitted requests cancelled at pop time by their deadline.
+    pub deadline_exceeded: AtomicU64,
+    /// Jobs that panicked (isolated; answered with a `panic` error).
+    pub panics: AtomicU64,
+    /// Worker panics reported by the scheduling engine itself.
+    pub engine_panics: AtomicU64,
+    /// Frames rejected by the codec.
+    pub parse_errors: AtomicU64,
+    /// Connections dropped for an oversized partial frame.
+    pub oversized_frames: AtomicU64,
+    /// Connections dropped for a stalled partial frame.
+    pub slow_loris_drops: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Successful promotions.
+    pub reloads: AtomicU64,
+    /// Rejected reloads (old image kept serving).
+    pub reload_failures: AtomicU64,
+    /// Reloads recognized as byte-identical no-ops.
+    pub reload_noops: AtomicU64,
+    /// Promotions that skipped recompilation via the content cache.
+    pub reload_cache_hits: AtomicU64,
+    /// Per-request latency (admission to answer), microseconds.
+    pub latency: LatencyRecorder,
+}
+
+impl ServeStats {
+    fn new() -> ServeStats {
+        ServeStats {
+            latency: LatencyRecorder::new(4096),
+            ..ServeStats::default()
+        }
+    }
+
+    /// Requests admitted but not (yet) answered.  Zero on a quiescent
+    /// daemon; the chaos harness asserts it is zero after drain.
+    pub fn in_flight(&self) -> u64 {
+        self.admitted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.answered.load(Ordering::Relaxed))
+    }
+
+    /// The `stats` verb payload.
+    pub fn to_json(&self, image: &ServeImage, queue_depth: usize) -> Json {
+        let c = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+        obj(vec![
+            ("admitted", c(&self.admitted)),
+            ("answered", c(&self.answered)),
+            ("shed", c(&self.shed)),
+            ("deadline_exceeded", c(&self.deadline_exceeded)),
+            ("panics", c(&self.panics)),
+            ("engine_worker_panics", c(&self.engine_panics)),
+            ("parse_errors", c(&self.parse_errors)),
+            ("oversized_frames", c(&self.oversized_frames)),
+            ("slow_loris_drops", c(&self.slow_loris_drops)),
+            ("connections", c(&self.connections)),
+            ("reloads", c(&self.reloads)),
+            ("reload_failures", c(&self.reload_failures)),
+            ("reload_noops", c(&self.reload_noops)),
+            ("reload_cache_hits", c(&self.reload_cache_hits)),
+            ("in_flight", Json::Num(self.in_flight() as f64)),
+            ("queue_depth", Json::Num(queue_depth as f64)),
+            ("epoch", Json::Num(image.epoch as f64)),
+            ("hash", Json::Str(format!("{:016x}", image.hash))),
+            ("origin", Json::Str(image.origin.clone())),
+            (
+                "p50_us",
+                Json::Num(self.latency.percentile(0.50).unwrap_or(0) as f64),
+            ),
+            (
+                "p99_us",
+                Json::Num(self.latency.percentile(0.99).unwrap_or(0) as f64),
+            ),
+        ])
+    }
+
+    /// Folds the serving counters into a telemetry registry under
+    /// `serve/*` (and the engine-panic gate under `engine/*`).  Counters
+    /// are always created — a clean run publishes explicit zeros so
+    /// metrics consumers can gate on `serve/dropped` and
+    /// `engine/worker_panics` being present *and* zero.
+    pub fn publish(&self, tel: &Telemetry) {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        tel.counter_add("serve/admitted", load(&self.admitted));
+        tel.counter_add("serve/answered", load(&self.answered));
+        tel.counter_add("serve/shed", load(&self.shed));
+        tel.counter_add("serve/deadline_exceeded", load(&self.deadline_exceeded));
+        tel.counter_add("serve/panics", load(&self.panics));
+        tel.counter_add("serve/parse_errors", load(&self.parse_errors));
+        tel.counter_add("serve/oversized_frames", load(&self.oversized_frames));
+        tel.counter_add("serve/slow_loris_drops", load(&self.slow_loris_drops));
+        tel.counter_add("serve/connections", load(&self.connections));
+        tel.counter_add("serve/reloads", load(&self.reloads));
+        tel.counter_add("serve/reload_failures", load(&self.reload_failures));
+        tel.counter_add("serve/reload_cache_hits", load(&self.reload_cache_hits));
+        tel.counter_add("serve/dropped", self.in_flight());
+        tel.counter_add("engine/worker_panics", load(&self.engine_panics));
+        tel.gauge_set(
+            "serve/p50_us",
+            self.latency.percentile(0.50).unwrap_or(0) as f64,
+        );
+        tel.gauge_set(
+            "serve/p99_us",
+            self.latency.percentile(0.99).unwrap_or(0) as f64,
+        );
+    }
+}
+
+/// What a worker executes for one admitted request.
+enum JobKind {
+    Work {
+        params: WorkParams,
+        verify: bool,
+    },
+    /// Chaos: panic on purpose inside the isolation boundary.
+    Poison,
+}
+
+struct Job {
+    id: u64,
+    kind: JobKind,
+    /// The serving image captured at admission.
+    image: Arc<ServeImage>,
+    deadline: Option<Instant>,
+    admitted_at: Instant,
+    reply: mpsc::SyncSender<String>,
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+pub(crate) enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to a daemon (client side of the same framing).
+    pub(crate) fn connect(addr: &BindAddr) -> std::io::Result<Stream> {
+        match addr {
+            BindAddr::Unix(path) => UnixStream::connect(path).map(Stream::Unix),
+            BindAddr::Tcp(spec) => TcpStream::connect(spec).map(Stream::Tcp),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Shared daemon state.
+struct Shared {
+    store: Arc<ImageStore>,
+    queue: AdmissionQueue<Job>,
+    stats: Arc<ServeStats>,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon.  Dropping the handle does *not* stop it; call
+/// [`ServerHandle::shutdown`] (or send the `shutdown` verb) first and
+/// then [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: BindAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The resolved bind address (TCP port filled in for `:0` binds).
+    pub fn addr(&self) -> &BindAddr {
+        &self.addr
+    }
+
+    /// The serving statistics (shared with the daemon threads).
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.shared.stats
+    }
+
+    /// The image store (shared with the daemon threads).
+    pub fn store(&self) -> &Arc<ImageStore> {
+        &self.shared.store
+    }
+
+    /// Requests shutdown from the owning process, as if a `shutdown`
+    /// verb had arrived.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared, &self.addr);
+    }
+
+    /// Waits for the daemon to finish (after a `shutdown` verb or
+    /// [`ServerHandle::shutdown`]).  Every admitted request is answered
+    /// before this returns.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // The accept loop has exited, so no *new* connection threads can
+        // appear; join the ones that exist.
+        let connections = std::mem::take(&mut *self.connections.lock().unwrap());
+        for conn in connections {
+            let _ = conn.join();
+        }
+        // All connections are gone, so no new pushes: close and drain.
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let BindAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn trigger_shutdown(shared: &Shared, addr: &BindAddr) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    shared.queue.close();
+    // Wake the accept loop with a throwaway connection.
+    match addr {
+        BindAddr::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+        BindAddr::Tcp(tcp) => {
+            let _ = TcpStream::connect(tcp);
+        }
+    }
+}
+
+/// Binds `addr` and starts the daemon threads.  Returns once the socket
+/// is listening, so a caller may connect immediately.
+pub fn serve(
+    addr: BindAddr,
+    store: Arc<ImageStore>,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let (listener, addr) = match addr {
+        BindAddr::Unix(path) => {
+            // A stale socket file from a crashed predecessor would make
+            // the bind fail; remove it (connect-tested removal is racy
+            // and the daemon owns its path by contract).
+            let _ = std::fs::remove_file(&path);
+            (
+                Listener::Unix(UnixListener::bind(&path)?),
+                BindAddr::Unix(path),
+            )
+        }
+        BindAddr::Tcp(spec) => {
+            let listener = TcpListener::bind(&spec)?;
+            let resolved = listener.local_addr()?.to_string();
+            (Listener::Tcp(listener), BindAddr::Tcp(resolved))
+        }
+    };
+
+    let shared = Arc::new(Shared {
+        store,
+        queue: AdmissionQueue::new(config.queue_capacity),
+        stats: Arc::new(ServeStats::new()),
+        config,
+        shutdown: AtomicBool::new(false),
+    });
+
+    let workers = (0..shared.config.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let connections = Arc::clone(&connections);
+        let accept_addr = addr.clone();
+        std::thread::spawn(move || accept_loop(listener, &accept_addr, &shared, &connections))
+    };
+
+    Ok(ServerHandle {
+        shared,
+        addr,
+        accept: Some(accept),
+        workers,
+        connections,
+    })
+}
+
+fn accept_loop(
+    listener: Listener,
+    addr: &BindAddr,
+    shared: &Arc<Shared>,
+    connections: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match &listener {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream {
+            Ok(stream) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                let conn_addr = addr.clone();
+                let handle =
+                    std::thread::spawn(move || connection_loop(stream, &shared, &conn_addr));
+                connections.lock().unwrap().push(handle);
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (EMFILE etc): keep listening.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Granularity of the read loop: how often a blocked read wakes to check
+/// the shutdown flag and the slow-loris budget.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+fn connection_loop(mut stream: Stream, shared: &Arc<Shared>, addr: &BindAddr) {
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let stats = &shared.stats;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut partial_since: Option<Instant> = None;
+    let mut chunk = [0u8; 4096];
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) && buf.is_empty() {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = buf.drain(..=pos).collect();
+                    partial_since = None;
+                    let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                    if !handle_line(&text, &mut stream, shared, addr) {
+                        return;
+                    }
+                }
+                if buf.is_empty() {
+                    partial_since = None;
+                } else {
+                    partial_since.get_or_insert_with(Instant::now);
+                    if buf.len() > MAX_FRAME {
+                        stats.oversized_frames.fetch_add(1, Ordering::Relaxed);
+                        let line = err_response(
+                            0,
+                            ErrorCode::Parse,
+                            "frame exceeds maximum size; closing connection",
+                            None,
+                        );
+                        let _ = stream.write_all(line.as_bytes());
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if let Some(since) = partial_since {
+                    if since.elapsed().as_millis() as u64 >= shared.config.read_timeout_ms {
+                        stats.slow_loris_drops.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one complete request line.  Returns `false` when the
+/// connection must close (shutdown acknowledged).
+fn handle_line(line: &str, stream: &mut Stream, shared: &Arc<Shared>, addr: &BindAddr) -> bool {
+    let stats = &shared.stats;
+    let frame = match parse_frame(line) {
+        Ok(frame) => frame,
+        Err(wire) => {
+            if wire.code == ErrorCode::Parse {
+                stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            let line = err_response(wire.id, wire.code, &wire.message, None);
+            return stream.write_all(line.as_bytes()).is_ok();
+        }
+    };
+    let id = frame.id;
+    let response = match frame.request {
+        Request::Query => {
+            let image = shared.store.current();
+            ok_response(
+                id,
+                obj(vec![
+                    ("epoch", Json::Num(image.epoch as f64)),
+                    ("hash", Json::Str(format!("{:016x}", image.hash))),
+                    ("origin", Json::Str(image.origin.clone())),
+                    ("classes", Json::Num(image.mdes.classes().len() as f64)),
+                    ("resources", Json::Num(image.mdes.num_resources() as f64)),
+                    ("options", Json::Num(image.mdes.num_options() as f64)),
+                ]),
+            )
+        }
+        Request::Stats => {
+            let image = shared.store.current();
+            ok_response(id, stats.to_json(&image, shared.queue.depth()))
+        }
+        Request::Reload { path } => match shared.store.reload_path(&path) {
+            Ok(ReloadOutcome::Promoted { image, cache_hit }) => {
+                stats.reloads.fetch_add(1, Ordering::Relaxed);
+                if cache_hit {
+                    stats.reload_cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                ok_response(
+                    id,
+                    obj(vec![
+                        ("changed", Json::Bool(true)),
+                        ("cache_hit", Json::Bool(cache_hit)),
+                        ("epoch", Json::Num(image.epoch as f64)),
+                        ("hash", Json::Str(format!("{:016x}", image.hash))),
+                    ]),
+                )
+            }
+            Ok(ReloadOutcome::Unchanged { epoch, hash }) => {
+                stats.reload_noops.fetch_add(1, Ordering::Relaxed);
+                ok_response(
+                    id,
+                    obj(vec![
+                        ("changed", Json::Bool(false)),
+                        ("cache_hit", Json::Bool(true)),
+                        ("epoch", Json::Num(epoch as f64)),
+                        ("hash", Json::Str(format!("{hash:016x}"))),
+                    ]),
+                )
+            }
+            Err(err) => {
+                stats.reload_failures.fetch_add(1, Ordering::Relaxed);
+                err_response(id, err.code(), err.message(), None)
+            }
+        },
+        Request::Shutdown => {
+            let line = ok_response(id, obj(vec![("stopping", Json::Bool(true))]));
+            let _ = stream.write_all(line.as_bytes());
+            trigger_shutdown(shared, addr);
+            return false;
+        }
+        Request::Poison if !shared.config.chaos => err_response(
+            id,
+            ErrorCode::General,
+            "`poison` requires the daemon to run with chaos mode enabled",
+            None,
+        ),
+        Request::Poison => return admit(id, JobKind::Poison, None, stream, shared),
+        Request::Schedule {
+            params,
+            deadline_ms,
+        } => {
+            return admit(
+                id,
+                JobKind::Work {
+                    params,
+                    verify: false,
+                },
+                deadline_ms,
+                stream,
+                shared,
+            )
+        }
+        Request::Verify {
+            params,
+            deadline_ms,
+        } => {
+            return admit(
+                id,
+                JobKind::Work {
+                    params,
+                    verify: true,
+                },
+                deadline_ms,
+                stream,
+                shared,
+            )
+        }
+    };
+    stream.write_all(response.as_bytes()).is_ok()
+}
+
+/// Admits a work request: captures the serving image, pushes the job,
+/// and relays the worker's answer.  Sheds instantly when the queue is
+/// full.
+fn admit(
+    id: u64,
+    kind: JobKind,
+    deadline_ms: Option<u64>,
+    stream: &mut Stream,
+    shared: &Arc<Shared>,
+) -> bool {
+    let stats = &shared.stats;
+    let admitted_at = Instant::now();
+    let deadline = deadline_ms
+        .or(shared.config.default_deadline_ms)
+        .map(|ms| admitted_at + Duration::from_millis(ms));
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = Job {
+        id,
+        kind,
+        image: shared.store.current(),
+        deadline,
+        admitted_at,
+        reply: reply_tx,
+    };
+    match shared.queue.push(job) {
+        Ok(()) => {
+            stats.admitted.fetch_add(1, Ordering::Relaxed);
+            let line = match reply_rx.recv() {
+                Ok(line) => line,
+                // A worker always replies; reaching this means the pool
+                // died, which the daemon treats as an internal error.
+                Err(_) => err_response(id, ErrorCode::General, "worker pool unavailable", None),
+            };
+            stream.write_all(line.as_bytes()).is_ok()
+        }
+        Err(PushError::Full(_)) => {
+            stats.shed.fetch_add(1, Ordering::Relaxed);
+            // Hint scales with how much work each waiting slot implies.
+            let hint = 5 + (shared.queue.depth() as u64 * 10) / shared.config.workers.max(1) as u64;
+            let line = err_response(
+                id,
+                ErrorCode::Overload,
+                "admission queue full; request shed",
+                Some(hint),
+            );
+            stream.write_all(line.as_bytes()).is_ok()
+        }
+        Err(PushError::Closed(_)) => {
+            let line = err_response(id, ErrorCode::General, "daemon is shutting down", None);
+            let _ = stream.write_all(line.as_bytes());
+            false
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        let stats = &shared.stats;
+        let line = if job
+            .deadline
+            .is_some_and(|deadline| Instant::now() > deadline)
+        {
+            stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            err_response(
+                job.id,
+                ErrorCode::Deadline,
+                "deadline expired before the job started",
+                None,
+            )
+        } else {
+            execute(&job, stats)
+        };
+        stats
+            .latency
+            .record(job.admitted_at.elapsed().as_micros() as u64);
+        stats.answered.fetch_add(1, Ordering::Relaxed);
+        // The connection may have died while we worked; the request
+        // still counts as answered.
+        let _ = job.reply.send(line);
+    }
+}
+
+/// Runs one job inside the panic-isolation boundary.
+fn execute(job: &Job, stats: &ServeStats) -> String {
+    let outcome = catch_unwind(AssertUnwindSafe(|| match &job.kind {
+        JobKind::Poison => panic!("poison verb"),
+        JobKind::Work { params, verify } => run_work(job.id, *params, *verify, &job.image, stats),
+    }));
+    match outcome {
+        Ok(line) => line,
+        Err(_) => {
+            stats.panics.fetch_add(1, Ordering::Relaxed);
+            err_response(
+                job.id,
+                ErrorCode::Panic,
+                "job panicked; the panic was isolated to this request",
+                None,
+            )
+        }
+    }
+}
+
+fn run_work(
+    id: u64,
+    params: WorkParams,
+    verify: bool,
+    image: &ServeImage,
+    stats: &ServeStats,
+) -> String {
+    let config = RegionConfig::new(params.regions)
+        .with_mean_ops(params.mean_ops)
+        .with_seed(params.seed);
+    let workload = generate_compiled_regions(&image.mdes, &config);
+    let engine = Engine::new(Arc::clone(&image.mdes));
+    let outcome = engine.schedule_batch(&workload.blocks, params.jobs);
+    stats
+        .engine_panics
+        .fetch_add(outcome.worker_panics(), Ordering::Relaxed);
+    if !outcome.is_clean() {
+        return err_response(
+            id,
+            ErrorCode::Panic,
+            "a scheduling job panicked inside the engine",
+            None,
+        );
+    }
+    if verify {
+        for (block, schedule) in workload.blocks.iter().zip(&outcome.schedules) {
+            let schedule = schedule.as_ref().expect("clean batch has every schedule");
+            let graph = DepGraph::build(block, &image.mdes);
+            if let Err(why) = schedule.verify(&graph, &image.mdes) {
+                return err_response(
+                    id,
+                    ErrorCode::General,
+                    &format!("schedule failed verification: {why}"),
+                    None,
+                );
+            }
+        }
+    }
+    ok_response(
+        id,
+        obj(vec![
+            ("epoch", Json::Num(image.epoch as f64)),
+            ("hash", Json::Str(format!("{:016x}", image.hash))),
+            ("regions", Json::Num(outcome.completed() as f64)),
+            ("ops", Json::Num(workload.total_ops as f64)),
+            ("cycles", Json::Num(outcome.total_cycles() as f64)),
+            ("attempts", Json::Num(outcome.stats.attempts as f64)),
+            ("verified", Json::Bool(verify)),
+        ]),
+    )
+}

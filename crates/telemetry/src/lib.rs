@@ -38,6 +38,9 @@
 //! ```
 
 pub mod json;
+pub mod latency;
+
+pub use latency::LatencyRecorder;
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};

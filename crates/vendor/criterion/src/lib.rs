@@ -98,14 +98,17 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.full);
-        run_one(&label, self.sample_size, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
         self
     }
 

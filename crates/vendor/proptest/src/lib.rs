@@ -338,8 +338,8 @@ pub mod strategy {
                 // robustness tests see genuinely hostile input.
                 const POOL: &[char] = &[
                     'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '\t', '\n', '{', '}', '(', ')', '[',
-                    ']', ';', ':', ',', '@', '#', '$', '%', '^', '&', '*', '-', '+', '=', '<',
-                    '>', '/', '\\', '"', '\'', '`', '~', '_', '|', '!', '?', '.', 'é', 'λ', '中',
+                    ']', ';', ':', ',', '@', '#', '$', '%', '^', '&', '*', '-', '+', '=', '<', '>',
+                    '/', '\\', '"', '\'', '`', '~', '_', '|', '!', '?', '.', 'é', 'λ', '中',
                     '\u{0}', '\u{7f}', '\u{2028}', '😀',
                 ];
                 (0..len)
@@ -633,7 +633,8 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *left != *right,
             "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
-            left, right
+            left,
+            right
         );
     }};
 }

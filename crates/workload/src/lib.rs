@@ -40,5 +40,5 @@ pub use generate::{
     as_loop_bodies, generate, generate_uniform, uniform_config, Workload, WorkloadConfig,
 };
 pub use mix::{body_mix, end_mix, OpTemplate};
-pub use regions::{generate_regions, RegionConfig};
+pub use regions::{generate_compiled_regions, generate_regions, RegionConfig};
 pub use rng::Pcg32;

@@ -9,7 +9,7 @@
 //! stream is identical, which is what the engine's determinism tests
 //! lean on.
 
-use mdes_core::{ClassId, MdesSpec};
+use mdes_core::{ClassId, CompiledMdes, MdesSpec};
 use mdes_sched::{Block, Reg};
 
 use crate::generate::{make_op, Workload, WorkloadConfig};
@@ -83,6 +83,43 @@ pub fn generate_regions(spec: &MdesSpec, config: &RegionConfig) -> Workload {
     Workload { blocks, total_ops }
 }
 
+/// [`generate_regions`] for a *compiled* description — the form a serving
+/// daemon holds after loading a binary LMDES image, where the high-level
+/// spec is no longer available.  Classes are partitioned by the compiled
+/// branch/store flags, which round-trip through the image unchanged, so
+/// for a description compiled from a spec this produces exactly the block
+/// stream [`generate_regions`] would: the region at index `i` is a pure
+/// function of `(config, i, class flags)` and nothing else.  That purity
+/// is what lets two parties (a daemon and a client, or a pre-reload and a
+/// post-rollback run) independently derive byte-identical workloads.
+///
+/// # Panics
+///
+/// Panics if the description has no schedulable non-branch classes.
+pub fn generate_compiled_regions(mdes: &CompiledMdes, config: &RegionConfig) -> Workload {
+    let mut body: Vec<ClassId> = Vec::new();
+    let mut ends: Vec<ClassId> = Vec::new();
+    for (index, class) in mdes.classes().iter().enumerate() {
+        let id = ClassId::from_index(index);
+        if class.flags.branch {
+            ends.push(id);
+        } else {
+            body.push(id);
+        }
+    }
+    assert!(
+        !body.is_empty(),
+        "description has no schedulable non-branch classes"
+    );
+
+    let is_store = |class: ClassId| mdes.class(class).flags.store;
+    let blocks: Vec<Block> = (0..config.regions)
+        .map(|index| region_at(config, index as u64, &body, &ends, &is_store))
+        .collect();
+    let total_ops = blocks.iter().map(Block::len).sum();
+    Workload { blocks, total_ops }
+}
+
 /// Generates the single region at `index` — independent of every other
 /// region by construction.
 fn generate_region(
@@ -91,6 +128,21 @@ fn generate_region(
     index: u64,
     body: &[ClassId],
     ends: &[ClassId],
+) -> Block {
+    region_at(config, index, body, ends, &|class| {
+        spec.class(class).flags.store
+    })
+}
+
+/// The shared region builder: everything machine-specific arrives through
+/// the class partition and the `is_store` predicate, so the spec-level and
+/// compiled-level entry points generate identical streams.
+fn region_at(
+    config: &RegionConfig,
+    index: u64,
+    body: &[ClassId],
+    ends: &[ClassId],
+    is_store: &dyn Fn(ClassId) -> bool,
 ) -> Block {
     let mut rng = Pcg32::new(config.seed, index.wrapping_add(1));
     let span = (2 * config.mean_ops - 1).max(1) as u32;
@@ -101,7 +153,7 @@ fn generate_region(
     let mut next_reg = 0u32;
     for _ in 0..body_len {
         let class = body[rng.gen_range(body.len() as u32) as usize];
-        let dests = usize::from(!spec.class(class).flags.store);
+        let dests = usize::from(!is_store(class));
         block.push(make_op(
             class,
             2,
@@ -154,6 +206,22 @@ mod tests {
         let short = generate_regions(&spec, &RegionConfig::new(16));
         let long = generate_regions(&spec, &RegionConfig::new(48));
         assert_eq!(short.blocks[..], long.blocks[..16]);
+    }
+
+    #[test]
+    fn compiled_regions_match_spec_regions_exactly() {
+        use mdes_core::{CompiledMdes, UsageEncoding};
+        for machine in Machine::all() {
+            let spec = machine.spec();
+            let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+            let config = RegionConfig::new(24).with_seed(7).with_mean_ops(9);
+            assert_eq!(
+                generate_regions(&spec, &config),
+                generate_compiled_regions(&compiled, &config),
+                "{}",
+                machine.name()
+            );
+        }
     }
 
     #[test]

@@ -25,5 +25,6 @@ pub use mdes_lang as lang;
 pub use mdes_machines as machines;
 pub use mdes_opt as opt;
 pub use mdes_sched as sched;
+pub use mdes_serve as serve;
 pub use mdes_telemetry as telemetry;
 pub use mdes_workload as workload;

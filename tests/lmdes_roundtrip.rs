@@ -86,4 +86,35 @@ proptest! {
         bytes.extend(tail);
         let _ = lmdes::read(&bytes);
     }
+
+    #[test]
+    fn seeded_corruptions_error_cleanly_instead_of_panicking(seed in any::<u64>()) {
+        // Structured corruption of a real image (vs. the pure byte fuzz
+        // above): every guaranteed-fatal fault must come back as an
+        // `LmdesError` — never a panic, never an over-allocation — and
+        // a bit flip may decode or error but must do so cleanly too.
+        let image = k5_image();
+        for fault in mdes::guard::ImageFault::fatal() {
+            let corrupted = mdes::guard::corrupt_image(image, fault, seed);
+            prop_assert!(
+                lmdes::read(&corrupted).is_err(),
+                "{} image decoded despite corruption (seed {seed})",
+                fault.name()
+            );
+        }
+        let flipped = mdes::guard::corrupt_image(image, mdes::guard::ImageFault::BitFlip, seed);
+        let _ = lmdes::read(&flipped);
+    }
+}
+
+/// One shared optimized K5 image for the corruption cases (compiling
+/// per proptest case would dominate the suite's runtime).
+fn k5_image() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static IMAGE: OnceLock<Vec<u8>> = OnceLock::new();
+    IMAGE.get_or_init(|| {
+        let mut spec = Machine::K5.spec();
+        mdes::opt::optimize(&mut spec, &mdes::opt::PipelineConfig::full());
+        lmdes::write(&CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap())
+    })
 }
