@@ -7,8 +7,10 @@
 #                    suites, the bench-serve concurrency smokes, the
 #                    daemon serving smoke (verified closed-loop client
 #                    with a hot reload and an injected-corrupt reload),
-#                    the panic-free clippy gate, and the perf regression
-#                    gate against the committed BENCH_6.json baseline
+#                    the exact-scheduler oracle smoke and fleet fuzz
+#                    (docs/oracle.md), the panic-free clippy gate, and
+#                    the perf regression gate against the committed
+#                    BENCH_7.json baseline
 set -eux
 
 FULL=0
@@ -96,6 +98,30 @@ grep -q '"serve/dropped":0' "$SERVE_METRICS"
 grep -q '"engine/worker_panics":0' "$SERVE_METRICS"
 rm -f "$SERVE_METRICS" "$GOOD_HMDL" "$GOOD_IMG" "$BAD_IMG" "$SERVE_SOCK"
 
+# Oracle smoke: the exact branch-and-bound scheduler differentials the
+# production schedulers over the seed-42 region stream on all six
+# bundled machines.  Region counts are seed-deterministic, so the grep
+# demands the exact aggregate — any drift means the workload or the
+# oracle's op cap changed — and the published metrics must record zero
+# invariant inversions (an oracle schedule failing replay, a production
+# schedule beating the proven minimum, an II escaping its sandwich).
+ORACLE_METRICS="$(mktemp)"
+ORACLE_OUT="$(mktemp)"
+./target/release/mdesc --metrics "$ORACLE_METRICS" oracle --seed 42 \
+    | tee "$ORACLE_OUT"
+grep -q '^oracle: 6 machine(s), 72 regions' "$ORACLE_OUT"
+grep -q '"sched/oracle_violations":0' "$ORACLE_METRICS"
+rm -f "$ORACLE_METRICS" "$ORACLE_OUT"
+
+# Fleet fuzz: 64 structurally diverse synthetic machines, each run
+# through the guarded optimization pipeline (guard incidents must be
+# zero) and then the same oracle differential on the optimized spec.
+FLEET_METRICS="$(mktemp)"
+./target/release/mdesc --metrics "$FLEET_METRICS" oracle --fleet 64 --seed 42
+grep -q '"sched/oracle_violations":0' "$FLEET_METRICS"
+grep -q '"sched/oracle_guard_incidents":0' "$FLEET_METRICS"
+rm -f "$FLEET_METRICS"
+
 # Input-reachable front-end and optimizer code must stay panic-free: no
 # unwrap/expect outside #[cfg(test)] modules (test code is exempt
 # because only the lib targets are linted here).  See docs/robustness.md.
@@ -109,9 +135,11 @@ cargo clippy -p mdes-lang -p mdes-opt -- \
 # throttling after the suites above) only ever adds time, so min-of-K with
 # generous K finds an unthrottled window.  The gate also enforces the
 # hardware-aware batch_scaling floor (engine w1 ÷ w4 parallel speedup:
-# >= 3.0 on hosts with 4+ CPUs, a 0.85 no-harm bound on smaller boxes —
-# see docs/performance.md).  Exit code 5 on regression.
+# >= 3.0 on hosts with 4+ CPUs, a 0.85 no-harm bound on smaller boxes)
+# and the absolute oracle_gap_hinted ceiling (hinted schedules at most
+# 15% over the proven minimum — see docs/performance.md and
+# docs/oracle.md).  Exit code 5 on regression.
 PERF_JSON="$(mktemp)"
 ./target/release/mdesc perf --reps 15 --json "$PERF_JSON" \
-    --baseline BENCH_6.json --max-regression 0.25
+    --baseline BENCH_7.json --max-regression 0.25
 rm -f "$PERF_JSON"

@@ -19,6 +19,8 @@
 //! mdesc bench-serve [--machine NAME] [--jobs N] [--regions M]
 //! mdesc serve   [--machine NAME] [--socket PATH] [--workers N] [--chaos]
 //! mdesc serve-load --socket PATH [--requests N] [--reload-at I:PATH]
+//! mdesc oracle  [--seed N] [--regions N] [--max-ops K] [--machine NAME]
+//!               [--fleet N]
 //! ```
 //!
 //! The binary is also installed as `mdes`.  The global `--metrics <path>`
@@ -193,6 +195,7 @@ fn dispatch(args: &[String], tel: &Telemetry) -> CliResult {
         "serve" => serve_cmd(rest, tel),
         "serve-load" => serve_load_cmd(rest, tel),
         "perf" => perf_cmd(rest, tel),
+        "oracle" => oracle_cmd(rest, tel),
         "schedule" => schedule_cmd(rest, tel),
         "dot" => dot_cmd(rest),
         "lint" => lint_cmd(rest),
@@ -250,6 +253,11 @@ fn usage() -> String {
      \x20         [--baseline PATH] [--max-regression F] [--quiet]\n\
      \x20         run the deterministic hot-path benchmark suite; with\n\
      \x20         --baseline, gate against a committed report (see docs/performance.md)\n\
+     \x20 oracle  [--seed S] [--regions N] [--max-ops K] [--node-limit N]\n\
+     \x20         [--machine NAME] [--fleet N]\n\
+     \x20         run the exact branch-and-bound scheduler as a differential oracle\n\
+     \x20         against the production schedulers (bundled machines, or --fleet N\n\
+     \x20         synthetic machines with a guard-oracle fuzz pass; see docs/oracle.md)\n\
      \x20 schedule <in.hmdl> [--ops N] [--no-optimize]\n\
      \x20         drive the list scheduler over a synthetic stream and report\n\
      \x20         the paper's efficiency statistics\n\
@@ -1121,11 +1129,13 @@ fn perf_cmd(args: &[String], tel: &Telemetry) -> CliResult {
     let baseline = mdes_perf::Report::from_json(&text)
         .map_err(|e| format!("bad baseline `{baseline_path}`: {e}"))?;
     let floor = mdes_perf::batch_scaling_floor();
-    let outcome = mdes_perf::compare(&report, &baseline, max_regression, floor);
+    let ceiling = mdes_perf::ORACLE_GAP_CEILING;
+    let outcome = mdes_perf::compare(&report, &baseline, max_regression, floor, ceiling);
     print!("\n{}", mdes_perf::report::render_deltas(&outcome));
     println!(
         "batch_scaling floor on this host: {floor:.2}x (hardware-aware, see docs/performance.md)"
     );
+    println!("oracle_gap_hinted ceiling: {ceiling:.2} (absolute bound, see docs/oracle.md)");
     if outcome.passed() {
         println!("perf gate: PASS");
         Ok(())
@@ -1139,6 +1149,251 @@ fn perf_cmd(args: &[String], tel: &Telemetry) -> CliResult {
             message: format!("perf gate: FAIL — {}", failures.join(", ")),
         })
     }
+}
+
+/// Every bundled machine, keyed by the bench-name suffixes shared with
+/// `mdesc perf` and `docs/performance.md`: the four `Machine` variants
+/// plus the two HMDL-only reconstructions.
+fn oracle_machines() -> Vec<(String, MdesSpec)> {
+    let mut machines: Vec<(String, MdesSpec)> = mdes_machines::Machine::all()
+        .into_iter()
+        .map(|m| (m.name().to_lowercase(), m.spec()))
+        .collect();
+    machines.push(("pentiumpro".to_string(), mdes_machines::pentium_pro()));
+    machines.push((
+        "superspark_approx".to_string(),
+        mdes_machines::approximate_superspark(),
+    ));
+    machines
+}
+
+/// Runs the exact branch-and-bound scheduler as a differential oracle
+/// against the production list and modulo schedulers.
+///
+/// Default mode covers every bundled machine: seeded oracle-sized
+/// regions are scheduled by the oracle (provably minimal up to the node
+/// budget), replay-verified, and compared against the unhinted and
+/// hinted list schedulers plus the modulo scheduler's II sandwich.  Any
+/// invariant inversion (`sched/oracle_violations` in `--metrics`) fails
+/// with the oracle exit code.  `--fleet N` switches to N synthetic
+/// machines from `mdes_workload::fleet`, adding a guard-oracle fuzz of
+/// the optimization pipeline per machine; see docs/oracle.md.
+fn oracle_cmd(args: &[String], tel: &Telemetry) -> CliResult {
+    let mut seed = 42u64;
+    let mut regions = 12usize;
+    let mut max_ops = mdes_oracle::DEFAULT_MAX_OPS;
+    let mut node_limit: Option<u64> = None;
+    let mut machine_filter: Option<String> = None;
+    let mut fleet_size: Option<usize> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed requires an integer")?;
+            }
+            "--regions" => {
+                regions = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or("--regions requires a positive integer")?;
+            }
+            "--max-ops" => {
+                max_ops = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or("--max-ops requires a positive integer")?;
+            }
+            "--node-limit" => {
+                node_limit = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u64| n >= 1)
+                        .ok_or("--node-limit requires a positive integer")?,
+                );
+            }
+            "--machine" => {
+                machine_filter = Some(iter.next().ok_or("--machine requires a name")?.clone());
+            }
+            "--fleet" => {
+                fleet_size = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or("--fleet requires a positive integer")?,
+                );
+            }
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
+        }
+    }
+
+    if let Some(n) = fleet_size {
+        if machine_filter.is_some() {
+            return Err("oracle takes either --machine or --fleet, not both".into());
+        }
+        // Fleet machines are wider and more numerous than the bundled
+        // six; a tighter default node budget keeps the fuzz pass fast
+        // (a budget-bailed region keeps its list incumbent, which is
+        // still a sound upper bound).
+        return oracle_fleet_cmd(
+            n,
+            seed,
+            regions,
+            max_ops,
+            node_limit.unwrap_or(1_000_000),
+            tel,
+        );
+    }
+    // A 2M-node per-region budget proves most bundled-machine regions
+    // and keeps the CI smoke in seconds; `--node-limit` raises it for
+    // deeper proofs (the crate default is mdes_oracle::DEFAULT_NODE_LIMIT).
+    let node_limit = node_limit.unwrap_or(2_000_000);
+
+    let mut total = mdes_oracle::GapReport::default();
+    let mut stats = mdes_core::CheckStats::new();
+    let mut machines_run = 0usize;
+    for (name, spec) in oracle_machines() {
+        if let Some(filter) = &machine_filter {
+            if !name.eq_ignore_ascii_case(filter) {
+                continue;
+            }
+        }
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector)
+            .map_err(|e| CliError::validation(e.to_string()))?;
+        let config = mdes_workload::RegionConfig::small(regions).with_seed(seed);
+        let blocks = mdes_workload::generate_regions(&spec, &config).blocks;
+        let oracle = mdes_oracle::OracleScheduler::new(&compiled)
+            .with_max_ops(max_ops)
+            .with_node_limit(node_limit);
+        let mut report = {
+            let _span = tel.span("oracle/differential");
+            mdes_oracle::differential_gap(&compiled, &blocks, &oracle, &mut stats)
+        };
+        let loops = mdes_oracle::loops_from_blocks(&compiled, &blocks);
+        let modulo = {
+            let _span = tel.span("oracle/modulo");
+            mdes_oracle::modulo_differential(&compiled, &loops, &oracle, &mut stats)
+        };
+        report.merge(&modulo);
+        println!(
+            "{name}: {} regions ({} skipped), {} proved, {} improved, gap {:.3} \
+             (hinted {:.3}), {} loops, II gap {:.3}, {} nodes, {} violation(s)",
+            report.regions,
+            report.skipped,
+            report.proved,
+            report.improved,
+            report.gap(),
+            report.hinted_gap(),
+            report.loops,
+            report.modulo_gap(),
+            report.nodes,
+            report.violations
+        );
+        for detail in &report.violation_details {
+            eprintln!("oracle: {name}: {detail}");
+        }
+        total.merge(&report);
+        machines_run += 1;
+    }
+    if machines_run == 0 {
+        let names: Vec<String> = oracle_machines().into_iter().map(|(n, _)| n).collect();
+        return Err(CliError::from(format!(
+            "unknown machine `{}` (one of: {})",
+            machine_filter.unwrap_or_default(),
+            names.join(", ")
+        )));
+    }
+    total.publish(tel);
+    println!(
+        "oracle: {machines_run} machine(s), {} regions, {} loops, gap {:.3} hinted {:.3} \
+         modulo {:.3}, {} violation(s)",
+        total.regions,
+        total.loops,
+        total.gap(),
+        total.hinted_gap(),
+        total.modulo_gap(),
+        total.violations
+    );
+    if total.violations > 0 {
+        return Err(CliError {
+            code: EXIT_ORACLE,
+            message: format!("{} oracle violation(s)", total.violations),
+        });
+    }
+    Ok(())
+}
+
+/// `mdesc oracle --fleet N`: the mass differential pass over synthetic
+/// machines — a guard-oracle fuzz of the full optimization pipeline on
+/// each generated spec, then the exact-scheduler differential over its
+/// seeded small regions.
+fn oracle_fleet_cmd(
+    n: usize,
+    seed: u64,
+    regions: usize,
+    max_ops: usize,
+    node_limit: u64,
+    tel: &Telemetry,
+) -> CliResult {
+    let mut total = mdes_oracle::GapReport::default();
+    let mut stats = mdes_core::CheckStats::new();
+    let mut incidents = 0usize;
+    for machine in mdes_workload::fleet(seed, n) {
+        let mut spec = machine.spec.clone();
+        let guard = GuardConfig::oracle(seed);
+        let guarded = {
+            let _span = tel.span("oracle/guard_fuzz");
+            optimize_guarded(&mut spec, &PipelineConfig::full(), &guard, tel)
+        };
+        if !guarded.clean() {
+            for incident in &guarded.incidents {
+                eprintln!("oracle: {}: guard incident: {incident}", machine.name);
+            }
+            incidents += guarded.incidents.len();
+        }
+
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector)
+            .map_err(|e| CliError::validation(format!("{}: {e}", machine.name)))?;
+        let config = mdes_workload::RegionConfig::small(regions).with_seed(seed);
+        let blocks = mdes_workload::generate_regions(&spec, &config).blocks;
+        let oracle = mdes_oracle::OracleScheduler::new(&compiled)
+            .with_max_ops(max_ops)
+            .with_node_limit(node_limit);
+        let report = {
+            let _span = tel.span("oracle/differential");
+            mdes_oracle::differential_gap(&compiled, &blocks, &oracle, &mut stats)
+        };
+        for detail in &report.violation_details {
+            eprintln!("oracle: {}: {detail}", machine.name);
+        }
+        total.merge(&report);
+    }
+    total.publish(tel);
+    tel.counter_add("sched/oracle_guard_incidents", incidents as u64);
+    println!(
+        "oracle fleet: {n} machine(s), {} regions ({} skipped), gap {:.3} hinted {:.3}, \
+         {} guard incident(s), {} violation(s)",
+        total.regions,
+        total.skipped,
+        total.gap(),
+        total.hinted_gap(),
+        incidents,
+        total.violations
+    );
+    if total.violations > 0 || incidents > 0 {
+        return Err(CliError {
+            code: EXIT_ORACLE,
+            message: format!(
+                "{} oracle violation(s), {} guard incident(s)",
+                total.violations, incidents
+            ),
+        });
+    }
+    Ok(())
 }
 
 fn schedule_cmd(args: &[String], tel: &Telemetry) -> CliResult {

@@ -621,6 +621,29 @@ impl<'a> Checker<'a> {
     }
 
     /// True when every probe of option `opt_idx` finds its resources free
+    /// at issue time `time`, counting one option attempt in `stats`.
+    ///
+    /// Exact-search clients (the oracle scheduler in `mdes-oracle`) branch
+    /// over individual OR-tree options instead of accepting the greedy
+    /// first-feasible pick of [`Checker::try_reserve`]; this exposes the
+    /// same probe the greedy walk uses so both paths answer from one
+    /// query surface.
+    pub fn option_fits(&self, ru: &RuMap, opt_idx: u32, time: i32, stats: &mut CheckStats) -> bool {
+        stats.count_option();
+        self.option_free(ru, opt_idx, time, stats)
+    }
+
+    /// Reserves (`set = true`) or releases (`set = false`) every check of
+    /// option `opt_idx` at issue time `time`.
+    ///
+    /// Pairs with [`Checker::option_fits`] for callers that manage their
+    /// own option selection (e.g. branch-and-bound search); the RU-map
+    /// mutation is identical to what [`Checker::try_reserve`] performs.
+    pub fn apply_option_at(&self, ru: &mut RuMap, opt_idx: u32, time: i32, set: bool) {
+        self.apply_option(ru, opt_idx, time, set);
+    }
+
+    /// True when every probe of option `opt_idx` finds its resources free
     /// at issue time `time`.  Walks one dense slice of the shared check
     /// arena.
     #[inline]

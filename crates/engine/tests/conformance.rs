@@ -155,6 +155,24 @@ fn randomized_machines_agree_across_all_three_checkers() {
     );
 }
 
+#[test]
+fn fleet_of_64_machines_agrees_across_all_three_checkers() {
+    // The mass differential: 64 structurally-diverse synthetic machines
+    // from the seeded fleet generator, ≥ 1k issue probes each.  Unlike
+    // `random_spec` these cover interchangeable-unit groups, multi-cycle
+    // staging options, AND/OR classes across disjoint groups, and
+    // load/store/branch flags — the full shape range the bundled
+    // machines span, at fleet scale.
+    for (index, machine) in mdes_workload::fleet(0xF1EE7, 64).into_iter().enumerate() {
+        let probes = conform(&machine.spec, 0x9E37 + index as u64, 1500);
+        assert!(
+            probes >= 1_000,
+            "{}: only {probes} probes — the mass differential lost its mass",
+            machine.name
+        );
+    }
+}
+
 /// Every bundled description: the four `Machine` variants plus the two
 /// HMDL-only machines (pentiumpro, superspark_approx), per the ROADMAP
 /// scenario-diversity item.

@@ -26,6 +26,13 @@
 //! run whose w4 batch does not beat the floor fails even if the
 //! baseline was just as bad.  The floor is hardware-aware — see
 //! [`crate::batch_scaling_floor_for`].
+//!
+//! Symmetrically the gate enforces a **ceiling** on the derived
+//! `oracle_gap_hinted` figure (hinted list-scheduler cycles ÷ exact
+//! branch-and-bound oracle cycles on the seeded small regions): the
+//! hinted scheduler may not drift more than
+//! [`crate::ORACLE_GAP_CEILING`] above provably-optimal length, no
+//! matter what the baseline measured.
 
 use crate::Report;
 
@@ -62,6 +69,10 @@ pub enum DeltaKind {
     /// floor.  For gauge deltas the `*_ns_per_op` fields carry the floor
     /// and the measured value instead of timings.
     BelowFloor,
+    /// A derived gauge (e.g. `oracle_gap_hinted`) is above its allowed
+    /// ceiling.  As with [`DeltaKind::BelowFloor`], the `*_ns_per_op`
+    /// fields carry the ceiling and the measured value.
+    AboveCeiling,
 }
 
 /// The gate's verdict over a whole report.
@@ -93,13 +104,16 @@ impl CompareOutcome {
 /// tolerance (0.25 = fail beyond 25% slower per work unit) and fails
 /// the run when its `batch_scaling` figure is below
 /// `batch_scaling_floor` (pass [`crate::batch_scaling_floor`] for the
-/// current host's bound).  The floor check is skipped when the engine
-/// benches were filtered out of the run (`batch_scaling == 0`).
+/// current host's bound) or its `oracle_gap_hinted` figure is above
+/// `oracle_gap_ceiling` (pass [`crate::ORACLE_GAP_CEILING`]).  Each
+/// gauge check is skipped when its benches were filtered out of the run
+/// (the figure reads 0).
 pub fn compare(
     current: &Report,
     baseline: &Report,
     max_regression: f64,
     batch_scaling_floor: f64,
+    oracle_gap_ceiling: f64,
 ) -> CompareOutcome {
     let mut deltas = Vec::new();
     for base in &baseline.benches {
@@ -161,6 +175,19 @@ pub fn compare(
             },
         });
     }
+    if current.oracle_gap_hinted > 0.0 && oracle_gap_ceiling > 0.0 {
+        deltas.push(Delta {
+            name: "oracle_gap_hinted (ceiling)".to_string(),
+            baseline_ns_per_op: oracle_gap_ceiling,
+            current_ns_per_op: current.oracle_gap_hinted,
+            ratio: current.oracle_gap_hinted / oracle_gap_ceiling - 1.0,
+            kind: if current.oracle_gap_hinted > oracle_gap_ceiling {
+                DeltaKind::AboveCeiling
+            } else {
+                DeltaKind::Ok
+            },
+        });
+    }
     CompareOutcome {
         deltas,
         max_regression,
@@ -174,7 +201,7 @@ mod tests {
 
     fn report(benches: &[(&str, u64, u128)]) -> Report {
         Report {
-            schema: 2,
+            schema: 3,
             seed: 1,
             benches: benches
                 .iter()
@@ -189,13 +216,14 @@ mod tests {
                 .collect(),
             checker_speedup: 0.0,
             batch_scaling: 0.0,
+            oracle_gap_hinted: 0.0,
         }
     }
 
     #[test]
     fn identical_reports_pass() {
         let r = report(&[("a", 100, 1000), ("b", 5, 700)]);
-        let outcome = compare(&r, &r, 0.25, 0.0);
+        let outcome = compare(&r, &r, 0.25, 0.0, 0.0);
         assert!(outcome.passed());
         assert!(outcome.deltas.iter().all(|d| d.kind == DeltaKind::Ok));
     }
@@ -205,8 +233,8 @@ mod tests {
         let base = report(&[("a", 100, 1000)]);
         let slower_ok = report(&[("a", 100, 1200)]);
         let slower_bad = report(&[("a", 100, 1300)]);
-        assert!(compare(&slower_ok, &base, 0.25, 0.0).passed());
-        let outcome = compare(&slower_bad, &base, 0.25, 0.0);
+        assert!(compare(&slower_ok, &base, 0.25, 0.0, 0.0).passed());
+        let outcome = compare(&slower_bad, &base, 0.25, 0.0, 0.0);
         assert!(!outcome.passed());
         assert_eq!(
             outcome.failures().next().unwrap().kind,
@@ -218,14 +246,14 @@ mod tests {
     fn speedups_always_pass() {
         let base = report(&[("a", 100, 1000)]);
         let faster = report(&[("a", 100, 10)]);
-        assert!(compare(&faster, &base, 0.0, 0.0).passed());
+        assert!(compare(&faster, &base, 0.0, 0.0, 0.0).passed());
     }
 
     #[test]
     fn op_count_drift_fails_even_when_faster() {
         let base = report(&[("a", 100, 1000)]);
         let drifted = report(&[("a", 99, 10)]);
-        let outcome = compare(&drifted, &base, 0.25, 0.0);
+        let outcome = compare(&drifted, &base, 0.25, 0.0, 0.0);
         assert!(!outcome.passed());
         assert_eq!(
             outcome.failures().next().unwrap().kind,
@@ -237,7 +265,7 @@ mod tests {
     fn missing_bench_fails_new_bench_passes() {
         let base = report(&[("a", 100, 1000)]);
         let renamed = report(&[("b", 100, 1000)]);
-        let outcome = compare(&renamed, &base, 0.25, 0.0);
+        let outcome = compare(&renamed, &base, 0.25, 0.0, 0.0);
         assert!(!outcome.passed());
         let kinds: Vec<DeltaKind> = outcome.deltas.iter().map(|d| d.kind).collect();
         assert_eq!(kinds, vec![DeltaKind::Missing, DeltaKind::New]);
@@ -248,14 +276,38 @@ mod tests {
         let base = report(&[("a", 100, 1000)]);
         let mut now = report(&[("a", 100, 1000)]);
         now.batch_scaling = 0.7;
-        let outcome = compare(&now, &base, 0.25, 0.9);
+        let outcome = compare(&now, &base, 0.25, 0.9, 0.0);
         assert!(!outcome.passed());
         assert_eq!(
             outcome.failures().next().unwrap().kind,
             DeltaKind::BelowFloor
         );
         now.batch_scaling = 3.4;
-        assert!(compare(&now, &base, 0.25, 3.0).passed());
+        assert!(compare(&now, &base, 0.25, 3.0, 0.0).passed());
+    }
+
+    #[test]
+    fn oracle_gap_above_ceiling_fails_below_passes() {
+        let base = report(&[("a", 100, 1000)]);
+        let mut now = report(&[("a", 100, 1000)]);
+        now.oracle_gap_hinted = 1.3;
+        let outcome = compare(&now, &base, 0.25, 0.0, crate::ORACLE_GAP_CEILING);
+        assert!(!outcome.passed());
+        assert_eq!(
+            outcome.failures().next().unwrap().kind,
+            DeltaKind::AboveCeiling
+        );
+        now.oracle_gap_hinted = 1.05;
+        assert!(compare(&now, &base, 0.25, 0.0, crate::ORACLE_GAP_CEILING).passed());
+    }
+
+    #[test]
+    fn ceiling_is_skipped_when_oracle_benches_were_filtered_out() {
+        // oracle_gap_hinted stays 0 when the oracle family did not run;
+        // a filtered run must not trip the ceiling.
+        let base = report(&[("a", 100, 1000)]);
+        let now = report(&[("a", 100, 1000)]);
+        assert!(compare(&now, &base, 0.25, 0.0, crate::ORACLE_GAP_CEILING).passed());
     }
 
     #[test]
@@ -264,7 +316,7 @@ mod tests {
         // filtered run must not trip the floor.
         let base = report(&[("a", 100, 1000)]);
         let now = report(&[("a", 100, 1000)]);
-        assert!(compare(&now, &base, 0.25, 3.0).passed());
+        assert!(compare(&now, &base, 0.25, 3.0, 0.0).passed());
     }
 
     #[test]
@@ -281,6 +333,6 @@ mod tests {
         let base = report(&[("a", 100, 1000)]);
         let mut scaled = report(&[("a", 100, 10_000)]);
         scaled.benches[0].iters = 100;
-        assert!(compare(&scaled, &base, 0.01, 0.0).passed());
+        assert!(compare(&scaled, &base, 0.01, 0.0, 0.0).passed());
     }
 }

@@ -6,7 +6,7 @@
 use crate::{Report, Sample};
 
 /// Serializes a report (stable key order, one bench per line — the
-/// committed `BENCH_6.json` should diff cleanly).
+/// committed `BENCH_7.json` should diff cleanly).
 pub fn to_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -19,6 +19,10 @@ pub fn to_json(report: &Report) -> String {
     out.push_str(&format!(
         "  \"batch_scaling\": {:.3},\n",
         report.batch_scaling
+    ));
+    out.push_str(&format!(
+        "  \"oracle_gap_hinted\": {:.3},\n",
+        report.oracle_gap_hinted
     ));
     out.push_str("  \"benches\": [\n");
     for (i, s) in report.benches.iter().enumerate() {
@@ -52,15 +56,17 @@ impl Report {
         let value = Parser::new(text).parse()?;
         let top = value.as_object("top level")?;
         let schema = get(top, "schema")?.as_u64("schema")? as u32;
-        // Schema 2 added `batch_scaling` and the w8/w16 engine benches;
-        // schema-1 baselines predate the scaling gate and must be
+        // Schema 3 added `oracle_gap_hinted` and the `oracle/bnb/*`
+        // family (schema 2 added `batch_scaling` and the w8/w16 engine
+        // benches); older baselines predate those gates and must be
         // regenerated, not silently compared against.
-        if schema != 2 {
+        if schema != 3 {
             return Err(format!("unsupported report schema {schema}"));
         }
         let seed = get(top, "seed")?.as_u64("seed")?;
         let checker_speedup = get(top, "checker_speedup")?.as_f64("checker_speedup")?;
         let batch_scaling = get(top, "batch_scaling")?.as_f64("batch_scaling")?;
+        let oracle_gap_hinted = get(top, "oracle_gap_hinted")?.as_f64("oracle_gap_hinted")?;
         let mut benches = Vec::new();
         for (i, entry) in get(top, "benches")?.as_array("benches")?.iter().enumerate() {
             let obj = entry.as_object(&format!("benches[{i}]"))?;
@@ -79,6 +85,7 @@ impl Report {
             benches,
             checker_speedup,
             batch_scaling,
+            oracle_gap_hinted,
         })
     }
 }
@@ -320,7 +327,7 @@ mod tests {
 
     fn report() -> Report {
         Report {
-            schema: 2,
+            schema: 3,
             seed: 42,
             benches: vec![
                 sample("rumap/word_ops", 8192, 1_000_000),
@@ -328,6 +335,7 @@ mod tests {
             ],
             checker_speedup: 2.5,
             batch_scaling: 3.2,
+            oracle_gap_hinted: 1.04,
         }
     }
 
@@ -345,8 +353,8 @@ mod tests {
 
     #[test]
     fn parse_rejects_wrong_schema() {
-        for old in ["\"schema\": 1", "\"schema\": 9"] {
-            let text = report().to_json().replace("\"schema\": 2", old);
+        for old in ["\"schema\": 2", "\"schema\": 9"] {
+            let text = report().to_json().replace("\"schema\": 3", old);
             assert!(Report::from_json(&text).unwrap_err().contains("schema"));
         }
     }

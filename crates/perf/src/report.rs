@@ -42,6 +42,10 @@ pub fn render_table(report: &Report) -> String {
         "batch scaling (engine w1 ÷ w4): {:.2}x\n",
         report.batch_scaling
     ));
+    out.push_str(&format!(
+        "hinted optimality gap (hinted ÷ oracle cycles): {:.3}\n",
+        report.oracle_gap_hinted
+    ));
     out
 }
 
@@ -69,6 +73,7 @@ pub fn render_deltas(outcome: &CompareOutcome) -> String {
             DeltaKind::Missing => "MISSING",
             DeltaKind::New => "new",
             DeltaKind::BelowFloor => "BELOW FLOOR",
+            DeltaKind::AboveCeiling => "ABOVE CEILING",
         };
         out.push_str(&format!(
             "{:<name_width$}  {:>12.2}  {:>12.2}  {:>+7.1}%  {status}\n",
@@ -105,7 +110,7 @@ mod tests {
     #[test]
     fn table_lists_every_bench_and_the_speedup() {
         let report = Report {
-            schema: 2,
+            schema: 3,
             seed: 7,
             benches: vec![Sample {
                 name: "rumap/word_ops".into(),
@@ -117,18 +122,20 @@ mod tests {
             }],
             checker_speedup: 1.75,
             batch_scaling: 3.12,
+            oracle_gap_hinted: 1.042,
         };
         let table = render_table(&report);
         assert!(table.contains("rumap/word_ops"));
         assert!(table.contains("12.35us"));
         assert!(table.contains("1.75x"));
         assert!(table.contains("3.12x"));
+        assert!(table.contains("1.042"));
     }
 
     #[test]
     fn delta_table_marks_failures() {
         let mk = |ns: u128| Report {
-            schema: 2,
+            schema: 3,
             seed: 7,
             benches: vec![Sample {
                 name: "a".into(),
@@ -140,8 +147,9 @@ mod tests {
             }],
             checker_speedup: 0.0,
             batch_scaling: 0.0,
+            oracle_gap_hinted: 0.0,
         };
-        let outcome = compare(&mk(2000), &mk(1000), 0.25, 0.0);
+        let outcome = compare(&mk(2000), &mk(1000), 0.25, 0.0, 0.0);
         let rendered = render_deltas(&outcome);
         assert!(rendered.contains("REGRESSED"));
         assert!(rendered.contains("+100.0%"));

@@ -14,6 +14,7 @@ use mdes_core::{
 };
 use mdes_engine::Engine;
 use mdes_machines::Machine;
+use mdes_oracle::{differential_gap, GapReport, OracleScheduler};
 use mdes_sched::ListScheduler;
 use mdes_workload::{generate_regions, Pcg32, RegionConfig};
 
@@ -56,6 +57,61 @@ pub(crate) fn run(config: &BenchConfig, out: &mut Vec<Sample>) {
     list_scheduling(config, out);
     engine_batches(config, out);
     serve_roundtrip(config, out);
+}
+
+/// The `oracle/bnb/<machine>` family: the exact branch-and-bound
+/// scheduler running the full differential (oracle vs. unhinted and
+/// hinted list scheduling, with replay verification) over oracle-sized
+/// seeded regions on every bundled machine.  Work unit: one oracle
+/// schedule cycle plus one search node — both pure functions of the
+/// seed, so the count is byte-stable and any change to the search's
+/// pruning or the production schedulers' output shows up as count
+/// drift.  Returns the aggregate *hinted* optimality gap across the
+/// measured machines (the figure the gate's ceiling applies to), or 0
+/// when the family was filtered out of the run.
+///
+/// # Panics
+///
+/// Panics on any differential violation — an invalid oracle schedule or
+/// a production schedule beating the oracle is a correctness bug, not a
+/// performance result.
+pub(crate) fn oracle_differential(config: &BenchConfig, out: &mut Vec<Sample>) -> f64 {
+    // Per-region node budget for the bench oracle.  The conformance
+    // tests search with the full default budget; a *bench* must stay in
+    // the tens of milliseconds, and a budget-bailed region simply keeps
+    // its list-scheduler incumbent (still a sound upper bound), which
+    // can only pull the measured gap toward 1.
+    const ORACLE_BENCH_NODE_LIMIT: u64 = 200_000;
+    let mut total = GapReport::default();
+    let mut measured = false;
+    for (machine_name, spec) in bench_machines() {
+        let name = format!("oracle/bnb/{machine_name}");
+        if !config.matches(&name) {
+            continue;
+        }
+        let compiled = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        let blocks =
+            generate_regions(&spec, &RegionConfig::small(10).with_seed(config.seed)).blocks;
+        let oracle = OracleScheduler::new(&compiled).with_node_limit(ORACLE_BENCH_NODE_LIMIT);
+        out.push(measure(&name, config.iters(2), config.reps, || {
+            let mut stats = CheckStats::new();
+            let report = differential_gap(&compiled, &blocks, &oracle, &mut stats);
+            assert_eq!(
+                report.violations, 0,
+                "oracle differential violations on {machine_name}: {:?}",
+                report.violation_details
+            );
+            report.oracle_cycles + report.nodes
+        }));
+        let mut stats = CheckStats::new();
+        total.merge(&differential_gap(&compiled, &blocks, &oracle, &mut stats));
+        measured = true;
+    }
+    if measured {
+        total.hinted_gap()
+    } else {
+        0.0
+    }
 }
 
 /// `RuMap::is_free` / `reserve` / `release`: the word operations every

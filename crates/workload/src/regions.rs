@@ -52,6 +52,14 @@ impl RegionConfig {
         self.seed = seed;
         self
     }
+
+    /// Oracle-sized regions: mean 8 body ops, so a region never exceeds
+    /// 15 body operations plus one terminator — exactly the ≤ 16-op
+    /// ceiling the exact scheduler (`mdes-oracle`) searches to proven
+    /// optimality.
+    pub fn small(regions: usize) -> RegionConfig {
+        RegionConfig::new(regions).with_mean_ops(8)
+    }
 }
 
 /// Generates a region stream for an arbitrary spec: a uniform class mix

@@ -13,7 +13,11 @@
 //! * [`automata`] — the finite-state-automaton baseline;
 //! * [`telemetry`] — pipeline-wide timing spans, counters, and gauges;
 //! * [`engine`] — the concurrent batch-scheduling engine (shared LMDES,
-//!   per-worker scheduler state).
+//!   per-worker scheduler state);
+//! * [`oracle`] — the exact branch-and-bound scheduler used as a
+//!   differential oracle with optimality-gap tracking;
+//! * [`perf`] — the seed-deterministic benchmark harness and regression
+//!   gate.
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +28,8 @@ pub use mdes_guard as guard;
 pub use mdes_lang as lang;
 pub use mdes_machines as machines;
 pub use mdes_opt as opt;
+pub use mdes_oracle as oracle;
+pub use mdes_perf as perf;
 pub use mdes_sched as sched;
 pub use mdes_serve as serve;
 pub use mdes_telemetry as telemetry;
