@@ -8,9 +8,11 @@
 #                    daemon serving smoke (verified closed-loop client
 #                    with a hot reload and an injected-corrupt reload),
 #                    the exact-scheduler oracle smoke and fleet fuzz
-#                    (docs/oracle.md), the panic-free clippy gate, and
-#                    the perf regression gate against the committed
-#                    BENCH_7.json baseline
+#                    (docs/oracle.md), the static-analysis lint smoke
+#                    and defect-recall gate (docs/analysis.md), the
+#                    workspace clippy gate plus the panic-free
+#                    lang/opt gate, and the perf regression gate
+#                    against the committed BENCH_7.json baseline
 set -eux
 
 FULL=0
@@ -122,9 +124,42 @@ grep -q '"sched/oracle_violations":0' "$FLEET_METRICS"
 grep -q '"sched/oracle_guard_incidents":0' "$FLEET_METRICS"
 rm -f "$FLEET_METRICS"
 
-# Input-reachable front-end and optimizer code must stay panic-free: no
-# unwrap/expect outside #[cfg(test)] modules (test code is exempt
-# because only the lib targets are linted here).  See docs/robustness.md.
+# Static-analysis smoke: the bundled machines must stay free of fatal
+# diagnostics, with an exact diagnostic count — the analyzer's findings
+# on these descriptions are deterministic, so any drift means an
+# analysis changed its coverage (update this line and docs/analysis.md
+# deliberately, not accidentally).  The full report must also be
+# byte-identical run to run: tooling diffs it.
+LINT_A="$(mktemp)"
+LINT_B="$(mktemp)"
+./target/release/mdesc lint --machine all | tee "$LINT_A"
+grep -q '^lint: 6 machine(s), 79 diagnostic(s) (0 fatal, 66 warn, 13 info)$' "$LINT_A"
+./target/release/mdesc lint --machine all >"$LINT_B"
+cmp "$LINT_A" "$LINT_B"
+rm -f "$LINT_A" "$LINT_B"
+
+# Analyzer recall gate: a 16-machine fleet with known-bad structure
+# planted into every machine (one dominated option + one unsatisfiable
+# class each) must be reported at 100% recall, and the planted
+# unsatisfiable classes must gate the run with the validation exit
+# code (3) — the same code a fatally diagnosed `mdesc check` input gets.
+LINT_DEFECTS="$(mktemp)"
+set +e
+./target/release/mdesc lint --fleet 16 --seed 42 --defects >"$LINT_DEFECTS"
+LINT_STATUS=$?
+set -e
+test "$LINT_STATUS" -eq 3
+grep -q '^lint: recall 32/32 planted defect(s) reported$' "$LINT_DEFECTS"
+rm -f "$LINT_DEFECTS"
+
+# The whole workspace (every target, tests included) must be clean
+# under clippy at -D warnings.
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Input-reachable front-end and optimizer code must additionally stay
+# panic-free: no unwrap/expect outside #[cfg(test)] modules (test code
+# is exempt because only the lib targets are linted here).  See
+# docs/robustness.md.
 cargo clippy -p mdes-lang -p mdes-opt -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 

@@ -1,0 +1,392 @@
+//! Static triage of serialized LMDES images.
+//!
+//! [`mdes_core::lmdes::read`] rejects every malformed image, but it
+//! collapses *why* into four error variants — and a serving daemon's
+//! operators (and `guard`'s rollback tests) want the corruption *class*:
+//! a wrong file, an interrupted write, a tampered length field and a
+//! concatenation accident all demand different responses.  This walker
+//! re-traverses the byte layout documented in [`mdes_core::lmdes`] and
+//! classifies the first defect into a stable `MD10x` code:
+//!
+//! | code  | defect                                           | typical cause (`ImageFault`) |
+//! |-------|--------------------------------------------------|------------------------------|
+//! | MD101 | magic/version prefix wrong                       | `smash-magic`                |
+//! | MD102 | image shorter than the fixed 19-byte header      | `truncate-header`            |
+//! | MD103 | structure runs past the end of the image         | `truncate-body`              |
+//! | MD104 | absurd element count (> 2^24) in a length field  | `huge-count`                 |
+//! | MD105 | bytes remain after a complete structure          | `garbage-tail`               |
+//! | MD106 | field value outside its domain / dangling index  | bit rot, tampering           |
+//!
+//! The classification is deterministic: equal bytes produce equal
+//! diagnostics.  A clean walk is additionally cross-checked against the
+//! real decoder, so this triage can never *accept* an image the loader
+//! would reject.
+
+use mdes_core::lmdes;
+
+use crate::{Analysis, Diagnostic, Severity};
+
+/// Fixed bytes before the first section: magic (6) + encoding (1) +
+/// resource count (4) + min/max check time (8).
+const HEADER_LEN: usize = 19;
+
+/// Element counts above this are treated as tampered length fields
+/// (MD104) rather than truncation: no realistic description holds
+/// sixteen million items, but a bit-flipped or spliced count easily
+/// does.
+const HUGE_COUNT: u64 = 1 << 24;
+
+/// Statically triages a serialized LMDES image.
+///
+/// Returns at most one diagnostic — the first defect encountered in
+/// layout order — because everything after a structural fault is
+/// unreliable.  All image diagnostics are fatal: there is no such thing
+/// as a slightly corrupt binary image.
+pub fn analyze_image(bytes: &[u8]) -> Analysis {
+    let mut walker = Walker {
+        bytes,
+        pos: 0,
+        items: 0,
+    };
+    let mut diagnostics = Vec::new();
+    if let Err(diag) = walker.walk() {
+        diagnostics.push(diag);
+    } else if let Err(err) = lmdes::read(bytes) {
+        // The walk is a faithful re-traversal, so this arm should be
+        // unreachable; keep it so triage can never accept an image the
+        // loader rejects.
+        diagnostics.push(fatal(
+            "MD106",
+            format!("image rejected by the LMDES decoder: {err}"),
+        ));
+    }
+    Analysis {
+        diagnostics,
+        items_analyzed: walker.items,
+    }
+}
+
+fn fatal(code: &'static str, message: String) -> Diagnostic {
+    Diagnostic::new(code, Severity::Fatal, message)
+}
+
+struct Walker<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Structural items (options, trees, classes, bypasses) successfully
+    /// traversed before any defect.
+    items: usize,
+}
+
+impl Walker<'_> {
+    fn walk(&mut self) -> Result<(), Diagnostic> {
+        self.magic()?;
+        let encoding = self.u8("encoding")?;
+        if encoding > 1 {
+            return Err(fatal(
+                "MD106",
+                format!(
+                    "encoding byte {encoding} is outside its domain (0 = scalar, 1 = bit-vector)"
+                ),
+            ));
+        }
+        let num_resources = self.u32("num_resources")?;
+        if num_resources as usize > mdes_core::resource::MAX_RESOURCES {
+            return Err(fatal(
+                "MD106",
+                format!(
+                    "resource count {num_resources} exceeds the pool limit {}",
+                    mdes_core::resource::MAX_RESOURCES
+                ),
+            ));
+        }
+        self.i32("min_check_time")?;
+        self.i32("max_check_time")?;
+
+        let num_options = self.count("option count", 4)?;
+        for _ in 0..num_options {
+            let checks = self.count("check count", 12)?;
+            self.skip(checks * 12, "reservation checks")?;
+            self.items += 1;
+        }
+
+        let num_trees = self.count("or-tree count", 4)?;
+        for _ in 0..num_trees {
+            let count = self.count("or-tree option count", 4)?;
+            for _ in 0..count {
+                let idx = self.u32("option index")?;
+                if idx as usize >= num_options {
+                    return Err(fatal(
+                        "MD106",
+                        format!("or-tree references option #{idx} of a {num_options}-option pool"),
+                    ));
+                }
+            }
+            self.items += 1;
+        }
+
+        let num_classes = self.count("class count", 26)?;
+        for _ in 0..num_classes {
+            let name_len = self.count("class name length", 1)?;
+            let name = self.take(name_len, "class name")?;
+            if std::str::from_utf8(name).is_err() {
+                return Err(fatal("MD106", "class name is not UTF-8".to_string()));
+            }
+            let kind = self.u8("constraint kind")?;
+            if kind > 1 {
+                return Err(fatal(
+                    "MD106",
+                    format!("constraint kind {kind} is outside its domain (0 = OR, 1 = AND/OR)"),
+                ));
+            }
+            self.u32("and_or_index")?;
+            self.i32("dest latency")?;
+            self.i32("src latency")?;
+            self.i32("mem latency")?;
+            let flags = self.u8("flags")?;
+            if flags & !0b1111 != 0 {
+                return Err(fatal(
+                    "MD106",
+                    format!("flags byte {flags:#04x} sets bits outside its domain"),
+                ));
+            }
+            let count = self.count("class tree count", 4)?;
+            for _ in 0..count {
+                let idx = self.u32("tree index")?;
+                if idx as usize >= num_trees {
+                    return Err(fatal(
+                        "MD106",
+                        format!("class references or-tree #{idx} of a {num_trees}-tree pool"),
+                    ));
+                }
+            }
+            if kind == 0 && count != 1 {
+                return Err(fatal(
+                    "MD106",
+                    format!("OR-constraint class lists {count} trees (must be exactly 1)"),
+                ));
+            }
+            self.items += 1;
+        }
+
+        let num_bypasses = self.count("bypass count", 12)?;
+        for _ in 0..num_bypasses {
+            for field in ["bypass producer", "bypass consumer"] {
+                let idx = self.u32(field)?;
+                if idx as usize >= num_classes {
+                    return Err(fatal(
+                        "MD106",
+                        format!("{field} references class #{idx} of a {num_classes}-class pool"),
+                    ));
+                }
+            }
+            self.i32("bypass latency")?;
+            self.items += 1;
+        }
+
+        if self.pos != self.bytes.len() {
+            return Err(fatal(
+                "MD105",
+                format!(
+                    "{} byte(s) of trailing garbage after a complete {}-byte structure",
+                    self.bytes.len() - self.pos,
+                    self.pos
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Distinguishes a wrong file (MD101) from an interrupted write
+    /// (MD102): a short image whose bytes still agree with the magic
+    /// prefix was cut mid-header, while any disagreeing byte means this
+    /// was never (this version of) an LMDES image.
+    fn magic(&mut self) -> Result<(), Diagnostic> {
+        let magic = lmdes::MAGIC;
+        let have = self.bytes.len().min(magic.len());
+        if self.bytes[..have] != magic[..have] {
+            return Err(fatal(
+                "MD101",
+                "magic/version prefix does not match LMDES format 2 (wrong file or format version)"
+                    .to_string(),
+            ));
+        }
+        if self.bytes.len() < HEADER_LEN {
+            return Err(fatal(
+                "MD102",
+                format!(
+                    "image is {} byte(s) but the fixed LMDES header is {HEADER_LEN} (interrupted write)",
+                    self.bytes.len()
+                ),
+            ));
+        }
+        self.pos = magic.len();
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&[u8], Diagnostic> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(fatal(
+                "MD103",
+                format!(
+                    "image ends inside {what}: need {n} byte(s) at offset {}, have {}",
+                    self.pos,
+                    self.bytes.len() - self.pos
+                ),
+            )),
+        }
+    }
+
+    fn skip(&mut self, n: usize, what: &str) -> Result<(), Diagnostic> {
+        self.take(n, what).map(|_| ())
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, Diagnostic> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, Diagnostic> {
+        let bytes = self.take(4, what)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    fn i32(&mut self, what: &str) -> Result<i32, Diagnostic> {
+        let bytes = self.take(4, what)?;
+        Ok(i32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    /// An element count: absurd values are classified as tampering
+    /// (MD104) *before* the remaining-bytes check, so `u32::MAX` reads
+    /// as a spliced length rather than mere truncation.
+    fn count(&mut self, what: &str, min_element_bytes: usize) -> Result<usize, Diagnostic> {
+        let offset = self.pos;
+        let value = self.u32(what)? as u64;
+        if value > HUGE_COUNT {
+            return Err(fatal(
+                "MD104",
+                format!(
+                    "{what} at offset {offset} claims {value} element(s) — a tampered or \
+                     bit-rotted length field"
+                ),
+            ));
+        }
+        let need = value as usize * min_element_bytes.max(1);
+        if need > self.bytes.len() - self.pos {
+            return Err(fatal(
+                "MD103",
+                format!(
+                    "{what} at offset {offset} claims {value} element(s) needing ≥{need} byte(s), \
+                     but only {} remain (truncated image)",
+                    self.bytes.len() - self.pos
+                ),
+            ));
+        }
+        Ok(value as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::compile::{CompiledMdes, UsageEncoding};
+    use mdes_core::spec::{Constraint, Latency, MdesSpec, OpFlags, OrTree, TableOption};
+    use mdes_core::usage::ResourceUsage;
+
+    fn sample_image() -> Vec<u8> {
+        let mut spec = MdesSpec::new();
+        let m = spec.resources_mut().add("M").unwrap();
+        let n = spec.resources_mut().add("N").unwrap();
+        let o1 = spec.add_option(TableOption::new(vec![
+            ResourceUsage::new(m, 0),
+            ResourceUsage::new(n, 1),
+        ]));
+        let o2 = spec.add_option(TableOption::new(vec![ResourceUsage::new(n, 0)]));
+        let tree = spec.add_or_tree(OrTree::new(vec![o1, o2]));
+        let a = spec
+            .add_class(
+                "alu",
+                Constraint::Or(tree),
+                Latency::new(2),
+                OpFlags::none(),
+            )
+            .unwrap();
+        let b = spec
+            .add_class(
+                "mem",
+                Constraint::Or(tree),
+                Latency::new(3),
+                OpFlags::load(),
+            )
+            .unwrap();
+        spec.add_bypass(a, b, 1).unwrap();
+        let mdes = CompiledMdes::compile(&spec, UsageEncoding::BitVector).unwrap();
+        lmdes::write(&mdes)
+    }
+
+    #[test]
+    fn clean_image_has_no_diagnostics() {
+        let analysis = analyze_image(&sample_image());
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "{:?}",
+            analysis.diagnostics
+        );
+        assert!(analysis.items_analyzed >= 6); // 2 options + 1 tree + 2 classes + 1 bypass
+    }
+
+    #[test]
+    fn triage_never_accepts_what_the_decoder_rejects() {
+        // Splice a large value over every byte offset; wherever the
+        // decoder errors, triage must report a fatal diagnostic too.
+        let bytes = sample_image();
+        for pos in 0..bytes.len().saturating_sub(4) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos..pos + 4].copy_from_slice(&0xFFFF_FF00u32.to_le_bytes());
+            let decoder = lmdes::read(&corrupt);
+            let triage = analyze_image(&corrupt);
+            if decoder.is_err() {
+                assert!(
+                    triage.has_fatal(),
+                    "offset {pos}: decoder rejected ({decoder:?}) but triage passed"
+                );
+            } else {
+                assert!(
+                    !triage.has_fatal(),
+                    "offset {pos}: decoder accepted but triage reported {:?}",
+                    triage.diagnostics
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_classified() {
+        let bytes = sample_image();
+        for len in 0..bytes.len() {
+            let analysis = analyze_image(&bytes[..len]);
+            assert_eq!(analysis.diagnostics.len(), 1, "prefix {len}");
+            let code = analysis.diagnostics[0].code;
+            if len < HEADER_LEN {
+                assert_eq!(code, "MD102", "prefix {len}");
+            } else {
+                assert_eq!(code, "MD103", "prefix {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let bytes = sample_image();
+        let mut corrupt = bytes.clone();
+        corrupt[3] ^= 0x5A;
+        let a = format!("{:?}", analyze_image(&corrupt).diagnostics);
+        let b = format!("{:?}", analyze_image(&corrupt).diagnostics);
+        assert_eq!(a, b);
+    }
+}

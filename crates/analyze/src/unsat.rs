@@ -1,0 +1,254 @@
+//! Unsatisfiable opcode classes: operations that can never schedule.
+//!
+//! The checkers ([`mdes_core::compile::Checker`]) reserve a class's
+//! OR-trees progressively: each tree's chosen option is written into the
+//! RU map before the next tree is probed, so two branches of an AND
+//! that demand the same `(resource, time)` cell conflict *with each
+//! other* even into an empty map.  If **every** combination of options
+//! (one per OR-tree) has such an internal collision, no issue time and
+//! no map state can ever admit the class — the operation is dead on
+//! arrival and every schedule containing it must stall forever.
+//!
+//! The proof is an exhaustive search over option combinations with
+//! cell-overlap pruning.  It is budgeted: a class whose combination
+//! space cannot be exhausted within [`COMBO_BUDGET`] /
+//! [`VISIT_BUDGET`] gets *no* diagnostic (conservative — MD001 is only
+//! emitted on a complete proof, since it is fatal and gates guard and
+//! serve reloads).
+
+use std::collections::BTreeSet;
+
+use mdes_core::spec::{Constraint, MdesSpec};
+use mdes_core::usage::ResourceUsage;
+
+use crate::{Diagnostic, Severity, Target};
+
+/// Maximum number of complete option combinations to enumerate per
+/// class before giving up on a proof.
+const COMBO_BUDGET: usize = 4096;
+/// Maximum number of DFS node visits per class (prefix states), bounding
+/// work even when pruning keeps the combination count low.
+const VISIT_BUDGET: usize = 65536;
+
+/// Emits an MD001 fatal diagnostic for every class proved unable to
+/// schedule under any circumstances.
+pub(crate) fn unsatisfiable_classes(spec: &MdesSpec, diags: &mut Vec<Diagnostic>) {
+    for class_id in spec.class_ids() {
+        let class = spec.class(class_id);
+        let trees: Vec<usize> = match class.constraint {
+            Constraint::Or(tree) => vec![tree.index()],
+            Constraint::AndOr(and_tree) => spec
+                .and_or_tree(and_tree)
+                .or_trees
+                .iter()
+                .map(|t| t.index())
+                .collect(),
+        };
+        // Canonical usage cells per option, fetched lazily per tree.
+        let option_cells: Vec<Vec<Vec<ResourceUsage>>> = trees
+            .iter()
+            .map(|&t| {
+                spec.or_tree(mdes_core::spec::OrTreeId::from_index(t))
+                    .options
+                    .iter()
+                    .map(|&o| spec.option(o).canonical_usages())
+                    .collect()
+            })
+            .collect();
+
+        let mut search = Search {
+            combos: 0,
+            visits: 0,
+            exhausted: false,
+        };
+        let mut used: BTreeSet<(usize, i32)> = BTreeSet::new();
+        let satisfiable = search.dfs(&option_cells, 0, &mut used);
+        if !satisfiable && !search.exhausted {
+            let reason = if option_cells.iter().any(|t| t.is_empty()) {
+                "an AND branch offers no options".to_string()
+            } else {
+                format!(
+                    "every combination of its {} OR-tree option choices collides on a shared \
+                     (resource, cycle) cell ({} combinations refuted)",
+                    trees.len(),
+                    search.combos
+                )
+            };
+            diags.push(
+                Diagnostic::new(
+                    "MD001",
+                    Severity::Fatal,
+                    format!("class {} can never be scheduled: {reason}", class.name),
+                )
+                .with_item(class.name.clone())
+                .with_target(Target::Class(class_id.index())),
+            );
+        }
+    }
+}
+
+struct Search {
+    combos: usize,
+    visits: usize,
+    exhausted: bool,
+}
+
+impl Search {
+    /// Returns true as soon as one internally-consistent combination is
+    /// found.  Returns false when the space is refuted — but the result
+    /// is only a *proof* when `exhausted` stayed false.
+    fn dfs(
+        &mut self,
+        trees: &[Vec<Vec<ResourceUsage>>],
+        depth: usize,
+        used: &mut BTreeSet<(usize, i32)>,
+    ) -> bool {
+        self.visits += 1;
+        if self.visits > VISIT_BUDGET {
+            self.exhausted = true;
+            return true; // abandon: pretend satisfiable so no diagnostic fires
+        }
+        if depth == trees.len() {
+            self.combos += 1;
+            if self.combos > COMBO_BUDGET {
+                self.exhausted = true;
+            }
+            return true; // a full combination with no collisions
+        }
+        'options: for cells in &trees[depth] {
+            let mut added: Vec<(usize, i32)> = Vec::with_capacity(cells.len());
+            for u in cells {
+                let cell = (u.resource.index(), u.time);
+                if !used.insert(cell) {
+                    // collision with an earlier branch (or this option's
+                    // own duplicate after canonicalization — impossible,
+                    // canonical usages are deduplicated)
+                    for cell in added.drain(..) {
+                        used.remove(&cell);
+                    }
+                    self.combos += 1;
+                    if self.combos > COMBO_BUDGET {
+                        self.exhausted = true;
+                        return true;
+                    }
+                    continue 'options;
+                }
+                added.push(cell);
+            }
+            let ok = self.dfs(trees, depth + 1, used);
+            for cell in added {
+                used.remove(&cell);
+            }
+            if ok {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_core::spec::{AndOrTree, Constraint, Latency, OpFlags, OrTree, TableOption};
+    use mdes_core::ResourceId;
+
+    fn u(r: usize, t: i32) -> ResourceUsage {
+        ResourceUsage::new(ResourceId::from_index(r), t)
+    }
+
+    /// Two AND branches that both need ALU@0: provably unschedulable.
+    #[test]
+    fn colliding_and_branches_are_fatal() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("ALU").unwrap();
+        let a = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let b = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let ta = spec.add_or_tree(OrTree::named("A", vec![a]));
+        let tb = spec.add_or_tree(OrTree::named("B", vec![b]));
+        let and = spec.add_and_or_tree(AndOrTree::named("Both", vec![ta, tb]));
+        spec.add_class(
+            "stuck",
+            Constraint::AndOr(and),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
+        spec.validate().unwrap();
+
+        let mut diags = Vec::new();
+        unsatisfiable_classes(&spec, &mut diags);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].code, "MD001");
+        assert_eq!(diags[0].severity, Severity::Fatal);
+        assert_eq!(diags[0].target, Target::Class(0));
+    }
+
+    /// One escape hatch (a second option on a different cycle) makes the
+    /// class satisfiable — no diagnostic.
+    #[test]
+    fn a_single_escape_option_clears_the_class() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("ALU").unwrap();
+        let a = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let b0 = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let b1 = spec.add_option(TableOption::new(vec![u(0, 1)]));
+        let ta = spec.add_or_tree(OrTree::named("A", vec![a]));
+        let tb = spec.add_or_tree(OrTree::named("B", vec![b0, b1]));
+        let and = spec.add_and_or_tree(AndOrTree::named("Both", vec![ta, tb]));
+        spec.add_class(
+            "ok",
+            Constraint::AndOr(and),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
+        let mut diags = Vec::new();
+        unsatisfiable_classes(&spec, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    /// The budget guard: a wide satisfiable class finishes (first combo
+    /// wins immediately), and even a wide *unsatisfiable* space within
+    /// budget is still proved.
+    #[test]
+    fn wide_unsat_space_is_still_proved_within_budget() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("X").unwrap();
+        // 3 AND branches, each with 4 options, all pinned to X@0:
+        // 4^3 = 64 combinations, all refuted at depth 1 by pruning.
+        let opts: Vec<_> = (0..4)
+            .map(|_| spec.add_option(TableOption::new(vec![u(0, 0)])))
+            .collect();
+        let trees: Vec<_> = (0..3)
+            .map(|i| spec.add_or_tree(OrTree::named(format!("T{i}"), opts.clone())))
+            .collect();
+        let and = spec.add_and_or_tree(AndOrTree::named("Wide", trees));
+        spec.add_class(
+            "wide",
+            Constraint::AndOr(and),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
+        let mut diags = Vec::new();
+        unsatisfiable_classes(&spec, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "MD001");
+    }
+
+    /// Plain OR classes are trivially satisfiable whenever any option
+    /// exists.
+    #[test]
+    fn plain_or_classes_never_trip_md001() {
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("R").unwrap();
+        let o = spec.add_option(TableOption::new(vec![u(0, 0), u(0, 0)]));
+        let t = spec.add_or_tree(OrTree::new(vec![o]));
+        spec.add_class("op", Constraint::Or(t), Latency::new(1), OpFlags::none())
+            .unwrap();
+        let mut diags = Vec::new();
+        unsatisfiable_classes(&spec, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

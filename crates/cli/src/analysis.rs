@@ -1,125 +1,17 @@
-//! `mdesc lint` and `mdesc diff` — maintenance tooling for evolving
-//! machine descriptions.
+//! `mdesc diff` — structural diffing for evolving machine descriptions.
 //!
 //! Section 5 of the paper is a story about evolution: "as the machine
 //! descriptions evolve, the amount of redundant and unused information in
 //! the MDES tends to grow, because … it is typically easier to just make
 //! a local copy of the information to be changed than to do the careful
 //! analysis required to safely modify or delete existing information."
-//! The linter performs that careful analysis (without modifying
-//! anything); the differ shows what actually changed between two
+//! The careful analysis itself lives in the `mdes-analyze` crate (driven
+//! by `mdesc lint`); this module shows what actually changed between two
 //! revisions of a description.
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use mdes_core::spec::MdesSpec;
-
-/// One linter finding.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Finding {
-    /// Finding category (stable identifier, e.g. `duplicate-option`).
-    pub kind: &'static str,
-    /// Human-readable description.
-    pub message: String,
-}
-
-/// Analyzes a description for the Section-5 smells without changing it.
-pub fn lint(spec: &MdesSpec) -> Vec<Finding> {
-    let mut findings = Vec::new();
-
-    // Duplicate (structurally identical) options.
-    let mut seen_options: BTreeMap<Vec<(usize, i32)>, usize> = BTreeMap::new();
-    for id in spec.option_ids() {
-        let shape: Vec<(usize, i32)> = spec
-            .option(id)
-            .usages
-            .iter()
-            .map(|u| (u.resource.index(), u.time))
-            .collect();
-        match seen_options.get(&shape) {
-            Some(&first) => findings.push(Finding {
-                kind: "duplicate-option",
-                message: format!(
-                    "option #{} duplicates option #{first} (redundancy elimination would merge them)",
-                    id.index()
-                ),
-            }),
-            None => {
-                seen_options.insert(shape, id.index());
-            }
-        }
-    }
-
-    // Dominated options within each OR-tree.
-    for tree_id in spec.or_tree_ids() {
-        let tree = spec.or_tree(tree_id);
-        let name = tree
-            .name
-            .clone()
-            .unwrap_or_else(|| format!("#{}", tree_id.index()));
-        for (i, &candidate) in tree.options.iter().enumerate() {
-            let dominated = tree.options[..i]
-                .iter()
-                .any(|&winner| spec.option(candidate).covers(spec.option(winner)));
-            if dominated {
-                findings.push(Finding {
-                    kind: "dominated-option",
-                    message: format!(
-                        "or_tree {name}: option {} can never be selected (a higher-priority \
-                         option uses a subset of its resources)",
-                        i + 1
-                    ),
-                });
-            }
-        }
-    }
-
-    // Unused (unreachable) items.
-    let mut probe = spec.clone();
-    let sweep = probe.sweep_unreferenced();
-    if sweep.total() > 0 {
-        findings.push(Finding {
-            kind: "unused-items",
-            message: format!(
-                "{} option(s), {} OR-tree(s) and {} AND/OR-tree(s) are not reachable from any class",
-                sweep.options_removed, sweep.or_trees_removed, sweep.and_or_trees_removed
-            ),
-        });
-    }
-
-    // Classes without opcodes (unreachable from the compiler's vocabulary).
-    for id in spec.class_ids() {
-        if spec.opcodes_of_class(id).is_empty() {
-            findings.push(Finding {
-                kind: "class-without-opcodes",
-                message: format!(
-                    "class `{}` has no opcodes mapped to it (internal classes are fine; \
-                     otherwise it is dead vocabulary)",
-                    spec.class(id).name
-                ),
-            });
-        }
-    }
-
-    // Unused resources.
-    let mut used = vec![false; spec.resources().len()];
-    for id in spec.option_ids() {
-        for usage in &spec.option(id).usages {
-            used[usage.resource.index()] = true;
-        }
-    }
-    for (id, name) in spec.resources().iter() {
-        if !used[id.index()] {
-            findings.push(Finding {
-                kind: "unused-resource",
-                message: format!("resource `{name}` is never used by any option"),
-            });
-        }
-    }
-
-    findings
-}
 
 /// A structural diff between two revisions of a description.
 pub fn diff(old: &MdesSpec, new: &MdesSpec) -> String {
@@ -212,48 +104,6 @@ mod tests {
 
     fn compile(src: &str) -> MdesSpec {
         mdes_lang::compile(src).unwrap()
-    }
-
-    const MESSY: &str = "
-        resource Dec[2];
-        resource Ghost;
-        or_tree T = first_of(
-            { Dec[0] @ 0 },
-            { Dec[0] @ 0 },              // duplicate
-            { Dec[0] @ 0, Dec[1] @ 0 }); // dominated
-        or_tree Orphan = first_of({ Dec[1] @ 3 });
-        class alu { constraint = T; }
-    ";
-
-    #[test]
-    fn lint_finds_every_section5_smell() {
-        let spec = compile(MESSY);
-        let findings = lint(&spec);
-        let kinds: Vec<&str> = findings.iter().map(|f| f.kind).collect();
-        assert!(kinds.contains(&"duplicate-option"), "{kinds:?}");
-        assert!(kinds.contains(&"dominated-option"), "{kinds:?}");
-        assert!(kinds.contains(&"unused-items"), "{kinds:?}");
-        assert!(kinds.contains(&"class-without-opcodes"), "{kinds:?}");
-        assert!(kinds.contains(&"unused-resource"), "{kinds:?}");
-    }
-
-    #[test]
-    fn lint_is_clean_on_a_tidy_description() {
-        let spec = compile(
-            "resource M;
-             or_tree T = first_of({ M @ 0 });
-             class mem { constraint = T; flags = load; }
-             op LD = mem;",
-        );
-        assert!(lint(&spec).is_empty());
-    }
-
-    #[test]
-    fn lint_does_not_modify_the_spec() {
-        let spec = compile(MESSY);
-        let before = spec.clone();
-        let _ = lint(&spec);
-        assert_eq!(spec, before);
     }
 
     #[test]

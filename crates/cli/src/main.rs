@@ -21,6 +21,8 @@
 //! mdesc serve-load --socket PATH [--requests N] [--reload-at I:PATH]
 //! mdesc oracle  [--seed N] [--regions N] [--max-ops K] [--machine NAME]
 //!               [--fleet N]
+//! mdesc lint    [<in.hmdl>] [--machine NAME|all] [--fleet N] [--seed S]
+//!               [--defects] [--json]
 //! ```
 //!
 //! The binary is also installed as `mdes`.  The global `--metrics <path>`
@@ -198,7 +200,7 @@ fn dispatch(args: &[String], tel: &Telemetry) -> CliResult {
         "oracle" => oracle_cmd(rest, tel),
         "schedule" => schedule_cmd(rest, tel),
         "dot" => dot_cmd(rest),
-        "lint" => lint_cmd(rest),
+        "lint" => lint_cmd(rest, tel),
         "diff" => diff_cmd(rest),
         "chart" => chart_cmd(rest),
         "--help" | "-h" | "help" => {
@@ -262,7 +264,12 @@ fn usage() -> String {
      \x20         drive the list scheduler over a synthetic stream and report\n\
      \x20         the paper's efficiency statistics\n\
      \x20 dot     <in.hmdl> --class NAME              Graphviz export of a constraint\n\
-     \x20 lint    <in.hmdl>                           find redundant/unused/dead info\n\
+     \x20 lint    [<in.hmdl>] [--machine NAME|all] [--fleet N] [--seed S] [--defects]\n\
+     \x20         [--json]\n\
+     \x20         run the static diagnostics engine over descriptions: stable MDnnn\n\
+     \x20         codes, fatal/warn/info severities, exit 3 on any fatal diagnostic;\n\
+     \x20         --defects plants known-bad structure and reports analyzer recall\n\
+     \x20         (see docs/analysis.md)\n\
      \x20 diff    <old.hmdl> <new.hmdl>               structural diff of two revisions\n\
      \x20 chart   <in.hmdl> [--ops N]                 schedule a block and show the RU map\n\
      \n\
@@ -1475,18 +1482,165 @@ fn dot_cmd(args: &[String]) -> CliResult {
     }
 }
 
-fn lint_cmd(args: &[String]) -> CliResult {
-    let input = args.first().ok_or("lint needs an input .hmdl file")?;
-    let spec = load_hmdl(input)?;
-    let findings = analysis::lint(&spec);
-    if findings.is_empty() {
-        println!("{input}: clean (no redundant, dominated, unused or dead information)");
-        return Ok(());
+/// Runs the static diagnostics engine (`mdes-analyze`) over one or more
+/// descriptions: an HMDL file (diagnostics anchored to source spans),
+/// the bundled machines (`--machine NAME|all`), and/or a synthetic fleet
+/// (`--fleet N`).  `--defects` plants known-bad structure into the fleet
+/// machines and scores the analyzer's recall against the ground truth.
+/// Any fatal diagnostic maps onto the structural-validation exit code
+/// (3), consistent with `mdesc check`; with `--json` the report goes to
+/// stdout as one JSON array and the summary lines move to stderr.
+fn lint_cmd(args: &[String], tel: &Telemetry) -> CliResult {
+    let mut input: Option<&str> = None;
+    let mut machine: Option<&str> = None;
+    let mut fleet_size: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut defects = false;
+    let mut json = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--machine" => {
+                machine = Some(
+                    iter.next()
+                        .ok_or("--machine requires a name (or `all`)")?
+                        .as_str(),
+                );
+            }
+            "--fleet" => {
+                fleet_size = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--fleet requires a positive integer")?,
+                );
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed requires an integer")?;
+            }
+            "--defects" => defects = true,
+            "--json" => json = true,
+            other if input.is_none() && !other.starts_with('-') => input = Some(other),
+            other => return Err(CliError::from(format!("unexpected argument `{other}`"))),
+        }
     }
-    for finding in &findings {
-        println!("{input}: [{}] {}", finding.kind, finding.message);
+    if defects && fleet_size.is_none() {
+        return Err("--defects needs --fleet N (defects are planted into fleet machines)".into());
     }
-    Err(format!("{} finding(s)", findings.len()).into())
+
+    let mut reports: Vec<(String, mdes_analyze::Analysis)> = Vec::new();
+    // Ground truth for `--defects`: (origin, defect) pairs the report
+    // must cover.
+    let mut planted: Vec<(String, mdes_workload::PlantedDefect)> = Vec::new();
+
+    if let Some(path) = input {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let spec = load_hmdl_with(path, tel)?;
+        let mut analysis = mdes_analyze::analyze_spec_with_telemetry(&spec, tel);
+        mdes_analyze::anchor_spans(&mut analysis.diagnostics, &source);
+        reports.push((path.to_string(), analysis));
+    }
+    match machine {
+        Some("all") => {
+            for (name, spec) in oracle_machines() {
+                reports.push((name, mdes_analyze::analyze_spec_with_telemetry(&spec, tel)));
+            }
+        }
+        Some(name) => {
+            let found = oracle_machines().into_iter().find(|(n, _)| n == name);
+            let Some((n, spec)) = found else {
+                let known: Vec<String> = oracle_machines().into_iter().map(|(n, _)| n).collect();
+                return Err(format!(
+                    "unknown machine `{name}`; try one of {} or `all`",
+                    known.join(", ")
+                )
+                .into());
+            };
+            reports.push((n, mdes_analyze::analyze_spec_with_telemetry(&spec, tel)));
+        }
+        None => {}
+    }
+    if let Some(n) = fleet_size {
+        if defects {
+            for seeded in mdes_workload::fleet_with_defects(seed, n, 1.0) {
+                for defect in &seeded.defects {
+                    planted.push((seeded.machine.name.clone(), defect.clone()));
+                }
+                reports.push((
+                    seeded.machine.name.clone(),
+                    mdes_analyze::analyze_spec_with_telemetry(&seeded.machine.spec, tel),
+                ));
+            }
+        } else {
+            for fm in mdes_workload::fleet(seed, n) {
+                reports.push((
+                    fm.name.clone(),
+                    mdes_analyze::analyze_spec_with_telemetry(&fm.spec, tel),
+                ));
+            }
+        }
+    }
+    if reports.is_empty() {
+        return Err("lint needs an input .hmdl file, --machine NAME|all, or --fleet N".into());
+    }
+
+    if json {
+        print!(
+            "{}",
+            mdes_analyze::render_json_many(reports.iter().map(|(o, a)| (o.as_str(), a)))
+        );
+    } else {
+        for (origin, analysis) in &reports {
+            print!("{}", mdes_analyze::render_text(origin, analysis));
+        }
+    }
+
+    use mdes_analyze::Severity;
+    let count = |severity| -> usize { reports.iter().map(|(_, a)| a.count(severity)).sum() };
+    let (fatal, warn, info) = (
+        count(Severity::Fatal),
+        count(Severity::Warn),
+        count(Severity::Info),
+    );
+    let mut lines = vec![format!(
+        "lint: {} machine(s), {} diagnostic(s) ({fatal} fatal, {warn} warn, {info} info)",
+        reports.len(),
+        fatal + warn + info
+    )];
+    if defects {
+        let hit = planted
+            .iter()
+            .filter(|(origin, defect)| {
+                reports.iter().any(|(o, a)| {
+                    o == origin
+                        && a.diagnostics.iter().any(|d| {
+                            d.code == defect.code && d.item.as_deref() == Some(&defect.item)
+                        })
+                })
+            })
+            .count();
+        lines.push(format!(
+            "lint: recall {hit}/{} planted defect(s) reported",
+            planted.len()
+        ));
+    }
+    for line in &lines {
+        // Keep stdout machine-readable under --json.
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+    if fatal > 0 {
+        return Err(CliError::validation(format!(
+            "lint: {fatal} fatal diagnostic(s)"
+        )));
+    }
+    Ok(())
 }
 
 fn diff_cmd(args: &[String]) -> CliResult {

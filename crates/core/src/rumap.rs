@@ -281,7 +281,7 @@ mod tests {
         let mut reserved: Vec<(i32, u64)> = Vec::new();
         // Simulated placements at arbitrary cycles, folded into slots.
         for (cycle, mask) in [(0, 0b1), (4, 0b10), (-2, 0b100), (7, 0b1000), (-5, 0b1)] {
-            let slot = (cycle as i32).rem_euclid(ii);
+            let slot = i32::rem_euclid(cycle, ii);
             ru.reserve(slot, mask);
             reserved.push((slot, mask));
         }

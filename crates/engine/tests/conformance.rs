@@ -32,7 +32,7 @@ fn random_spec(rng: &mut Pcg32) -> MdesSpec {
         for member in 0..1 + rng.gen_range(3) {
             resources.push(
                 spec.resources_mut()
-                    .add(&format!("R{group}_{member}"))
+                    .add(format!("R{group}_{member}"))
                     .unwrap(),
             );
         }
@@ -54,7 +54,7 @@ fn random_spec(rng: &mut Pcg32) -> MdesSpec {
         }
         let tree = spec.add_or_tree(OrTree::new(options));
         spec.add_class(
-            &format!("c{class}"),
+            format!("c{class}"),
             Constraint::Or(tree),
             Latency::new(1 + rng.gen_range(3) as i32),
             OpFlags::none(),

@@ -313,7 +313,7 @@ pub fn corrupt_image(image: &[u8], fault: ImageFault, seed: u64) -> Vec<u8> {
     if out.is_empty() {
         return out;
     }
-    let mut state = seed ^ 0x4C4D_4445_53_u64; // "LMDES"
+    let mut state = seed ^ 0x4C_4D44_4553_u64; // "LMDES"
     let draw = splitmix(&mut state);
     match fault {
         ImageFault::TruncateHeader => {

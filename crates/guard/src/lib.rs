@@ -132,6 +132,12 @@ pub struct GuardConfig {
     /// Fault-injection hooks: corrupt the named stages' output before the
     /// guard checks them.  Test-only; empty in production runs.
     pub inject: Vec<Fault>,
+    /// Run the [`mdes_analyze`] static pass on the input spec before any
+    /// stage.  A fatal diagnostic (unsatisfiable class, latency-window
+    /// overflow) refuses the pipeline the same way invalid input does —
+    /// there is no point differentially probing a description that can
+    /// never schedule.  Ignored under [`GuardMode::Off`].
+    pub analyze: bool,
 }
 
 impl Default for GuardConfig {
@@ -145,6 +151,7 @@ impl Default for GuardConfig {
             replay_blocks: 8,
             ops_per_block: 16,
             inject: Vec::new(),
+            analyze: true,
         }
     }
 }
@@ -337,6 +344,25 @@ pub fn optimize_guarded(
         }
     }
 
+    // Static analysis sits between validation and the oracle: a spec
+    // with a fatal diagnostic is structurally fine but provably unable
+    // to do its job, so refuse to optimize it (nothing to roll back to).
+    if guard.mode != GuardMode::Off && guard.analyze {
+        let analysis = mdes_analyze::analyze_spec_with_telemetry(spec, tel);
+        if let Some(diag) = analysis.first_fatal() {
+            let incident = GuardIncident {
+                stage: "analyze".to_string(),
+                seed: guard.seed,
+                kind: IncidentKind::Analysis,
+                detail: format!("static analysis found {}: {}", diag.code, diag.message),
+                probe: None,
+            };
+            record_incident(tel, &incident);
+            report.incidents.push(incident);
+            return report;
+        }
+    }
+
     let _pipeline_span = tel.span("pipeline");
     for stage in stage_plan(pipeline) {
         let snapshot = spec.clone();
@@ -426,6 +452,55 @@ mod tests {
         assert_eq!(report.incidents.len(), 1);
         assert_eq!(report.incidents[0].stage, "input");
         assert_eq!(report.stages_run, 0);
+    }
+
+    #[test]
+    fn fatally_diagnosed_input_is_refused_before_any_stage() {
+        // Two AND branches pinned to the same (resource, cycle) cell:
+        // structurally valid, statically unschedulable (MD001).
+        let mut spec = MdesSpec::new();
+        spec.resources_mut().add("ALU").unwrap();
+        let a = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let b = spec.add_option(TableOption::new(vec![u(0, 0)]));
+        let ta = spec.add_or_tree(OrTree::new(vec![a]));
+        let tb = spec.add_or_tree(OrTree::new(vec![b]));
+        let and = spec.add_and_or_tree(mdes_core::spec::AndOrTree::new(vec![ta, tb]));
+        spec.add_class(
+            "stuck",
+            Constraint::AndOr(and),
+            Latency::new(1),
+            OpFlags::none(),
+        )
+        .unwrap();
+        spec.validate().unwrap();
+
+        let report = optimize_guarded(
+            &mut spec,
+            &PipelineConfig::full(),
+            &GuardConfig::validate_only(),
+            &Telemetry::disabled(),
+        );
+        assert_eq!(report.incidents.len(), 1);
+        assert_eq!(report.incidents[0].stage, "analyze");
+        assert_eq!(report.incidents[0].kind, IncidentKind::Analysis);
+        assert!(report.incidents[0].detail.contains("MD001"));
+        assert_eq!(report.stages_run, 0);
+
+        // Opting out of the analyze stage restores the old behaviour: the
+        // pipeline runs (the oracle itself cannot observe the defect —
+        // the class fails to schedule identically before and after).
+        let mut opted_out = spec.clone();
+        let report = optimize_guarded(
+            &mut opted_out,
+            &PipelineConfig::full(),
+            &GuardConfig {
+                analyze: false,
+                ..GuardConfig::validate_only()
+            },
+            &Telemetry::disabled(),
+        );
+        assert!(report.clean());
+        assert!(report.stages_run > 0);
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub enum IncidentKind {
     /// Structural validation failed ([`MdesSpec::validate`] or
     /// compilation of the candidate spec).
     Validation,
+    /// Static analysis found a fatal diagnostic — the input description
+    /// is provably broken (e.g. an [unsatisfiable class](mdes_analyze))
+    /// before any stage runs.
+    Analysis,
     /// A checker-level probe sequence diverged.
     OracleProbe,
     /// A replayed basic block scheduled differently.
@@ -40,6 +44,7 @@ impl IncidentKind {
     pub fn name(self) -> &'static str {
         match self {
             IncidentKind::Validation => "validation",
+            IncidentKind::Analysis => "analysis",
             IncidentKind::OracleProbe => "oracle-probe",
             IncidentKind::OracleSchedule => "oracle-schedule",
         }

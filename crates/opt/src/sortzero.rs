@@ -57,6 +57,26 @@ pub fn sort_checks_zero_first(spec: &mut MdesSpec, direction: Direction) -> Sort
     report
 }
 
+/// Options whose written check order differs from the order
+/// [`sort_checks_zero_first`] would produce, in id order.
+///
+/// This is the read-only query behind the analyzer's missed-ordering
+/// lint (`MD010`): it inspects without mutating, so a lint pass can ask
+/// "what *would* the Section 7 transformation change?" against a spec it
+/// does not own.
+pub fn unsorted_options(spec: &MdesSpec, direction: Direction) -> Vec<mdes_core::spec::OptionId> {
+    spec.option_ids()
+        .filter(|&id| {
+            let usages = &spec.option(id).usages;
+            let key = |u: &mdes_core::usage::ResourceUsage| match direction {
+                Direction::Forward => (u.time != 0, u.time),
+                Direction::Backward => (u.time != 0, -u.time),
+            };
+            !usages.windows(2).all(|w| key(&w[0]) <= key(&w[1]))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +143,19 @@ mod tests {
         let mut spec = spec_with_option(vec![u(0, 0), u(1, 1)]);
         let report = sort_checks_zero_first(&mut spec, Direction::Forward);
         assert_eq!(report.options_reordered, 0);
+    }
+
+    #[test]
+    fn unsorted_query_agrees_with_the_sort_without_mutating() {
+        let spec = spec_with_option(vec![u(0, 2), u(1, 0)]);
+        let before = spec.clone();
+        let flagged = unsorted_options(&spec, Direction::Forward);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(spec, before, "query must not mutate");
+
+        let mut sorted = spec.clone();
+        let report = sort_checks_zero_first(&mut sorted, Direction::Forward);
+        assert_eq!(report.options_reordered, flagged.len());
+        assert!(unsorted_options(&sorted, Direction::Forward).is_empty());
     }
 }

@@ -54,9 +54,35 @@ pub(crate) fn run(config: &BenchConfig, out: &mut Vec<Sample>) {
     checker_replay(config, out);
     wide_tree_checkers(config, out);
     automaton_pack(config, out);
+    analyze_lint(config, out);
     list_scheduling(config, out);
     engine_batches(config, out);
     serve_roundtrip(config, out);
+}
+
+/// The `analyze/lint/<machine>` family: the full static diagnostics
+/// engine (`mdes_analyze::analyze_spec` — dominance difference sets,
+/// unsatisfiability search, dead-item sweep, missed-transformation
+/// lints) over every bundled description.  Work unit: one analyzed item
+/// plus one emitted diagnostic — both pure functions of the spec, so
+/// the count is byte-stable and any change to an analysis's coverage
+/// shows up as count drift.  This is the cost a `guard` pipeline run or
+/// a `serve` hot reload pays before any scheduling happens.
+fn analyze_lint(config: &BenchConfig, out: &mut Vec<Sample>) {
+    for (machine_name, spec) in bench_machines() {
+        let name = format!("analyze/lint/{machine_name}");
+        if !config.matches(&name) {
+            continue;
+        }
+        out.push(measure(&name, config.iters(20), config.reps, || {
+            let analysis = mdes_analyze::analyze_spec(&spec);
+            assert!(
+                !analysis.has_fatal(),
+                "bundled {machine_name} must stay fatal-free"
+            );
+            (analysis.items_analyzed + analysis.diagnostics.len()) as u64
+        }));
+    }
 }
 
 /// The `oracle/bnb/<machine>` family: the exact branch-and-bound

@@ -113,12 +113,38 @@ pub enum ReloadOutcome {
 /// state.  Pure in `(bytes, seed)`.
 pub fn compile_source(bytes: &[u8], seed: u64) -> Result<Arc<CompiledMdes>, ReloadError> {
     let mdes = if bytes.starts_with(lmdes::MAGIC) {
+        // Static triage first: it classifies *why* the bytes are bad
+        // (truncation vs tampered length vs trailing garbage) with a
+        // stable MD10x code, where the decoder only says "no".
+        let triage = mdes_analyze::analyze_image(bytes);
+        if let Some(diag) = triage.first_fatal() {
+            return Err(ReloadError::Parse(format!(
+                "bad LMDES image [{}]: {}",
+                diag.code, diag.message
+            )));
+        }
         lmdes::read(bytes).map_err(|e| ReloadError::Parse(format!("bad LMDES image: {e}")))?
     } else {
         let source = std::str::from_utf8(bytes)
             .map_err(|_| ReloadError::Parse("source is neither LMDES nor UTF-8 HMDL".into()))?;
         let mut spec = mdes_lang::compile(source)
             .map_err(|e| ReloadError::Parse(format!("bad HMDL source: {e}")))?;
+        // A parsed description with a fatal diagnostic (unsatisfiable
+        // class, latency-window overflow) must never be promoted: reject
+        // before spending oracle time, anchored to the source line.
+        let mut analysis = mdes_analyze::analyze_spec(&spec);
+        if analysis.has_fatal() {
+            mdes_analyze::anchor_spans(&mut analysis.diagnostics, source);
+            let diag = analysis.first_fatal().expect("has_fatal");
+            let at = diag
+                .span
+                .map(|(line, col)| format!(" at line {line}:{col}"))
+                .unwrap_or_default();
+            return Err(ReloadError::Validation(format!(
+                "static analysis rejected the description [{}]{at}: {}",
+                diag.code, diag.message
+            )));
+        }
         let guard = GuardConfig::oracle(seed);
         let report = mdes_guard::optimize_guarded(
             &mut spec,
@@ -324,6 +350,41 @@ mod tests {
                 );
             }
         }
+        let after = store.current();
+        assert_eq!(after.epoch, before.epoch);
+        assert_eq!(after.hash, before.hash);
+    }
+
+    #[test]
+    fn fatal_diagnostic_reloads_are_rejected_with_no_swap() {
+        let store = store(Machine::K5);
+        let before = store.current();
+
+        // HMDL that parses, validates, and can provably never schedule:
+        // both AND branches demand ALU@0 (MD001).
+        let unsat = "
+            resource ALU;
+            or_tree A = first_of({ ALU @ 0 });
+            or_tree B = first_of({ ALU @ 0 });
+            and_or_tree Both = all_of(A, B);
+            class stuck { constraint = Both; }
+        ";
+        let err = store
+            .reload_bytes(unsat.as_bytes(), "unsat.hmdl")
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Validation, "{err:?}");
+        assert!(err.message().contains("MD001"), "{err:?}");
+        assert!(err.message().contains("line"), "span missing: {err:?}");
+
+        // An LMDES image with trailing garbage: triaged as MD105 before
+        // the decoder even runs.
+        let mut tail = image_of(Machine::Pentium);
+        tail.extend_from_slice(b"junk");
+        let err = store.reload_bytes(&tail, "tail.lmdes").unwrap_err();
+        assert_eq!(err.code(), ErrorCode::Parse, "{err:?}");
+        assert!(err.message().contains("MD105"), "{err:?}");
+
+        // No swap happened: the boot image keeps serving.
         let after = store.current();
         assert_eq!(after.epoch, before.epoch);
         assert_eq!(after.hash, before.hash);

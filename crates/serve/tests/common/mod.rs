@@ -2,6 +2,9 @@
 //! daemon boot helpers, a raw test connection, and the local expected-
 //! answer oracle.
 
+// Compiled once per test target; no single target uses every helper.
+#![allow(dead_code)]
+
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;

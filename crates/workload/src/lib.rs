@@ -31,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod defects;
 pub mod fleet;
 pub mod generate;
 pub mod mix;
 pub mod regions;
 pub mod rng;
 
+pub use defects::{fleet_with_defects, PlantedDefect, SeededDefectMachine};
 pub use fleet::{fleet, fleet_machine, FleetMachine};
 pub use generate::{
     as_loop_bodies, generate, generate_uniform, uniform_config, Workload, WorkloadConfig,

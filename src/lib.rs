@@ -3,6 +3,8 @@
 //!
 //! See the individual crates for full documentation:
 //!
+//! * [`analyze`] — the static diagnostics engine (stable `MD` codes,
+//!   semantic dominance proofs, unsatisfiable classes, image triage);
 //! * [`core`] — representations, checker, RU map, stats, memory model;
 //! * [`lang`] — the high-level machine-description language (HMDL);
 //! * [`opt`] — the MDES transformation pipeline;
@@ -21,6 +23,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use mdes_analyze as analyze;
 pub use mdes_automata as automata;
 pub use mdes_core as core;
 pub use mdes_engine as engine;
