@@ -5,14 +5,17 @@
 #                    (debug assertions on), formatting
 #   ./ci.sh --full   everything above plus the release-profile workspace
 #                    suites, the bench-serve concurrency smokes, the
-#                    daemon serving smoke (verified closed-loop client
-#                    with a hot reload and an injected-corrupt reload),
-#                    the exact-scheduler oracle smoke and fleet fuzz
-#                    (docs/oracle.md), the static-analysis lint smoke
-#                    and defect-recall gate (docs/analysis.md), the
-#                    workspace clippy gate plus the panic-free
-#                    lang/opt gate, and the perf regression gate
-#                    against the committed BENCH_7.json baseline
+#                    daemon serving smokes (a v1 serial client and a
+#                    pipelined multi-shard client, each verified
+#                    closed-loop with a hot reload and an
+#                    injected-corrupt reload), the exact-scheduler
+#                    oracle smoke and fleet fuzz (docs/oracle.md), the
+#                    static-analysis lint smoke and defect-recall gate
+#                    (docs/analysis.md), the workspace clippy gate plus
+#                    the panic-free lang/opt gate, and the perf
+#                    regression gate against the committed BENCH_8.json
+#                    baseline (which now includes the serve/load/*
+#                    latency family)
 set -eux
 
 FULL=0
@@ -24,6 +27,48 @@ case "${1:-}" in
     exit 1
     ;;
 esac
+
+# Every intermediate file (metrics dumps, images, lint reports, sockets)
+# lives in one artifact directory: removed on success, kept on failure
+# so CI can upload it for the post-mortem.  The trap also reaps a
+# still-running daemon, so an assertion failing mid-smoke can't leak the
+# serve process into the next CI step.
+ART="${MDESC_CI_ARTIFACTS:-$(mktemp -d "${TMPDIR:-/tmp}/mdesc-ci.XXXXXX")}"
+mkdir -p "$ART"
+SERVE_PID=""
+cleanup() {
+    status=$?
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    if [ "$status" -eq 0 ]; then
+        rm -rf "$ART"
+    else
+        echo "ci: FAILED (status $status); artifacts kept in $ART" >&2
+    fi
+}
+trap cleanup EXIT
+trap 'exit 129' INT TERM
+
+# expect <pattern> <file>: the smoke assertions, with a message naming
+# the missing pattern instead of a bare grep exit under set -e.
+expect() {
+    grep -q "$1" "$2" || {
+        echo "ci: expected $1 in $2" >&2
+        exit 1
+    }
+}
+
+# wait_for_socket <path>: daemons bind asynchronously after fork.
+wait_for_socket() {
+    for _ in $(seq 1 100); do
+        test -S "$1" && return 0
+        sleep 0.1
+    done
+    echo "ci: daemon socket $1 never appeared" >&2
+    exit 1
+}
 
 cargo build --release
 
@@ -47,58 +92,93 @@ cargo test --release --workspace -q
 # panics, and no poisoned locks surfaced in the published metrics.  The
 # jobs_completed count is exact because the region stream is
 # seed-deterministic and the engine's fold is worker-count invariant.
-METRICS="$(mktemp)"
+METRICS="$ART/bench-serve-w2.json"
 ./target/release/mdesc bench-serve --jobs 2 --regions 2000 --seed 42 \
     --metrics "$METRICS"
-grep -q '"engine/jobs_completed":2000' "$METRICS"
-grep -q '"engine/worker_panics":0' "$METRICS"
+expect '"engine/jobs_completed":2000' "$METRICS"
+expect '"engine/worker_panics":0' "$METRICS"
 if grep -qi 'poison' "$METRICS"; then
     echo 'ci: poisoned lock surfaced in bench-serve metrics' >&2
     exit 1
 fi
-rm -f "$METRICS"
 
 # The same smoke at eight workers: oversubscribed relative to most CI
 # boxes, so the chunked/stealing hand-off and per-worker state reuse get
 # exercised under real contention — and must still lose zero jobs.
-METRICS8="$(mktemp)"
+METRICS8="$ART/bench-serve-w8.json"
 ./target/release/mdesc bench-serve --jobs 8 --regions 2000 --seed 42 \
     --metrics "$METRICS8"
-grep -q '"engine/jobs_completed":2000' "$METRICS8"
-grep -q '"engine/worker_panics":0' "$METRICS8"
-rm -f "$METRICS8"
+expect '"engine/jobs_completed":2000' "$METRICS8"
+expect '"engine/worker_panics":0' "$METRICS8"
 
-# Serving smoke: boot the daemon, then drive a verified closed-loop
-# client through 2000 requests with one good hot reload and one
-# injected-corrupt reload fired mid-run.  serve-load exits nonzero if a
-# single request is dropped, an answer fails client-side re-scheduling
-# verification, or a reload outcome surprises it (good rejected /
-# corrupt accepted); the daemon's own metrics must then show the serve
-# counters present, nothing left in flight, and zero engine panics.
-SERVE_SOCK="${TMPDIR:-/tmp}/mdesc-ci-serve-$$.sock"
-SERVE_METRICS="$(mktemp)"
-GOOD_HMDL="$(mktemp)"
-GOOD_IMG="$(mktemp)"
-BAD_IMG="$(mktemp)"
+# Shared images for both serving smokes: a good reload target (compiled
+# from a bundled description) and a corrupt one the daemon must reject.
+GOOD_HMDL="$ART/pentium.hmdl"
+GOOD_IMG="$ART/pentium.lmdes"
+SPARC_HMDL="$ART/supersparc.hmdl"
+SPARC_IMG="$ART/supersparc.lmdes"
+BAD_IMG="$ART/corrupt.lmdes"
 ./target/release/mdesc bundled pentium >"$GOOD_HMDL"
 ./target/release/mdesc compile "$GOOD_HMDL" -o "$GOOD_IMG"
+./target/release/mdesc bundled supersparc >"$SPARC_HMDL"
+./target/release/mdesc compile "$SPARC_HMDL" -o "$SPARC_IMG"
 printf 'not an lmdes image and not hmdl either {' >"$BAD_IMG"
+
+# Serving smoke, v1 serial client: boot a single-shard daemon, then
+# drive a verified closed-loop client through 2000 requests with one
+# good hot reload and one injected-corrupt reload fired mid-run.  The
+# client pipelines nothing and sends no request ids — this is the
+# protocol-v1 byte stream, so the daemon's serial rendezvous path stays
+# covered.  serve-load exits nonzero if a single request is dropped, an
+# answer fails client-side re-scheduling verification, or a reload
+# outcome surprises it (good rejected / corrupt accepted); the daemon's
+# own metrics must then show the serve counters present, nothing left
+# in flight, and zero engine panics.
+SERVE_SOCK="$ART/serve-v1.sock"
+SERVE_METRICS="$ART/serve-v1-metrics.json"
 ./target/release/mdesc --metrics "$SERVE_METRICS" serve --machine k5 \
     --socket "$SERVE_SOCK" --workers 4 &
 SERVE_PID=$!
-for _ in $(seq 1 100); do
-    test -S "$SERVE_SOCK" && break
-    sleep 0.1
-done
+wait_for_socket "$SERVE_SOCK"
 ./target/release/mdesc serve-load --socket "$SERVE_SOCK" --machine k5 \
     --requests 2000 --connections 4 \
     --reload-at "700:$GOOD_IMG" --reload-corrupt-at "1400:$BAD_IMG" \
     --shutdown
 wait "$SERVE_PID"
-grep -q '"serve/shed"' "$SERVE_METRICS"
-grep -q '"serve/dropped":0' "$SERVE_METRICS"
-grep -q '"engine/worker_panics":0' "$SERVE_METRICS"
-rm -f "$SERVE_METRICS" "$GOOD_HMDL" "$GOOD_IMG" "$BAD_IMG" "$SERVE_SOCK"
+SERVE_PID=""
+expect '"serve/shed"' "$SERVE_METRICS"
+expect '"serve/dropped":0' "$SERVE_METRICS"
+expect '"engine/worker_panics":0' "$SERVE_METRICS"
+
+# Serving smoke, pipelined multi-shard: one daemon serving K5 and
+# Pentium as independent shards, driven by a pipelined client (8
+# requests in flight per connection) spraying requests across both
+# shards, with a good hot reload targeted at the Pentium shard and a
+# corrupt reload targeted at K5 fired mid-run.  The per-shard counters
+# then prove reload isolation: Pentium swapped images exactly once, K5
+# rejected its corrupt image and swapped nothing, and neither shard
+# dropped a request.
+SHARD_SOCK="$ART/serve-sharded.sock"
+SHARD_METRICS="$ART/serve-sharded-metrics.json"
+./target/release/mdesc --metrics "$SHARD_METRICS" serve \
+    --machine k5,pentium --socket "$SHARD_SOCK" --workers 4 &
+SERVE_PID=$!
+wait_for_socket "$SHARD_SOCK"
+./target/release/mdesc serve-load --socket "$SHARD_SOCK" \
+    --machines k5,pentium --pipeline 8 --requests 2000 --connections 4 \
+    --reload-at "700@pentium:$SPARC_IMG" \
+    --reload-corrupt-at "1400@k5:$BAD_IMG" \
+    --shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+expect '"serve/dropped":0' "$SHARD_METRICS"
+expect '"serve/shard/K5/dropped":0' "$SHARD_METRICS"
+expect '"serve/shard/Pentium/dropped":0' "$SHARD_METRICS"
+expect '"serve/shard/Pentium/reloads":1' "$SHARD_METRICS"
+expect '"serve/shard/K5/reloads":0' "$SHARD_METRICS"
+expect '"serve/shard/K5/reload_failures":1' "$SHARD_METRICS"
+expect '"serve/shard/Pentium/reload_failures":0' "$SHARD_METRICS"
+expect '"engine/worker_panics":0' "$SHARD_METRICS"
 
 # Oracle smoke: the exact branch-and-bound scheduler differentials the
 # production schedulers over the seed-42 region stream on all six
@@ -107,22 +187,20 @@ rm -f "$SERVE_METRICS" "$GOOD_HMDL" "$GOOD_IMG" "$BAD_IMG" "$SERVE_SOCK"
 # oracle's op cap changed — and the published metrics must record zero
 # invariant inversions (an oracle schedule failing replay, a production
 # schedule beating the proven minimum, an II escaping its sandwich).
-ORACLE_METRICS="$(mktemp)"
-ORACLE_OUT="$(mktemp)"
+ORACLE_METRICS="$ART/oracle-metrics.json"
+ORACLE_OUT="$ART/oracle-out.txt"
 ./target/release/mdesc --metrics "$ORACLE_METRICS" oracle --seed 42 \
     | tee "$ORACLE_OUT"
-grep -q '^oracle: 6 machine(s), 72 regions' "$ORACLE_OUT"
-grep -q '"sched/oracle_violations":0' "$ORACLE_METRICS"
-rm -f "$ORACLE_METRICS" "$ORACLE_OUT"
+expect '^oracle: 6 machine(s), 72 regions' "$ORACLE_OUT"
+expect '"sched/oracle_violations":0' "$ORACLE_METRICS"
 
 # Fleet fuzz: 64 structurally diverse synthetic machines, each run
 # through the guarded optimization pipeline (guard incidents must be
 # zero) and then the same oracle differential on the optimized spec.
-FLEET_METRICS="$(mktemp)"
+FLEET_METRICS="$ART/fleet-metrics.json"
 ./target/release/mdesc --metrics "$FLEET_METRICS" oracle --fleet 64 --seed 42
-grep -q '"sched/oracle_violations":0' "$FLEET_METRICS"
-grep -q '"sched/oracle_guard_incidents":0' "$FLEET_METRICS"
-rm -f "$FLEET_METRICS"
+expect '"sched/oracle_violations":0' "$FLEET_METRICS"
+expect '"sched/oracle_guard_incidents":0' "$FLEET_METRICS"
 
 # Static-analysis smoke: the bundled machines must stay free of fatal
 # diagnostics, with an exact diagnostic count — the analyzer's findings
@@ -130,27 +208,25 @@ rm -f "$FLEET_METRICS"
 # analysis changed its coverage (update this line and docs/analysis.md
 # deliberately, not accidentally).  The full report must also be
 # byte-identical run to run: tooling diffs it.
-LINT_A="$(mktemp)"
-LINT_B="$(mktemp)"
+LINT_A="$ART/lint-a.txt"
+LINT_B="$ART/lint-b.txt"
 ./target/release/mdesc lint --machine all | tee "$LINT_A"
-grep -q '^lint: 6 machine(s), 79 diagnostic(s) (0 fatal, 66 warn, 13 info)$' "$LINT_A"
+expect '^lint: 6 machine(s), 79 diagnostic(s) (0 fatal, 66 warn, 13 info)$' "$LINT_A"
 ./target/release/mdesc lint --machine all >"$LINT_B"
 cmp "$LINT_A" "$LINT_B"
-rm -f "$LINT_A" "$LINT_B"
 
 # Analyzer recall gate: a 16-machine fleet with known-bad structure
 # planted into every machine (one dominated option + one unsatisfiable
 # class each) must be reported at 100% recall, and the planted
 # unsatisfiable classes must gate the run with the validation exit
 # code (3) — the same code a fatally diagnosed `mdesc check` input gets.
-LINT_DEFECTS="$(mktemp)"
+LINT_DEFECTS="$ART/lint-defects.txt"
 set +e
 ./target/release/mdesc lint --fleet 16 --seed 42 --defects >"$LINT_DEFECTS"
 LINT_STATUS=$?
 set -e
 test "$LINT_STATUS" -eq 3
-grep -q '^lint: recall 32/32 planted defect(s) reported$' "$LINT_DEFECTS"
-rm -f "$LINT_DEFECTS"
+expect '^lint: recall 32/32 planted defect(s) reported$' "$LINT_DEFECTS"
 
 # The whole workspace (every target, tests included) must be clean
 # under clippy at -D warnings.
@@ -170,11 +246,13 @@ cargo clippy -p mdes-lang -p mdes-opt -- \
 # throttling after the suites above) only ever adds time, so min-of-K with
 # generous K finds an unthrottled window.  The gate also enforces the
 # hardware-aware batch_scaling floor (engine w1 ÷ w4 parallel speedup:
-# >= 3.0 on hosts with 4+ CPUs, a 0.85 no-harm bound on smaller boxes)
-# and the absolute oracle_gap_hinted ceiling (hinted schedules at most
+# >= 3.0 on hosts with 4+ CPUs, a 0.85 no-harm bound on smaller boxes),
+# the absolute oracle_gap_hinted ceiling (hinted schedules at most
 # 15% over the proven minimum — see docs/performance.md and
-# docs/oracle.md).  Exit code 5 on regression.
-PERF_JSON="$(mktemp)"
+# docs/oracle.md), and — new with the schema-4 baseline — the daemon's
+# closed-loop serve latency: serve_p50_us/serve_p99_us from the
+# serve/load/* family may not drift past the baseline by more than the
+# same tolerance.  Exit code 5 on regression.
+PERF_JSON="$ART/perf-report.json"
 ./target/release/mdesc perf --reps 15 --json "$PERF_JSON" \
-    --baseline BENCH_7.json --max-regression 0.25
-rm -f "$PERF_JSON"
+    --baseline BENCH_8.json --max-regression 0.25

@@ -17,8 +17,9 @@
 //! mdesc check   <in.hmdl>
 //! mdesc bundled <PA7100|Pentium|SuperSPARC|K5>
 //! mdesc bench-serve [--machine NAME] [--jobs N] [--regions M]
-//! mdesc serve   [--machine NAME] [--socket PATH] [--workers N] [--chaos]
-//! mdesc serve-load --socket PATH [--requests N] [--reload-at I:PATH]
+//! mdesc serve   [--machine LIST|all] [--socket PATH] [--workers N] [--chaos]
+//! mdesc serve-load --socket PATH [--requests N] [--pipeline D]
+//!               [--machines LIST|all] [--reload-at I[@MACHINE]:PATH]
 //! mdesc oracle  [--seed N] [--regions N] [--max-ops K] [--machine NAME]
 //!               [--fleet N]
 //! mdesc lint    [<in.hmdl>] [--machine NAME|all] [--fleet N] [--seed S]
@@ -240,17 +241,23 @@ fn usage() -> String {
      \x20         [--seed S]\n\
      \x20         serve a synthetic region stream through the concurrent engine\n\
      \x20         and report per-worker load and jobs/sec\n\
-     \x20 serve   [--machine NAME | <in.hmdl|in.lmdes>] [--socket PATH | --tcp ADDR]\n\
+     \x20 serve   [--machine A,B,..|all | <in.hmdl|in.lmdes>] [--socket PATH | --tcp ADDR]\n\
      \x20         [--workers N] [--queue N] [--read-timeout-ms MS] [--deadline-ms MS]\n\
      \x20         [--chaos] [--seed S]\n\
      \x20         run the fault-tolerant scheduling daemon (line-delimited JSON\n\
-     \x20         protocol with hot reload and backpressure; see docs/serve.md)\n\
+     \x20         protocol with pipelined request ids, per-machine shards routed\n\
+     \x20         by the `machine` field, hot reload, and backpressure; see\n\
+     \x20         docs/serve.md)\n\
      \x20 serve-load (--socket PATH | --tcp ADDR) [--machine NAME] [--requests N]\n\
-     \x20         [--connections N] [--jobs N] [--regions M] [--mean-ops K] [--seed S]\n\
-     \x20         [--deadline-ms MS] [--max-retries N] [--reload-at I:PATH]\n\
-     \x20         [--reload-corrupt-at I:PATH] [--no-verify] [--shutdown]\n\
-     \x20         closed-loop verified client against a running daemon; fails\n\
-     \x20         if any request is dropped or any answer is wrong\n\
+     \x20         [--connections N] [--pipeline DEPTH] [--machines A,B,..|all]\n\
+     \x20         [--jobs N] [--regions M] [--mean-ops K] [--seed S]\n\
+     \x20         [--deadline-ms MS] [--max-retries N] [--reload-at I[@MACHINE]:PATH]\n\
+     \x20         [--reload-corrupt-at I[@MACHINE]:PATH] [--no-verify] [--shutdown]\n\
+     \x20         closed-loop verified client against a running daemon; fails if\n\
+     \x20         any request is dropped or any answer is wrong.  --pipeline keeps\n\
+     \x20         DEPTH requests in flight per connection (1 = serial v1 frames);\n\
+     \x20         --machines sprays requests across shards round-robin;\n\
+     \x20         I@MACHINE targets a reload at one shard\n\
      \x20 perf    [--seed S] [--scale F] [--reps K] [--filter SUBSTR] [--json PATH]\n\
      \x20         [--baseline PATH] [--max-regression F] [--quiet]\n\
      \x20         run the deterministic hot-path benchmark suite; with\n\
@@ -837,11 +844,44 @@ fn reload_error(err: mdes_serve::ReloadError) -> CliError {
     }
 }
 
+/// Resolves one machine name (case-insensitive) to a bundled machine.
+fn bundled_machine(name: &str) -> CliResult<mdes_machines::Machine> {
+    mdes_machines::Machine::all()
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            CliError::from(format!(
+                "unknown machine `{name}` (PA7100, Pentium, SuperSPARC, K5)"
+            ))
+        })
+}
+
+/// Parses a `--machine`/`--machines` operand: a comma-separated list of
+/// bundled machine names, or `all` for every bundled machine.
+fn machine_list(spec: &str) -> CliResult<Vec<mdes_machines::Machine>> {
+    if spec.eq_ignore_ascii_case("all") {
+        return Ok(mdes_machines::Machine::all().into_iter().collect());
+    }
+    let mut machines = Vec::new();
+    for name in spec.split(',').filter(|n| !n.is_empty()) {
+        let machine = bundled_machine(name)?;
+        if machines.contains(&machine) {
+            return Err(CliError::from(format!("machine `{name}` listed twice")));
+        }
+        machines.push(machine);
+    }
+    if machines.is_empty() {
+        return Err(CliError::from("--machine requires at least one name"));
+    }
+    Ok(machines)
+}
+
 /// Runs the scheduling daemon until a client sends the `shutdown` verb.
-/// Serves a bundled machine (`--machine`) or a vetted description file;
-/// see `docs/serve.md` for the protocol.
+/// Serves one or more bundled machines (`--machine a,b,c` or
+/// `--machine all` boots one shard per name) or a vetted description
+/// file; see `docs/serve.md` for the protocol.
 fn serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
-    let mut machine: Option<mdes_machines::Machine> = None;
+    let mut machines: Vec<mdes_machines::Machine> = Vec::new();
     let mut input: Option<&str> = None;
     let mut addr: Option<BindAddr> = None;
     let mut config = ServeConfig::default();
@@ -854,15 +894,8 @@ fn serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--machine" => {
-                let name = iter.next().ok_or("--machine requires a name")?;
-                machine = Some(
-                    mdes_machines::Machine::all()
-                        .into_iter()
-                        .find(|m| m.name().eq_ignore_ascii_case(name))
-                        .ok_or_else(|| {
-                            format!("unknown machine `{name}` (PA7100, Pentium, SuperSPARC, K5)")
-                        })?,
-                );
+                let spec = iter.next().ok_or("--machine requires a name")?;
+                machines = machine_list(spec)?;
             }
             "--socket" => {
                 addr = Some(BindAddr::Unix(
@@ -894,23 +927,34 @@ fn serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
         }
     }
 
-    let (mdes, origin) = match (input, machine) {
-        (Some(_), Some(_)) => {
+    let stores: Vec<(String, std::sync::Arc<ImageStore>)> = match (input, machines.is_empty()) {
+        (Some(_), false) => {
             return Err("serve takes either --machine or an input file, not both".into())
         }
-        (Some(path), None) => {
+        (Some(path), true) => {
             // An input file is untrusted: it goes through the same
             // compile-and-vet path as a hot reload.
             let bytes = std::fs::read(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
             let mdes = mdes_serve::compile_source(&bytes, config.seed).map_err(reload_error)?;
-            (mdes, path.to_string())
+            vec![(
+                path.to_string(),
+                std::sync::Arc::new(ImageStore::new(mdes, path, config.seed)),
+            )]
         }
-        (None, machine) => {
-            let machine = machine.unwrap_or(mdes_machines::Machine::Pa7100);
-            (
-                mdes_serve::compile_machine(machine),
-                machine.name().to_string(),
-            )
+        (None, _) => {
+            if machines.is_empty() {
+                machines.push(mdes_machines::Machine::Pa7100);
+            }
+            machines
+                .iter()
+                .map(|&m| {
+                    let mdes = mdes_serve::compile_machine(m);
+                    (
+                        m.name().to_string(),
+                        std::sync::Arc::new(ImageStore::new(mdes, m.name(), config.seed)),
+                    )
+                })
+                .collect()
         }
     };
 
@@ -919,25 +963,42 @@ fn serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
             std::env::temp_dir().join(format!("mdesc-serve-{}.sock", std::process::id())),
         )
     });
-    let store = std::sync::Arc::new(ImageStore::new(mdes, &origin, config.seed));
-    let handle =
-        mdes_serve::serve(addr, store, config).map_err(|e| format!("cannot bind daemon: {e}"))?;
+    let served: Vec<&str> = stores.iter().map(|(name, _)| name.as_str()).collect();
+    let served = served.join(", ");
+    let handle = mdes_serve::serve_sharded(addr, stores, config)
+        .map_err(|e| format!("cannot bind daemon: {e}"))?;
     match handle.addr() {
-        BindAddr::Unix(path) => println!("serving `{origin}` on unix socket {}", path.display()),
-        BindAddr::Tcp(spec) => println!("serving `{origin}` on tcp {spec}"),
+        BindAddr::Unix(path) => println!("serving `{served}` on unix socket {}", path.display()),
+        BindAddr::Tcp(spec) => println!("serving `{served}` on tcp {spec}"),
     }
 
     // Blocks until a client sends the `shutdown` verb; the daemon drains
     // every admitted request before join returns.
     let stats = std::sync::Arc::clone(handle.stats());
-    let store = std::sync::Arc::clone(handle.store());
+    let shard_views: Vec<(String, std::sync::Arc<ImageStore>, _)> = handle
+        .shards()
+        .iter()
+        .map(|shard| {
+            (
+                shard.name().to_string(),
+                std::sync::Arc::clone(shard.store()),
+                std::sync::Arc::clone(shard.stats()),
+            )
+        })
+        .collect();
     handle.join();
     stats.publish(tel);
-    let image = store.current();
+    for (name, _, shard_stats) in &shard_views {
+        shard_stats.publish_shard(tel, name);
+    }
+    let epochs: Vec<String> = shard_views
+        .iter()
+        .map(|(name, store, _)| format!("{}@{}", name, store.current().epoch))
+        .collect();
     println!(
-        "daemon stopped at epoch {}: answered {}, shed {}, reloads {} (+{} rejected), \
+        "daemon stopped ({}): answered {}, shed {}, reloads {} (+{} rejected), \
          p50 {}us, p99 {}us",
-        image.epoch,
+        epochs.join(", "),
         stats.answered.load(std::sync::atomic::Ordering::Relaxed),
         stats.shed.load(std::sync::atomic::Ordering::Relaxed),
         stats.reloads.load(std::sync::atomic::Ordering::Relaxed),
@@ -957,17 +1018,28 @@ fn serve_cmd(args: &[String], tel: &Telemetry) -> CliResult {
 }
 
 /// Parses a `--reload-at` / `--reload-corrupt-at` operand of the form
-/// `<request-index>:<path>`.
+/// `<request-index>[@<machine>]:<path>` — the optional `@<machine>`
+/// targets one shard of a multi-machine daemon.
 fn parse_reload_event(text: &str, expect_rejection: bool) -> CliResult<ReloadEvent> {
     let (at, path) = text.split_once(':').ok_or_else(|| {
-        CliError::from(format!("reload event wants <index>:<path>, got `{text}`"))
+        CliError::from(format!(
+            "reload event wants <index>[@<machine>]:<path>, got `{text}`"
+        ))
     })?;
+    let (at, machine) = match at.split_once('@') {
+        Some((index, shard)) if !shard.is_empty() => {
+            (index, Some(bundled_machine(shard)?.name().to_string()))
+        }
+        Some(_) => return Err(CliError::from(format!("empty machine in `{text}`"))),
+        None => (at, None),
+    };
     let at = at
         .parse()
         .map_err(|_| CliError::from(format!("bad reload index in `{text}`")))?;
     Ok(ReloadEvent {
         at,
         path: path.to_string(),
+        machine,
         expect_rejection,
     })
 }
@@ -983,6 +1055,8 @@ fn serve_load_cmd(args: &[String], tel: &Telemetry) -> CliResult {
     let mut addr: Option<BindAddr> = None;
     let mut requests = 256usize;
     let mut connections = 2usize;
+    let mut pipeline = 1usize;
+    let mut spray: Vec<mdes_machines::Machine> = Vec::new();
     let mut deadline_ms: Option<u64> = None;
     let mut max_retries = 16usize;
     let mut verify = true;
@@ -1008,6 +1082,11 @@ fn serve_load_cmd(args: &[String], tel: &Telemetry) -> CliResult {
             }
             "--requests" => requests = positive(iter.next(), "--requests")?,
             "--connections" => connections = positive(iter.next(), "--connections")?,
+            "--pipeline" => pipeline = positive(iter.next(), "--pipeline")?,
+            "--machines" => {
+                let spec = iter.next().ok_or("--machines requires a,b,c or `all`")?;
+                spray = machine_list(spec)?;
+            }
             "--deadline-ms" => {
                 deadline_ms = Some(positive(iter.next(), "--deadline-ms")? as u64);
             }
@@ -1029,11 +1108,15 @@ fn serve_load_cmd(args: &[String], tel: &Telemetry) -> CliResult {
     let addr = addr.ok_or("serve-load needs --socket <path> or --tcp <addr>")?;
 
     // The verifier needs the source bytes of every image the daemon may
-    // legitimately serve: the boot machine plus every good reload target
-    // (corrupt targets are never promoted, so never serve).
+    // legitimately serve: the boot machine (or every sprayed shard's
+    // machine) plus every good reload target (corrupt targets are never
+    // promoted, so never serve).
     let mut known_sources = Vec::new();
     if verify {
         known_sources.push(lmdes::write(&mdes_serve::compile_machine(flags.machine)));
+        for &machine in &spray {
+            known_sources.push(lmdes::write(&mdes_serve::compile_machine(machine)));
+        }
         for event in reloads.iter().filter(|e| !e.expect_rejection) {
             let bytes = std::fs::read(&event.path)
                 .map_err(|e| format!("cannot read reload target `{}`: {e}", event.path))?;
@@ -1046,6 +1129,8 @@ fn serve_load_cmd(args: &[String], tel: &Telemetry) -> CliResult {
         connections,
         requests,
         params: flags.params(),
+        pipeline,
+        machines: spray.iter().map(|m| m.name().to_string()).collect(),
         deadline_ms,
         reloads,
         known_sources,

@@ -119,13 +119,190 @@ pub fn write(mdes: &CompiledMdes) -> Vec<u8> {
     out
 }
 
-/// Decodes a binary image back into a compiled MDES.
+/// A validated, unmaterialized view of an LMDES image.
+///
+/// [`scan`] walks the whole image once — checking the magic, every
+/// length field, every stored index, and every enumerated byte — while
+/// allocating nothing.  A successful scan is therefore a proof of
+/// structural validity: reload vetting and content-hash admission can
+/// accept or reject an image on the scan alone, and only pay for
+/// [`LmdesScan::materialize`] (the allocating decode) when the image is
+/// actually promoted to serving.  The scan records where each section
+/// starts so materialization seeks straight to the data instead of
+/// re-deriving the layout.
+#[derive(Debug, Clone, Copy)]
+pub struct LmdesScan<'a> {
+    bytes: &'a [u8],
+    encoding: UsageEncoding,
+    num_resources: usize,
+    min_time: i32,
+    max_time: i32,
+    num_options: usize,
+    options_at: usize,
+    num_or_trees: usize,
+    or_trees_at: usize,
+    num_classes: usize,
+    classes_at: usize,
+    num_bypasses: usize,
+    bypasses_at: usize,
+}
+
+impl<'a> LmdesScan<'a> {
+    /// The usage encoding the image was compiled with.
+    pub fn encoding(&self) -> UsageEncoding {
+        self.encoding
+    }
+
+    /// Number of resources in the scanned image.
+    pub fn num_resources(&self) -> usize {
+        self.num_resources
+    }
+
+    /// Number of usage options in the scanned image.
+    pub fn num_options(&self) -> usize {
+        self.num_options
+    }
+
+    /// Number of OR-trees in the scanned image.
+    pub fn num_or_trees(&self) -> usize {
+        self.num_or_trees
+    }
+
+    /// Number of operation classes in the scanned image.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of bypass entries in the scanned image.
+    pub fn num_bypasses(&self) -> usize {
+        self.num_bypasses
+    }
+
+    /// Materializes the scanned sections into a [`CompiledMdes`].
+    ///
+    /// This is the allocating half of the decode.  The scan already
+    /// proved every length, index, and enumerated field valid, so the
+    /// walk here seeks to each recorded section offset and builds the
+    /// pools directly; errors are still propagated (never unwrapped)
+    /// but cannot occur for a scan produced by [`scan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`LmdesError`] if the underlying bytes do not decode;
+    /// unreachable for a scan obtained from [`scan`] on the same bytes.
+    pub fn materialize(&self) -> Result<CompiledMdes, LmdesError> {
+        let mut r = Reader {
+            bytes: self.bytes,
+            pos: self.options_at,
+        };
+        let mut options = Vec::with_capacity(self.num_options);
+        for _ in 0..self.num_options {
+            let num_checks = r.count(12)?;
+            let mut checks = Vec::with_capacity(num_checks);
+            for _ in 0..num_checks {
+                let time = r.i32()?;
+                let mask = r.u64()?;
+                checks.push(CompiledCheck { time, mask });
+            }
+            options.push(CompiledOption { checks });
+        }
+
+        r.pos = self.or_trees_at;
+        let mut or_trees = Vec::with_capacity(self.num_or_trees);
+        for _ in 0..self.num_or_trees {
+            let count = r.count(4)?;
+            let mut tree_options = Vec::with_capacity(count);
+            for _ in 0..count {
+                let idx = r.u32()?;
+                if idx as usize >= options.len() {
+                    return Err(LmdesError::DanglingIndex);
+                }
+                tree_options.push(idx);
+            }
+            or_trees.push(CompiledOrTree {
+                options: tree_options,
+            });
+        }
+
+        r.pos = self.classes_at;
+        let mut classes = Vec::with_capacity(self.num_classes);
+        for _ in 0..self.num_classes {
+            let name_len = r.count(1)?;
+            let name = String::from_utf8(r.take(name_len)?.to_vec())
+                .map_err(|_| LmdesError::InvalidField("class name"))?;
+            let kind = match r.u8()? {
+                0 => ConstraintKind::Or,
+                1 => ConstraintKind::AndOr,
+                _ => return Err(LmdesError::InvalidField("constraint kind")),
+            };
+            let and_or_index = r.u32()?;
+            let latency = {
+                let dest = r.i32()?;
+                let src = r.i32()?;
+                let mem = r.i32()?;
+                Latency::with_mem(dest, mem).with_src(src)
+            };
+            let flags = flags_from_byte(r.u8()?)?;
+            let count = r.count(4)?;
+            let mut class_trees = Vec::with_capacity(count);
+            for _ in 0..count {
+                let idx = r.u32()?;
+                if idx as usize >= or_trees.len() {
+                    return Err(LmdesError::DanglingIndex);
+                }
+                class_trees.push(idx);
+            }
+            if kind == ConstraintKind::Or && class_trees.len() != 1 {
+                return Err(LmdesError::InvalidField("OR class tree count"));
+            }
+            classes.push(CompiledClass {
+                name,
+                kind,
+                or_trees: class_trees,
+                and_or_index,
+                latency,
+                flags,
+            });
+        }
+
+        r.pos = self.bypasses_at;
+        let mut bypasses = Vec::with_capacity(self.num_bypasses);
+        for _ in 0..self.num_bypasses {
+            let p = r.u32()?;
+            let c = r.u32()?;
+            let latency = r.i32()?;
+            if p as usize >= classes.len() || c as usize >= classes.len() {
+                return Err(LmdesError::DanglingIndex);
+            }
+            bypasses.push((p, c, latency));
+        }
+
+        CompiledMdes::from_parts(
+            self.encoding,
+            self.num_resources,
+            options,
+            or_trees,
+            classes,
+            bypasses,
+            self.min_time,
+            self.max_time,
+        )
+        .map_err(|_| LmdesError::InvalidField("structure"))
+    }
+}
+
+/// Validates an LMDES image in a single allocation-free pass.
+///
+/// Every check [`read`] performs — magic, length bounds, index bounds,
+/// enumerated bytes, name UTF-8, trailing bytes — runs here too, so
+/// `scan(bytes).is_ok()` exactly when `read(bytes).is_ok()`.  The
+/// returned [`LmdesScan`] records the section layout for a later
+/// [`LmdesScan::materialize`].
 ///
 /// # Errors
 ///
-/// Returns an [`LmdesError`] on malformed input; a successful decode
-/// always yields a structurally valid MDES (all indices in range).
-pub fn read(bytes: &[u8]) -> Result<CompiledMdes, LmdesError> {
+/// Returns an [`LmdesError`] describing the first malformation found.
+pub fn scan(bytes: &[u8]) -> Result<LmdesScan<'_>, LmdesError> {
     let mut r = Reader { bytes, pos: 0 };
     if r.take(MAGIC.len())? != MAGIC.as_slice() {
         return Err(LmdesError::BadMagic);
@@ -143,86 +320,62 @@ pub fn read(bytes: &[u8]) -> Result<CompiledMdes, LmdesError> {
     let max_time = r.i32()?;
 
     let num_options = r.count(4)?;
-    let mut options = Vec::with_capacity(num_options);
+    let options_at = r.pos;
     for _ in 0..num_options {
         let num_checks = r.count(12)?;
-        let mut checks = Vec::with_capacity(num_checks);
-        for _ in 0..num_checks {
-            let time = r.i32()?;
-            let mask = r.u64()?;
-            checks.push(CompiledCheck { time, mask });
-        }
-        options.push(CompiledOption { checks });
+        r.take(num_checks.checked_mul(12).ok_or(LmdesError::Truncated)?)?;
     }
 
-    let num_trees = r.count(4)?;
-    let mut or_trees = Vec::with_capacity(num_trees);
-    for _ in 0..num_trees {
+    let num_or_trees = r.count(4)?;
+    let or_trees_at = r.pos;
+    for _ in 0..num_or_trees {
         let count = r.count(4)?;
-        let mut tree_options = Vec::with_capacity(count);
         for _ in 0..count {
             let idx = r.u32()?;
-            if idx as usize >= options.len() {
+            if idx as usize >= num_options {
                 return Err(LmdesError::DanglingIndex);
             }
-            tree_options.push(idx);
         }
-        or_trees.push(CompiledOrTree {
-            options: tree_options,
-        });
     }
 
     let num_classes = r.count(26)?;
-    let mut classes = Vec::with_capacity(num_classes);
+    let classes_at = r.pos;
     for _ in 0..num_classes {
         let name_len = r.count(1)?;
-        let name = String::from_utf8(r.take(name_len)?.to_vec())
-            .map_err(|_| LmdesError::InvalidField("class name"))?;
+        if std::str::from_utf8(r.take(name_len)?).is_err() {
+            return Err(LmdesError::InvalidField("class name"));
+        }
         let kind = match r.u8()? {
             0 => ConstraintKind::Or,
             1 => ConstraintKind::AndOr,
             _ => return Err(LmdesError::InvalidField("constraint kind")),
         };
-        let and_or_index = r.u32()?;
-        let latency = {
-            let dest = r.i32()?;
-            let src = r.i32()?;
-            let mem = r.i32()?;
-            Latency::with_mem(dest, mem).with_src(src)
-        };
-        let flags = flags_from_byte(r.u8()?)?;
+        let _and_or_index = r.u32()?;
+        let _dest = r.i32()?;
+        let _src = r.i32()?;
+        let _mem = r.i32()?;
+        flags_from_byte(r.u8()?)?;
         let count = r.count(4)?;
-        let mut class_trees = Vec::with_capacity(count);
         for _ in 0..count {
             let idx = r.u32()?;
-            if idx as usize >= or_trees.len() {
+            if idx as usize >= num_or_trees {
                 return Err(LmdesError::DanglingIndex);
             }
-            class_trees.push(idx);
         }
-        if kind == ConstraintKind::Or && class_trees.len() != 1 {
+        if kind == ConstraintKind::Or && count != 1 {
             return Err(LmdesError::InvalidField("OR class tree count"));
         }
-        classes.push(CompiledClass {
-            name,
-            kind,
-            or_trees: class_trees,
-            and_or_index,
-            latency,
-            flags,
-        });
     }
 
     let num_bypasses = r.count(12)?;
-    let mut bypasses = Vec::with_capacity(num_bypasses);
+    let bypasses_at = r.pos;
     for _ in 0..num_bypasses {
         let p = r.u32()?;
         let c = r.u32()?;
-        let latency = r.i32()?;
-        if p as usize >= classes.len() || c as usize >= classes.len() {
+        let _latency = r.i32()?;
+        if p as usize >= num_classes || c as usize >= num_classes {
             return Err(LmdesError::DanglingIndex);
         }
-        bypasses.push((p, c, latency));
     }
 
     // A well-formed image is consumed exactly; bytes past the structure
@@ -232,17 +385,35 @@ pub fn read(bytes: &[u8]) -> Result<CompiledMdes, LmdesError> {
         return Err(LmdesError::InvalidField("trailing bytes"));
     }
 
-    CompiledMdes::from_parts(
+    Ok(LmdesScan {
+        bytes,
         encoding,
         num_resources,
-        options,
-        or_trees,
-        classes,
-        bypasses,
         min_time,
         max_time,
-    )
-    .map_err(|_| LmdesError::InvalidField("structure"))
+        num_options,
+        options_at,
+        num_or_trees,
+        or_trees_at,
+        num_classes,
+        classes_at,
+        num_bypasses,
+        bypasses_at,
+    })
+}
+
+/// Decodes a binary image back into a compiled MDES.
+///
+/// Equivalent to [`scan`] followed by [`LmdesScan::materialize`]; use
+/// the two halves separately when validity is needed before (or
+/// without) the allocating decode.
+///
+/// # Errors
+///
+/// Returns an [`LmdesError`] on malformed input; a successful decode
+/// always yields a structurally valid MDES (all indices in range).
+pub fn read(bytes: &[u8]) -> Result<CompiledMdes, LmdesError> {
+    scan(bytes)?.materialize()
 }
 
 fn flags_byte(flags: OpFlags) -> u8 {
@@ -499,6 +670,61 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn scan_reports_section_counts_and_materializes_identically() {
+        let mdes = sample();
+        let bytes = write(&mdes);
+        let scanned = scan(&bytes).unwrap();
+        assert_eq!(scanned.encoding(), mdes.encoding());
+        assert_eq!(scanned.num_resources(), mdes.num_resources());
+        assert_eq!(scanned.num_options(), mdes.num_options());
+        assert_eq!(scanned.num_or_trees(), mdes.or_trees().len());
+        assert_eq!(scanned.num_classes(), mdes.classes().len());
+        assert_eq!(scanned.num_bypasses(), mdes.bypasses().len());
+        assert_eq!(scanned.materialize().unwrap(), mdes);
+    }
+
+    #[test]
+    fn scan_accepts_exactly_what_read_accepts() {
+        // The admission fast path trusts scan() alone, so its verdict
+        // must agree with the full decode on every corruption the
+        // splice sweep can produce — same accept/reject, same error.
+        let bytes = write(&sample());
+        for pos in 0..bytes.len().saturating_sub(4) {
+            let mut corrupt = bytes.clone();
+            splice_u32(&mut corrupt, pos, 0xFFFF_FF00);
+            let scanned = scan(&corrupt).map(|s| s.materialize());
+            match (scanned, read(&corrupt)) {
+                (Ok(Ok(a)), Ok(b)) => assert_eq!(a, b, "offset {pos}"),
+                (Ok(Err(e)), Err(f)) => assert_eq!(e, f, "offset {pos}"),
+                (Err(e), Err(f)) => assert_eq!(e, f, "offset {pos}"),
+                (got, want) => panic!("offset {pos}: scan path {got:?} vs read {want:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scan_rejects_truncation_at_every_length() {
+        let bytes = write(&sample());
+        for len in 0..bytes.len() {
+            assert!(scan(&bytes[..len]).is_err(), "prefix {len} scanned");
+        }
+    }
+
+    #[test]
+    fn scan_rejects_huge_length_fields_without_allocating() {
+        let bytes = write(&sample());
+        for huge in [u32::MAX, u32::MAX / 2, 1 << 24] {
+            let mut corrupt = bytes.clone();
+            splice_u32(&mut corrupt, 19, huge);
+            assert_eq!(
+                scan(&corrupt).map(|_| ()),
+                Err(LmdesError::Truncated),
+                "count {huge}"
+            );
         }
     }
 

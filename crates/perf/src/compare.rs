@@ -33,6 +33,14 @@
 //! hinted scheduler may not drift more than
 //! [`crate::ORACLE_GAP_CEILING`] above provably-optimal length, no
 //! matter what the baseline measured.
+//!
+//! Finally the gate compares the derived serve-latency percentiles
+//! (`serve_p50_us`/`serve_p99_us`, the daemon's closed-loop request
+//! latency from the `serve/load/*` family) against the *baseline's*
+//! figures under the same timing tolerance — latencies are wall-clock
+//! like any timing, so they get the relative gate, not an absolute
+//! bound.  Skipped when either side reads 0 (family filtered out, or a
+//! pre-serve baseline).
 
 use crate::Report;
 
@@ -107,7 +115,9 @@ impl CompareOutcome {
 /// current host's bound) or its `oracle_gap_hinted` figure is above
 /// `oracle_gap_ceiling` (pass [`crate::ORACLE_GAP_CEILING`]).  Each
 /// gauge check is skipped when its benches were filtered out of the run
-/// (the figure reads 0).
+/// (the figure reads 0).  The serve-latency percentiles are compared
+/// against the baseline's under `max_regression`, skipped when either
+/// side reads 0.
 pub fn compare(
     current: &Report,
     baseline: &Report,
@@ -188,6 +198,34 @@ pub fn compare(
             },
         });
     }
+    for (name, now_us, base_us) in [
+        (
+            "serve_p50_us (latency)",
+            current.serve_p50_us,
+            baseline.serve_p50_us,
+        ),
+        (
+            "serve_p99_us (latency)",
+            current.serve_p99_us,
+            baseline.serve_p99_us,
+        ),
+    ] {
+        if now_us <= 0.0 || base_us <= 0.0 {
+            continue;
+        }
+        let ratio = now_us / base_us - 1.0;
+        deltas.push(Delta {
+            name: name.to_string(),
+            baseline_ns_per_op: base_us,
+            current_ns_per_op: now_us,
+            ratio,
+            kind: if ratio > max_regression {
+                DeltaKind::Regressed
+            } else {
+                DeltaKind::Ok
+            },
+        });
+    }
     CompareOutcome {
         deltas,
         max_regression,
@@ -201,7 +239,7 @@ mod tests {
 
     fn report(benches: &[(&str, u64, u128)]) -> Report {
         Report {
-            schema: 3,
+            schema: 4,
             seed: 1,
             benches: benches
                 .iter()
@@ -217,6 +255,8 @@ mod tests {
             checker_speedup: 0.0,
             batch_scaling: 0.0,
             oracle_gap_hinted: 0.0,
+            serve_p50_us: 0.0,
+            serve_p99_us: 0.0,
         }
     }
 
@@ -325,6 +365,38 @@ mod tests {
         assert_eq!(crate::batch_scaling_floor_for(2), 0.85);
         assert_eq!(crate::batch_scaling_floor_for(4), 3.0);
         assert_eq!(crate::batch_scaling_floor_for(64), 3.0);
+    }
+
+    #[test]
+    fn serve_latency_regression_fails_within_tolerance_passes() {
+        let mut base = report(&[("a", 100, 1000)]);
+        base.serve_p50_us = 800.0;
+        base.serve_p99_us = 2000.0;
+        let mut now = base.clone();
+        now.serve_p99_us = 2400.0; // +20%: inside a 25% tolerance
+        assert!(compare(&now, &base, 0.25, 0.0, 0.0).passed());
+        now.serve_p99_us = 2600.0; // +30%: out
+        let outcome = compare(&now, &base, 0.25, 0.0, 0.0);
+        assert!(!outcome.passed());
+        let failure = outcome.failures().next().unwrap();
+        assert_eq!(failure.kind, DeltaKind::Regressed);
+        assert_eq!(failure.name, "serve_p99_us (latency)");
+    }
+
+    #[test]
+    fn serve_latency_is_skipped_when_either_side_reads_zero() {
+        // A filtered run (current 0) or a pre-serve baseline (baseline
+        // 0) must not trip the latency gate.
+        let mut base = report(&[("a", 100, 1000)]);
+        let mut now = report(&[("a", 100, 1000)]);
+        now.serve_p50_us = 900.0;
+        now.serve_p99_us = 9000.0;
+        assert!(compare(&now, &base, 0.25, 0.0, 0.0).passed());
+        base.serve_p50_us = 100.0;
+        base.serve_p99_us = 100.0;
+        now.serve_p50_us = 0.0;
+        now.serve_p99_us = 0.0;
+        assert!(compare(&now, &base, 0.25, 0.0, 0.0).passed());
     }
 
     #[test]

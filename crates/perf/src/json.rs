@@ -6,7 +6,7 @@
 use crate::{Report, Sample};
 
 /// Serializes a report (stable key order, one bench per line — the
-/// committed `BENCH_7.json` should diff cleanly).
+/// committed `BENCH_8.json` should diff cleanly).
 pub fn to_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -23,6 +23,14 @@ pub fn to_json(report: &Report) -> String {
     out.push_str(&format!(
         "  \"oracle_gap_hinted\": {:.3},\n",
         report.oracle_gap_hinted
+    ));
+    out.push_str(&format!(
+        "  \"serve_p50_us\": {:.3},\n",
+        report.serve_p50_us
+    ));
+    out.push_str(&format!(
+        "  \"serve_p99_us\": {:.3},\n",
+        report.serve_p99_us
     ));
     out.push_str("  \"benches\": [\n");
     for (i, s) in report.benches.iter().enumerate() {
@@ -56,17 +64,20 @@ impl Report {
         let value = Parser::new(text).parse()?;
         let top = value.as_object("top level")?;
         let schema = get(top, "schema")?.as_u64("schema")? as u32;
-        // Schema 3 added `oracle_gap_hinted` and the `oracle/bnb/*`
-        // family (schema 2 added `batch_scaling` and the w8/w16 engine
-        // benches); older baselines predate those gates and must be
-        // regenerated, not silently compared against.
-        if schema != 3 {
+        // Schema 4 added `serve_p50_us`/`serve_p99_us` and the
+        // `serve/load/*` family (schema 3 added `oracle_gap_hinted` and
+        // the `oracle/bnb/*` family; schema 2 added `batch_scaling` and
+        // the w8/w16 engine benches); older baselines predate those
+        // gates and must be regenerated, not silently compared against.
+        if schema != 4 {
             return Err(format!("unsupported report schema {schema}"));
         }
         let seed = get(top, "seed")?.as_u64("seed")?;
         let checker_speedup = get(top, "checker_speedup")?.as_f64("checker_speedup")?;
         let batch_scaling = get(top, "batch_scaling")?.as_f64("batch_scaling")?;
         let oracle_gap_hinted = get(top, "oracle_gap_hinted")?.as_f64("oracle_gap_hinted")?;
+        let serve_p50_us = get(top, "serve_p50_us")?.as_f64("serve_p50_us")?;
+        let serve_p99_us = get(top, "serve_p99_us")?.as_f64("serve_p99_us")?;
         let mut benches = Vec::new();
         for (i, entry) in get(top, "benches")?.as_array("benches")?.iter().enumerate() {
             let obj = entry.as_object(&format!("benches[{i}]"))?;
@@ -86,6 +97,8 @@ impl Report {
             checker_speedup,
             batch_scaling,
             oracle_gap_hinted,
+            serve_p50_us,
+            serve_p99_us,
         })
     }
 }
@@ -327,7 +340,7 @@ mod tests {
 
     fn report() -> Report {
         Report {
-            schema: 3,
+            schema: 4,
             seed: 42,
             benches: vec![
                 sample("rumap/word_ops", 8192, 1_000_000),
@@ -336,6 +349,8 @@ mod tests {
             checker_speedup: 2.5,
             batch_scaling: 3.2,
             oracle_gap_hinted: 1.04,
+            serve_p50_us: 850.0,
+            serve_p99_us: 2400.0,
         }
     }
 
@@ -353,8 +368,8 @@ mod tests {
 
     #[test]
     fn parse_rejects_wrong_schema() {
-        for old in ["\"schema\": 2", "\"schema\": 9"] {
-            let text = report().to_json().replace("\"schema\": 3", old);
+        for old in ["\"schema\": 3", "\"schema\": 9"] {
+            let text = report().to_json().replace("\"schema\": 4", old);
             assert!(Report::from_json(&text).unwrap_err().contains("schema"));
         }
     }

@@ -18,11 +18,14 @@
 //! [`run_all`] executes the suite and returns a [`Report`];
 //! [`report::render_table`] prints it for humans, [`Report::to_json`] /
 //! [`Report::from_json`] round-trip the machine-readable form committed
-//! as `BENCH_7.json`, and [`compare::compare`] implements the regression
+//! as `BENCH_8.json`, and [`compare::compare`] implements the regression
 //! gate used by `mdesc perf --baseline` — including the hardware-aware
-//! [`batch_scaling_floor`] on the engine's parallel speedup and the
+//! [`batch_scaling_floor`] on the engine's parallel speedup, the
 //! [`ORACLE_GAP_CEILING`] on the hinted scheduler's measured optimality
-//! gap against the exact branch-and-bound oracle.
+//! gap against the exact branch-and-bound oracle, and the serve-latency
+//! percentiles ([`Report::serve_p50_us`] / [`Report::serve_p99_us`])
+//! from the closed-loop `serve/load` family, compared against the
+//! baseline like any timing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -164,6 +167,18 @@ pub struct Report {
     /// against an absolute ceiling, not against the baseline.  0 when
     /// the oracle family was filtered out of the run.
     pub oracle_gap_hinted: f64,
+    /// p50 request latency (microseconds) of the `serve/load/k5`
+    /// closed-loop run, fastest repetition: the end-to-end serve path —
+    /// frame parse, shard routing, admission, engine, reply render —
+    /// under pipelined load with every answer verified.  Compared
+    /// against the baseline with the run's timing tolerance, so a serve
+    /// latency regression fails CI like any other bench.  0 when the
+    /// serve/load family was filtered out of the run.
+    pub serve_p50_us: f64,
+    /// p99 request latency of the same run — the tail the daemon's
+    /// backpressure and deadline machinery exist to protect.  Gated
+    /// like [`Report::serve_p50_us`].
+    pub serve_p99_us: f64,
 }
 
 /// Ceiling on [`Report::oracle_gap_hinted`] enforced by the gate: the
@@ -226,6 +241,8 @@ impl Report {
         tel.gauge_set("perf/checker_speedup", self.checker_speedup);
         tel.gauge_set("perf/batch_scaling", self.batch_scaling);
         tel.gauge_set("perf/oracle_gap_hinted", self.oracle_gap_hinted);
+        tel.gauge_set("perf/serve_p50_us", self.serve_p50_us);
+        tel.gauge_set("perf/serve_p99_us", self.serve_p99_us);
     }
 }
 
@@ -275,6 +292,9 @@ pub fn run_all(config: &BenchConfig) -> Report {
     // The oracle family doubles as the source of the derived quality
     // figure: the aggregate hinted gap over every measured machine.
     let oracle_gap_hinted = suite::oracle_differential(config, &mut benches);
+    // The serve/load family likewise yields the gated end-to-end serve
+    // latency percentiles (from the K5 run's fastest repetition).
+    let (serve_p50_us, serve_p99_us) = suite::serve_load(config, &mut benches);
 
     // Both sides of the A/B run the identical attempt stream at the same
     // iteration count, so total time is directly comparable (the
@@ -312,12 +332,14 @@ pub fn run_all(config: &BenchConfig) -> Report {
     };
 
     Report {
-        schema: 3,
+        schema: 4,
         seed: config.seed,
         benches,
         checker_speedup,
         batch_scaling,
         oracle_gap_hinted,
+        serve_p50_us,
+        serve_p99_us,
     }
 }
 

@@ -46,6 +46,10 @@ pub fn render_table(report: &Report) -> String {
         "hinted optimality gap (hinted ÷ oracle cycles): {:.3}\n",
         report.oracle_gap_hinted
     ));
+    out.push_str(&format!(
+        "serve latency (closed-loop pipelined, k5): p50 {:.0}us · p99 {:.0}us\n",
+        report.serve_p50_us, report.serve_p99_us
+    ));
     out
 }
 
@@ -110,7 +114,7 @@ mod tests {
     #[test]
     fn table_lists_every_bench_and_the_speedup() {
         let report = Report {
-            schema: 3,
+            schema: 4,
             seed: 7,
             benches: vec![Sample {
                 name: "rumap/word_ops".into(),
@@ -123,6 +127,8 @@ mod tests {
             checker_speedup: 1.75,
             batch_scaling: 3.12,
             oracle_gap_hinted: 1.042,
+            serve_p50_us: 850.0,
+            serve_p99_us: 2412.0,
         };
         let table = render_table(&report);
         assert!(table.contains("rumap/word_ops"));
@@ -130,12 +136,14 @@ mod tests {
         assert!(table.contains("1.75x"));
         assert!(table.contains("3.12x"));
         assert!(table.contains("1.042"));
+        assert!(table.contains("p50 850us"));
+        assert!(table.contains("p99 2412us"));
     }
 
     #[test]
     fn delta_table_marks_failures() {
         let mk = |ns: u128| Report {
-            schema: 3,
+            schema: 4,
             seed: 7,
             benches: vec![Sample {
                 name: "a".into(),
@@ -148,6 +156,8 @@ mod tests {
             checker_speedup: 0.0,
             batch_scaling: 0.0,
             oracle_gap_hinted: 0.0,
+            serve_p50_us: 0.0,
+            serve_p99_us: 0.0,
         };
         let outcome = compare(&mk(2000), &mk(1000), 0.25, 0.0, 0.0);
         let rendered = render_deltas(&outcome);

@@ -376,6 +376,94 @@ fn engine_batches(config: &BenchConfig, out: &mut Vec<Sample>) {
     }
 }
 
+/// The `serve/load/<machine>` family plus the report's serve-latency
+/// figures: the full closed-loop v2 client (pipelined connections,
+/// every reply re-verified against a locally recomputed expectation)
+/// against a live daemon, one bench per bundled machine.  Work unit:
+/// one verified answer — deterministic (the run is clean or the bench
+/// panics), so count drift catches a request silently going missing.
+///
+/// Returns `(serve_p50_us, serve_p99_us)` — the fastest-repetition
+/// percentiles of the K5 run, the figures the CI gate compares against
+/// the committed baseline — or `(0, 0)` when the K5 bench was filtered
+/// out of the run.
+pub(crate) fn serve_load(config: &BenchConfig, out: &mut Vec<Sample>) -> (f64, f64) {
+    use std::cell::Cell;
+
+    const REQUESTS: usize = 96;
+    let mut p50 = 0.0;
+    let mut p99 = 0.0;
+    for machine in Machine::all() {
+        let name = format!("serve/load/{}", machine.name().to_lowercase());
+        if !config.matches(&name) {
+            continue;
+        }
+        let path = std::env::temp_dir().join(format!(
+            "mdes-perf-load-{}-{}.sock",
+            machine.name().to_lowercase(),
+            std::process::id()
+        ));
+        let store = Arc::new(mdes_serve::ImageStore::new(
+            mdes_serve::compile_machine(machine),
+            machine.name(),
+            config.seed,
+        ));
+        let handle = mdes_serve::serve(
+            mdes_serve::BindAddr::Unix(path.clone()),
+            store,
+            mdes_serve::ServeConfig {
+                workers: 2,
+                ..mdes_serve::ServeConfig::default()
+            },
+        )
+        .expect("daemon binds");
+        let options = mdes_serve::LoadOptions {
+            addr: mdes_serve::BindAddr::Unix(path),
+            connections: 2,
+            requests: REQUESTS,
+            params: mdes_serve::WorkParams {
+                regions: 4,
+                mean_ops: 8,
+                seed: config.seed,
+                jobs: 1,
+            },
+            pipeline: 4,
+            machines: Vec::new(),
+            deadline_ms: None,
+            reloads: Vec::new(),
+            known_sources: vec![mdes_core::lmdes::write(&mdes_serve::compile_machine(
+                machine,
+            ))],
+            verify_responses: true,
+            shutdown_when_done: false,
+            max_retries: 16,
+        };
+        // Fastest repetition's percentiles, for the same noise-robustness
+        // reason the gate compares min-of-K timings.
+        let best = Cell::new((u64::MAX, u64::MAX));
+        out.push(measure(&name, config.iters(1), config.reps, || {
+            let report = mdes_serve::run_load(&options).expect("load run");
+            assert!(
+                report.is_clean() && report.unverified == 0,
+                "serve/load/{} run not clean: {:?}",
+                machine.name(),
+                report.errors
+            );
+            let (p50, p99) = best.get();
+            best.set((p50.min(report.p50_us), p99.min(report.p99_us)));
+            report.answered
+        }));
+        handle.shutdown();
+        handle.join();
+        if machine == Machine::K5 {
+            let (best_p50, best_p99) = best.get();
+            p50 = best_p50 as f64;
+            p99 = best_p99 as f64;
+        }
+    }
+    (p50, p99)
+}
+
 /// One client connection round-tripping `schedule` requests through a
 /// live daemon over a Unix socket: frame parse + admission queue +
 /// engine + reply render per request.  Work unit: one answered request,

@@ -20,7 +20,7 @@ use mdes_core::CompiledMdes;
 use mdes_machines::Machine;
 use mdes_sched::{CheckStats, ListScheduler, SchedScratch};
 use mdes_telemetry::json::Json;
-use mdes_telemetry::{LatencyRecorder, Telemetry};
+use mdes_telemetry::Telemetry;
 use mdes_workload::{generate_compiled_regions, RegionConfig};
 
 use crate::image::{compile_source, content_hash};
@@ -114,6 +114,9 @@ pub struct ReloadEvent {
     pub at: usize,
     /// Path the daemon is told to reload.
     pub path: String,
+    /// Shard the reload targets (`machine` field), or `None` for the
+    /// daemon's default shard.
+    pub machine: Option<String>,
     /// Whether the reload is expected to be *rejected* (a corrupt image
     /// planted by the harness): an accepted reload then counts as a
     /// failure, and vice versa.
@@ -131,6 +134,14 @@ pub struct LoadOptions {
     pub requests: usize,
     /// Per-request workload shape; request `i` uses `seed + i`.
     pub params: WorkParams,
+    /// Requests in flight per connection.  `1` (the default) is the
+    /// strict closed loop and sends v1-style id-less frames; `>1` opts
+    /// into protocol-v2 pipelining with a windowed in-flight map.
+    pub pipeline: usize,
+    /// Shards to spray requests over (request `i` targets
+    /// `machines[i % len]`).  Empty targets the daemon's default shard
+    /// and omits the `machine` field entirely.
+    pub machines: Vec<String>,
     /// Optional per-request deadline forwarded to the daemon.
     pub deadline_ms: Option<u64>,
     /// Scripted reloads, fired by whichever connection claims the
@@ -292,13 +303,19 @@ impl Connection {
         })
     }
 
-    /// Sends one line and reads one reply line.
-    fn round_trip(&mut self, line: &str) -> Result<Reply, String> {
+    /// Sends one line without waiting for the reply (the pipelined
+    /// path's fire half).
+    fn send(&mut self, line: &str) -> Result<(), String> {
         let stream = self.reader.get_mut();
         stream
             .write_all(line.as_bytes())
             .and_then(|_| stream.write_all(b"\n"))
-            .map_err(|e| format!("write: {e}"))?;
+            .map_err(|e| format!("write: {e}"))
+    }
+
+    /// Reads one reply line (order is the daemon's choice under
+    /// pipelining; correlate by `Reply::id`).
+    fn read_reply(&mut self) -> Result<Reply, String> {
         let mut response = String::new();
         loop {
             match self.reader.read_line(&mut response) {
@@ -309,24 +326,76 @@ impl Connection {
             }
         }
     }
+
+    /// Sends one line and reads one reply line (the serial path).
+    fn round_trip(&mut self, line: &str) -> Result<Reply, String> {
+        self.send(line)?;
+        self.read_reply()
+    }
 }
 
-fn schedule_line(id: u64, params: WorkParams, deadline_ms: Option<u64>, verify: bool) -> String {
+fn machine_suffix(machine: Option<&str>) -> String {
+    match machine {
+        Some(name) => format!(", \"machine\": {}", Json::Str(name.to_string()).render()),
+        None => String::new(),
+    }
+}
+
+/// The shard request `index` targets under the run's spray policy.
+fn machine_for(options: &LoadOptions, index: usize) -> Option<&str> {
+    if options.machines.is_empty() {
+        None
+    } else {
+        Some(options.machines[index % options.machines.len()].as_str())
+    }
+}
+
+fn schedule_line(
+    id: Option<u64>,
+    params: WorkParams,
+    deadline_ms: Option<u64>,
+    verify: bool,
+    machine: Option<&str>,
+) -> String {
     let verb = if verify { "verify" } else { "schedule" };
+    let id_field = match id {
+        Some(id) => format!("\"id\": {id}, "),
+        None => String::new(),
+    };
     let deadline = match deadline_ms {
         Some(ms) => format!(", \"deadline_ms\": {ms}"),
         None => String::new(),
     };
     format!(
-        "{{\"id\": {id}, \"verb\": \"{verb}\", \"regions\": {}, \"mean_ops\": {}, \
-         \"seed\": {}, \"jobs\": {}{deadline}}}",
-        params.regions, params.mean_ops, params.seed, params.jobs
+        "{{{id_field}\"verb\": \"{verb}\", \"regions\": {}, \"mean_ops\": {}, \
+         \"seed\": {}, \"jobs\": {}{deadline}{}}}",
+        params.regions,
+        params.mean_ops,
+        params.seed,
+        params.jobs,
+        machine_suffix(machine)
+    )
+}
+
+fn reload_line(id: Option<u64>, event: &ReloadEvent) -> String {
+    let id_field = match id {
+        Some(id) => format!("\"id\": {id}, "),
+        None => String::new(),
+    };
+    format!(
+        "{{{id_field}\"verb\": \"reload\", \"path\": {}{}}}",
+        Json::Str(event.path.clone()).render(),
+        machine_suffix(event.machine.as_deref())
     )
 }
 
 struct RunState {
     next: AtomicUsize,
-    latency: LatencyRecorder,
+    /// Raw per-request latencies, merged from every connection's local
+    /// vector before the percentile cut.  A shared bounded ring would
+    /// evict early samples and under-weight slow connections whenever
+    /// `--connections` skews the claim rate.
+    samples: Mutex<Vec<u64>>,
     answered: AtomicU64,
     deadline_errors: AtomicU64,
     panic_errors: AtomicU64,
@@ -347,6 +416,23 @@ impl RunState {
             errors.push(message);
         }
     }
+
+    fn merge_samples(&self, local: Vec<u64>) {
+        self.samples.lock().unwrap().extend(local);
+    }
+}
+
+/// Nearest-rank percentile over an already-sorted sample set, matching
+/// `LatencyRecorder`'s cut so in-process and over-socket numbers use
+/// the same definition.
+fn percentile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[rank]
 }
 
 /// Runs the closed loop: `connections` threads drain a shared request
@@ -361,7 +447,7 @@ pub fn run_load(options: &LoadOptions) -> Result<ClientReport, String> {
     };
     let state = RunState {
         next: AtomicUsize::new(0),
-        latency: LatencyRecorder::new(8192),
+        samples: Mutex::new(Vec::new()),
         answered: AtomicU64::new(0),
         deadline_errors: AtomicU64::new(0),
         panic_errors: AtomicU64::new(0),
@@ -377,7 +463,11 @@ pub fn run_load(options: &LoadOptions) -> Result<ClientReport, String> {
 
     std::thread::scope(|scope| {
         for _ in 0..options.connections.max(1) {
-            scope.spawn(|| connection_worker(options, &state, verifier.as_ref()));
+            if options.pipeline > 1 {
+                scope.spawn(|| pipelined_worker(options, &state, verifier.as_ref()));
+            } else {
+                scope.spawn(|| serial_worker(options, &state, verifier.as_ref()));
+            }
         }
     });
 
@@ -390,6 +480,8 @@ pub fn run_load(options: &LoadOptions) -> Result<ClientReport, String> {
     }
 
     let errors = std::mem::take(&mut *state.errors.lock().unwrap());
+    let mut samples = std::mem::take(&mut *state.samples.lock().unwrap());
+    samples.sort_unstable();
     Ok(ClientReport {
         answered: state.answered.load(Ordering::Relaxed),
         deadline_errors: state.deadline_errors.load(Ordering::Relaxed),
@@ -401,24 +493,33 @@ pub fn run_load(options: &LoadOptions) -> Result<ClientReport, String> {
         reload_acks: state.reload_acks.load(Ordering::Relaxed),
         reload_rejections: state.reload_rejections.load(Ordering::Relaxed),
         reload_surprises: state.reload_surprises.load(Ordering::Relaxed),
-        p50_us: state.latency.percentile(0.50).unwrap_or(0),
-        p99_us: state.latency.percentile(0.99).unwrap_or(0),
+        p50_us: percentile_sorted(&samples, 0.50),
+        p99_us: percentile_sorted(&samples, 0.99),
         errors,
     })
 }
 
-fn connection_worker(options: &LoadOptions, state: &RunState, verifier: Option<&Verifier>) {
+/// Counts every index this worker would still claim as dropped, so a
+/// run against a dead daemon terminates instead of spinning.
+fn drain_as_dropped(options: &LoadOptions, state: &RunState) {
+    loop {
+        let i = state.next.fetch_add(1, Ordering::Relaxed);
+        if i >= options.requests {
+            return;
+        }
+        state.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The strict closed loop: one request in flight, id-less v1 frames —
+/// every chaos run with `--pipeline 1` exercises the daemon's serial
+/// rendezvous path with the exact bytes a protocol-v1 client sends.
+fn serial_worker(options: &LoadOptions, state: &RunState, verifier: Option<&Verifier>) {
+    let mut samples = Vec::new();
     let mut conn = match Connection::open(&options.addr) {
         Ok(conn) => conn,
         Err(e) => {
-            // Count everything this thread would have claimed as dropped.
-            loop {
-                let i = state.next.fetch_add(1, Ordering::Relaxed);
-                if i >= options.requests {
-                    break;
-                }
-                state.dropped.fetch_add(1, Ordering::Relaxed);
-            }
+            drain_as_dropped(options, state);
             state.note_error(e);
             return;
         }
@@ -426,25 +527,21 @@ fn connection_worker(options: &LoadOptions, state: &RunState, verifier: Option<&
     loop {
         let index = state.next.fetch_add(1, Ordering::Relaxed);
         if index >= options.requests {
-            return;
+            break;
         }
         for event in &options.reloads {
             if event.at == index {
                 fire_reload(&mut conn, event, state);
             }
         }
-        run_one(&mut conn, options, state, verifier, index);
+        run_one(&mut conn, options, state, verifier, index, &mut samples);
     }
+    state.merge_samples(samples);
 }
 
-fn fire_reload(conn: &mut Connection, event: &ReloadEvent, state: &RunState) {
-    let line = format!(
-        "{{\"id\": 900000, \"verb\": \"reload\", \"path\": {}}}",
-        Json::Str(event.path.clone()).render()
-    );
-    match conn.round_trip(&line) {
-        Ok(reply) => {
-            let rejected = !reply.ok;
+fn settle_reload(outcome: Result<bool, String>, event: &ReloadEvent, state: &RunState) {
+    match outcome {
+        Ok(rejected) => {
             if rejected == event.expect_rejection {
                 if rejected {
                     state.reload_rejections.fetch_add(1, Ordering::Relaxed);
@@ -455,7 +552,7 @@ fn fire_reload(conn: &mut Connection, event: &ReloadEvent, state: &RunState) {
                 state.reload_surprises.fetch_add(1, Ordering::Relaxed);
                 state.note_error(format!(
                     "reload of `{}` expected rejection={} but got ok={}",
-                    event.path, event.expect_rejection, reply.ok
+                    event.path, event.expect_rejection, !rejected
                 ));
             }
         }
@@ -466,18 +563,32 @@ fn fire_reload(conn: &mut Connection, event: &ReloadEvent, state: &RunState) {
     }
 }
 
+fn fire_reload(conn: &mut Connection, event: &ReloadEvent, state: &RunState) {
+    let outcome = conn
+        .round_trip(&reload_line(None, event))
+        .map(|reply| !reply.ok);
+    settle_reload(outcome, event, state);
+}
+
 fn run_one(
     conn: &mut Connection,
     options: &LoadOptions,
     state: &RunState,
     verifier: Option<&Verifier>,
     index: usize,
+    samples: &mut Vec<u64>,
 ) {
     let params = WorkParams {
         seed: options.params.seed.wrapping_add(index as u64),
         ..options.params
     };
-    let line = schedule_line(index as u64, params, options.deadline_ms, false);
+    let line = schedule_line(
+        None,
+        params,
+        options.deadline_ms,
+        false,
+        machine_for(options, index),
+    );
     let started = Instant::now();
     let mut retries = 0usize;
     loop {
@@ -495,7 +606,7 @@ fn run_one(
             }
         };
         if reply.ok {
-            state.latency.record(started.elapsed().as_micros() as u64);
+            samples.push(started.elapsed().as_micros() as u64);
             state.answered.fetch_add(1, Ordering::Relaxed);
             if let Some(verifier) = verifier {
                 check_answer(&reply, params, verifier, state, index);
@@ -528,6 +639,243 @@ fn run_one(
                 state.note_error(format!("request {index}: unexpected error code {other:?}"));
                 return;
             }
+        }
+    }
+}
+
+/// Ids for pipelined reload frames sit far above any request index so
+/// the two id spaces can never collide.
+const RELOAD_ID_BASE: u64 = 1 << 48;
+
+/// A pipelined request awaiting its reply.
+struct Outstanding {
+    line: String,
+    params: WorkParams,
+    started: Instant,
+    retries: usize,
+    index: usize,
+}
+
+/// The protocol-v2 path: keep up to `pipeline` requests in flight per
+/// connection, correlate replies by id (the daemon may complete them in
+/// any order), and retry shed requests in place without collapsing the
+/// window.
+fn pipelined_worker(options: &LoadOptions, state: &RunState, verifier: Option<&Verifier>) {
+    let depth = options.pipeline;
+    let mut samples: Vec<u64> = Vec::new();
+    let mut conn = match Connection::open(&options.addr) {
+        Ok(conn) => conn,
+        Err(e) => {
+            drain_as_dropped(options, state);
+            state.note_error(e);
+            return;
+        }
+    };
+    let mut inflight: HashMap<u64, Outstanding> = HashMap::new();
+    let mut reloads: HashMap<u64, ReloadEvent> = HashMap::new();
+    let mut reload_seq = 0u64;
+    let mut exhausted = false;
+    'run: loop {
+        // Fill the window.
+        while !exhausted && inflight.len() < depth {
+            let index = state.next.fetch_add(1, Ordering::Relaxed);
+            if index >= options.requests {
+                exhausted = true;
+                break;
+            }
+            for event in &options.reloads {
+                if event.at == index {
+                    let id = RELOAD_ID_BASE + reload_seq;
+                    reload_seq += 1;
+                    match conn.send(&reload_line(Some(id), event)) {
+                        Ok(()) => {
+                            reloads.insert(id, event.clone());
+                        }
+                        Err(e) => settle_reload(Err(e), event, state),
+                    }
+                }
+            }
+            let params = WorkParams {
+                seed: options.params.seed.wrapping_add(index as u64),
+                ..options.params
+            };
+            let line = schedule_line(
+                Some(index as u64),
+                params,
+                options.deadline_ms,
+                false,
+                machine_for(options, index),
+            );
+            match conn.send(&line) {
+                Ok(()) => {
+                    inflight.insert(
+                        index as u64,
+                        Outstanding {
+                            line,
+                            params,
+                            started: Instant::now(),
+                            retries: 0,
+                            index,
+                        },
+                    );
+                }
+                Err(e) => {
+                    state.dropped.fetch_add(1, Ordering::Relaxed);
+                    state.note_error(format!("request {index}: {e}"));
+                    if !reconnect(&mut conn, options, state, &mut inflight, &mut reloads) {
+                        break 'run;
+                    }
+                }
+            }
+        }
+        if inflight.is_empty() && reloads.is_empty() {
+            if exhausted {
+                break;
+            }
+            continue;
+        }
+        let reply = match conn.read_reply() {
+            Ok(reply) => reply,
+            Err(e) => {
+                state.note_error(format!("connection lost: {e}"));
+                if reconnect(&mut conn, options, state, &mut inflight, &mut reloads) {
+                    continue;
+                }
+                break;
+            }
+        };
+        if let Some(out) = inflight.remove(&reply.id) {
+            match settle_work(
+                &reply,
+                out,
+                options,
+                state,
+                verifier,
+                &mut conn,
+                &mut samples,
+            ) {
+                Settled::Done => {}
+                Settled::Resent(out) => {
+                    inflight.insert(reply.id, out);
+                }
+                Settled::ConnectionBroken => {
+                    if !reconnect(&mut conn, options, state, &mut inflight, &mut reloads) {
+                        break;
+                    }
+                }
+            }
+        } else if let Some(event) = reloads.remove(&reply.id) {
+            settle_reload(Ok(!reply.ok), &event, state);
+        } else {
+            // A duplicate or unsolicited id: the daemon never does
+            // this, so surface it loudly rather than miscounting.
+            state.note_error(format!("unexpected reply id {}", reply.id));
+        }
+    }
+    state.merge_samples(samples);
+}
+
+/// What became of one correlated work reply.
+enum Settled {
+    /// Finished (answered, deadline, panic, or dropped) — forget it.
+    Done,
+    /// Shed and resent: put it back in the in-flight map under the
+    /// same id (safe — the daemon answered the previous send).
+    Resent(Outstanding),
+    /// The resend hit a dead connection; the caller reconnects.
+    ConnectionBroken,
+}
+
+/// Handles one correlated work reply; shed requests are resent in
+/// place after the daemon's backoff hint.  Latency keeps accruing from
+/// the first send — a shed-and-retried request is one request to the
+/// percentile cut.
+fn settle_work(
+    reply: &Reply,
+    mut out: Outstanding,
+    options: &LoadOptions,
+    state: &RunState,
+    verifier: Option<&Verifier>,
+    conn: &mut Connection,
+    samples: &mut Vec<u64>,
+) -> Settled {
+    if reply.ok {
+        samples.push(out.started.elapsed().as_micros() as u64);
+        state.answered.fetch_add(1, Ordering::Relaxed);
+        if let Some(verifier) = verifier {
+            check_answer(reply, out.params, verifier, state, out.index);
+        }
+        return Settled::Done;
+    }
+    match reply.error_num() {
+        Some(6) => {
+            if out.retries >= options.max_retries {
+                state.dropped.fetch_add(1, Ordering::Relaxed);
+                state.note_error(format!("request {}: retry budget exhausted", out.index));
+                return Settled::Done;
+            }
+            out.retries += 1;
+            state.shed_retries.fetch_add(1, Ordering::Relaxed);
+            let backoff = reply.retry_after_ms().unwrap_or(10).min(1_000);
+            std::thread::sleep(Duration::from_millis(backoff));
+            match conn.send(&out.line) {
+                Ok(()) => Settled::Resent(out),
+                Err(e) => {
+                    state.dropped.fetch_add(1, Ordering::Relaxed);
+                    state.note_error(format!("request {}: {e}", out.index));
+                    Settled::ConnectionBroken
+                }
+            }
+        }
+        Some(5) => {
+            state.deadline_errors.fetch_add(1, Ordering::Relaxed);
+            Settled::Done
+        }
+        Some(7) => {
+            state.panic_errors.fetch_add(1, Ordering::Relaxed);
+            Settled::Done
+        }
+        other => {
+            state.dropped.fetch_add(1, Ordering::Relaxed);
+            state.note_error(format!(
+                "request {}: unexpected error code {other:?}",
+                out.index
+            ));
+            Settled::Done
+        }
+    }
+}
+
+/// Drops everything outstanding on a dead connection and re-opens it.
+/// Returns `false` when the daemon is unreachable; the worker then
+/// claims-and-drops the remaining indices so the run still terminates.
+fn reconnect(
+    conn: &mut Connection,
+    options: &LoadOptions,
+    state: &RunState,
+    inflight: &mut HashMap<u64, Outstanding>,
+    reloads: &mut HashMap<u64, ReloadEvent>,
+) -> bool {
+    state
+        .dropped
+        .fetch_add(inflight.len() as u64, Ordering::Relaxed);
+    inflight.clear();
+    for (_, event) in reloads.drain() {
+        settle_reload(
+            Err("connection lost awaiting reload ack".to_string()),
+            &event,
+            state,
+        );
+    }
+    match Connection::open(&options.addr) {
+        Ok(fresh) => {
+            *conn = fresh;
+            true
+        }
+        Err(e) => {
+            state.note_error(e);
+            drain_as_dropped(options, state);
+            false
         }
     }
 }
@@ -616,9 +964,10 @@ mod tests {
             seed: 77,
             jobs: 2,
         };
-        let line = schedule_line(12, params, Some(40), true);
+        let line = schedule_line(Some(12), params, Some(40), true, Some("k5"));
         let frame = crate::proto::parse_frame(&line).unwrap();
-        assert_eq!(frame.id, 12);
+        assert_eq!(frame.id, Some(12));
+        assert_eq!(frame.machine.as_deref(), Some("k5"));
         assert_eq!(
             frame.request,
             crate::proto::Request::Verify {
@@ -626,5 +975,135 @@ mod tests {
                 deadline_ms: Some(40)
             }
         );
+    }
+
+    #[test]
+    fn serial_schedule_lines_are_idless_v1_frames() {
+        let params = WorkParams {
+            regions: 3,
+            mean_ops: 5,
+            seed: 77,
+            jobs: 2,
+        };
+        let line = schedule_line(None, params, None, false, None);
+        assert!(
+            !line.contains("\"id\""),
+            "serial line carried an id: {line}"
+        );
+        assert!(!line.contains("\"machine\""));
+        let frame = crate::proto::parse_frame(&line).unwrap();
+        assert_eq!(frame.id, None, "id-less frames must stay v1-serial");
+        assert_eq!(frame.reply_id(), 0);
+    }
+
+    #[test]
+    fn reload_lines_carry_machine_and_optional_id() {
+        let event = ReloadEvent {
+            at: 3,
+            path: "/tmp/x.lmdes".to_string(),
+            machine: Some("pentium".to_string()),
+            expect_rejection: false,
+        };
+        let frame = crate::proto::parse_frame(&reload_line(Some(RELOAD_ID_BASE), &event)).unwrap();
+        assert_eq!(frame.id, Some(RELOAD_ID_BASE));
+        assert_eq!(frame.machine.as_deref(), Some("pentium"));
+        let frame = crate::proto::parse_frame(&reload_line(None, &event)).unwrap();
+        assert_eq!(frame.id, None);
+    }
+
+    #[test]
+    fn machine_spray_cycles_round_robin() {
+        let mut options = LoadOptions {
+            addr: BindAddr::Unix("/nonexistent".into()),
+            connections: 1,
+            requests: 10,
+            params: WorkParams {
+                regions: 1,
+                mean_ops: 1,
+                seed: 0,
+                jobs: 1,
+            },
+            pipeline: 1,
+            machines: vec!["a".to_string(), "b".to_string()],
+            deadline_ms: None,
+            reloads: Vec::new(),
+            known_sources: Vec::new(),
+            verify_responses: false,
+            shutdown_when_done: false,
+            max_retries: 0,
+        };
+        assert_eq!(machine_for(&options, 0), Some("a"));
+        assert_eq!(machine_for(&options, 1), Some("b"));
+        assert_eq!(machine_for(&options, 2), Some("a"));
+        options.machines.clear();
+        assert_eq!(machine_for(&options, 0), None);
+    }
+
+    /// The regression for the `--connections` skew bug: percentiles
+    /// must come from the merged raw samples of every connection, not
+    /// a shared bounded ring that evicts early (typically fast-path)
+    /// samples.  The cut over merged vectors must equal the cut over
+    /// their plain concatenation, however lopsided the per-connection
+    /// counts are.
+    #[test]
+    fn percentiles_merge_skewed_connections_exactly() {
+        // Connection A contributed 9000 fast samples, connection B only
+        // 10 slow ones — B must not be able to drag p50, and A's early
+        // samples must not be evicted from p99's view.
+        let fast: Vec<u64> = (0..9000).map(|i| 100 + (i % 50)).collect();
+        let slow: Vec<u64> = (0..10).map(|i| 90_000 + i * 1000).collect();
+
+        let state = RunState {
+            next: AtomicUsize::new(0),
+            samples: Mutex::new(Vec::new()),
+            answered: AtomicU64::new(0),
+            deadline_errors: AtomicU64::new(0),
+            panic_errors: AtomicU64::new(0),
+            shed_retries: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            mismatches: AtomicU64::new(0),
+            unverified: AtomicU64::new(0),
+            reload_acks: AtomicU64::new(0),
+            reload_rejections: AtomicU64::new(0),
+            reload_surprises: AtomicU64::new(0),
+            errors: Mutex::new(Vec::new()),
+        };
+        state.merge_samples(fast.clone());
+        state.merge_samples(slow.clone());
+
+        let mut merged = std::mem::take(&mut *state.samples.lock().unwrap());
+        merged.sort_unstable();
+        let mut concat = [fast, slow].concat();
+        concat.sort_unstable();
+        assert_eq!(merged, concat);
+
+        let n = merged.len();
+        let p50 = percentile_sorted(&merged, 0.50);
+        let p99 = percentile_sorted(&merged, 0.99);
+        // Nearest-rank by hand: rank = ceil(q*n) - 1.
+        assert_eq!(p50, concat[(0.50f64 * n as f64).ceil() as usize - 1]);
+        assert_eq!(p99, concat[(0.99f64 * n as f64).ceil() as usize - 1]);
+        // The 10 slow outliers are ~0.1% of the run: p50 stays on the
+        // fast path and p99 still reflects the merged distribution.
+        assert!(p50 < 200, "p50 dragged by outliers: {p50}");
+        assert!(p99 < 90_000, "p99 must sit below the 0.1% outlier band");
+    }
+
+    #[test]
+    fn percentile_sorted_matches_latency_recorder_semantics() {
+        use mdes_telemetry::LatencyRecorder;
+        let samples: Vec<u64> = (1..=137).map(|i| i * 3).collect();
+        let recorder = LatencyRecorder::new(1024);
+        for &s in &samples {
+            recorder.record(s);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                Some(percentile_sorted(&samples, q)),
+                recorder.percentile(q),
+                "divergence at q={q}"
+            );
+        }
+        assert_eq!(percentile_sorted(&[], 0.5), 0);
     }
 }

@@ -10,7 +10,7 @@
 //! ```json
 //! {"id": 1, "verb": "schedule", "regions": 8, "mean_ops": 8, "seed": 3}
 //! {"id": 2, "verb": "verify",   "regions": 4, "seed": 9, "deadline_ms": 50}
-//! {"id": 3, "verb": "query"}
+//! {"id": 3, "verb": "query",    "machine": "pentium"}
 //! {"id": 4, "verb": "stats"}
 //! {"id": 5, "verb": "reload", "path": "/path/to/new.lmdes"}
 //! {"id": 6, "verb": "shutdown"}
@@ -23,6 +23,23 @@
 //! {"id": 2, "ok": false,
 //!  "error": {"code": "overload", "num": 6, "message": "...", "retry_after_ms": 25}}
 //! ```
+//!
+//! ## Protocol v2: pipelining and shard routing
+//!
+//! Both additions are optional fields, so every v1 frame is a valid v2
+//! frame with identical semantics:
+//!
+//! * **`id`** — when present on a work verb, the connection may carry
+//!   many requests in flight; replies are written as jobs finish,
+//!   possibly out of admission order, each echoing its request's `id`.
+//!   A frame *without* `id` keeps the v1 contract: the daemon answers
+//!   it (echoing `"id":0`) before reading the connection's next frame,
+//!   so id-less clients observe strict serial FIFO behavior,
+//!   byte-identical to v1.
+//! * **`machine`** — routes the request to one shard of a multi-machine
+//!   daemon.  Absent, the boot (default) shard handles it, which is the
+//!   whole daemon when serving a single machine — exactly v1.  Naming a
+//!   machine the daemon does not serve is a `parse` error.
 //!
 //! ## Error-code contract
 //!
@@ -165,13 +182,28 @@ pub enum Request {
     Poison,
 }
 
-/// One decoded frame: the request plus its client-chosen correlation id.
+/// One decoded frame: the request plus its client-chosen correlation id
+/// and shard routing.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
-    /// Correlation id echoed into the response (0 if absent).
-    pub id: u64,
+    /// Correlation id echoed into the response.  `None` marks a v1-style
+    /// serial request: the reply echoes `0` and is written before the
+    /// connection's next frame is read.  `Some(id)` opts the request
+    /// into pipelined completion routing.
+    pub id: Option<u64>,
+    /// Shard routing: the machine this request targets, or `None` for
+    /// the daemon's default (boot) shard.
+    pub machine: Option<String>,
     /// The decoded verb.
     pub request: Request,
+}
+
+impl Frame {
+    /// The id echoed into this frame's reply (`0` when the request
+    /// carried none, matching v1 responses byte for byte).
+    pub fn reply_id(&self) -> u64 {
+        self.id.unwrap_or(0)
+    }
 }
 
 /// A protocol-level rejection: carries the id when one was recoverable
@@ -232,7 +264,17 @@ pub fn parse_frame(line: &str) -> Result<Frame, WireError> {
     if json.as_obj().is_none() {
         return Err(WireError::parse(0, "frame must be a JSON object"));
     }
-    let id = json.get("id").and_then(Json::as_u64).unwrap_or(0);
+    let frame_id = json.get("id").and_then(Json::as_u64);
+    let id = frame_id.unwrap_or(0);
+    let machine = match json.get("machine") {
+        None => None,
+        Some(value) => Some(
+            value
+                .as_str()
+                .ok_or_else(|| WireError::parse(id, "`machine` must be a string"))?
+                .to_string(),
+        ),
+    };
     let verb = json
         .get("verb")
         .and_then(Json::as_str)
@@ -290,7 +332,11 @@ pub fn parse_frame(line: &str) -> Result<Frame, WireError> {
             })
         }
     };
-    Ok(Frame { id, request })
+    Ok(Frame {
+        id: frame_id,
+        machine,
+        request,
+    })
 }
 
 /// Renders a success response line (newline included).
@@ -395,7 +441,9 @@ mod tests {
     #[test]
     fn schedule_frames_parse_with_defaults_and_overrides() {
         let frame = parse_frame(r#"{"id": 7, "verb": "schedule"}"#).unwrap();
-        assert_eq!(frame.id, 7);
+        assert_eq!(frame.id, Some(7));
+        assert_eq!(frame.reply_id(), 7);
+        assert_eq!(frame.machine, None);
         assert_eq!(
             frame.request,
             Request::Schedule {
@@ -421,6 +469,30 @@ mod tests {
                 deadline_ms: Some(250),
             }
         );
+    }
+
+    #[test]
+    fn idless_frames_are_v1_serial_and_echo_zero() {
+        // A frame without `id` must parse to `id: None` (the serial
+        // marker) but reply with `"id":0` — the exact v1 bytes.
+        let frame = parse_frame(r#"{"verb": "schedule"}"#).unwrap();
+        assert_eq!(frame.id, None);
+        assert_eq!(frame.reply_id(), 0);
+        let line = ok_response(frame.reply_id(), obj(vec![]));
+        assert!(line.starts_with(r#"{"id":0,"#), "{line}");
+    }
+
+    #[test]
+    fn machine_field_routes_and_rejects_non_strings() {
+        let frame = parse_frame(r#"{"verb": "query", "machine": "pentium"}"#).unwrap();
+        assert_eq!(frame.machine.as_deref(), Some("pentium"));
+        let frame =
+            parse_frame(r#"{"id": 2, "verb": "reload", "path": "x", "machine": "k5"}"#).unwrap();
+        assert_eq!(frame.machine.as_deref(), Some("k5"));
+        assert_eq!(frame.id, Some(2));
+
+        let err = parse_frame(r#"{"id": 9, "verb": "query", "machine": 3}"#).unwrap_err();
+        assert_eq!((err.id, err.code), (9, ErrorCode::Parse));
     }
 
     #[test]

@@ -3,20 +3,36 @@
 //!
 //! ## Threading model
 //!
-//! One accept thread, one thread per connection, and a fixed pool of
-//! request workers draining the [`AdmissionQueue`].  A connection thread
-//! is the client's agent: it frames requests, answers the cheap verbs
-//! (`query`, `stats`, `reload`, `shutdown`) inline, and for work verbs
-//! (`schedule`, `verify`, `poison`) captures the serving image, pushes a
-//! job, and blocks for the worker's reply.  Request/response on one
-//! connection is strictly serial — the line protocol has no pipelining —
-//! so blocking is the natural backpressure toward the client.
+//! One accept thread, a reader *and* a writer thread per connection, and
+//! per shard a fixed pool of request workers draining that shard's
+//! [`AdmissionQueue`].  The reader frames requests, answers the cheap
+//! verbs (`query`, `stats`, `reload`, `shutdown`) through the writer,
+//! and for work verbs (`schedule`, `verify`, `poison`) captures the
+//! target shard's serving image and pushes a job.  The writer serializes
+//! reply lines onto the socket in completion order:
+//!
+//! * A request carrying an `id` is *pipelined* — the reader admits it
+//!   and immediately reads the next frame; the worker hands the finished
+//!   reply straight to the writer, so replies may leave out of admission
+//!   order and the client correlates them by `id`.
+//! * A request without an `id` keeps the v1 contract: the reader blocks
+//!   on the worker's rendezvous reply and forwards it before reading the
+//!   next frame — strict serial FIFO, byte-identical to v1.
+//!
+//! ## Sharding
+//!
+//! A daemon boots one [`Shard`] per served machine, each with its own
+//! epoch'd [`ImageStore`], admission queue, worker pool, and counters.
+//! Requests route by the optional `machine` field (default: the boot
+//! shard), so overload, deadlines, and reloads on one shard cannot
+//! disturb another — there is no shared queue to poison and no shared
+//! swap point to contend.
 //!
 //! ## Robustness contract
 //!
 //! * The serving image for a request is the one current *at admission*;
 //!   a concurrent reload never changes an admitted request's answer.
-//! * A full queue sheds instantly (`overload` + `retry_after_ms`);
+//! * A full shard queue sheds instantly (`overload` + `retry_after_ms`);
 //!   nothing waits anywhere unbounded.
 //! * A deadline that expires while the job is still queued cancels it at
 //!   pop time (`deadline` error) without doing the work.
@@ -24,7 +40,8 @@
 //!   (`panic` error); the worker thread survives.
 //! * Malformed frames get `parse` errors on the same connection; an
 //!   oversized or stalled (slow-loris) partial frame drops only that
-//!   connection.
+//!   connection.  Pipelined jobs already admitted when their connection
+//!   dies are still executed and counted (their replies are discarded).
 //! * Shutdown stops admissions, then drains: every admitted request is
 //!   answered before the daemon exits.
 
@@ -209,6 +226,60 @@ impl ServeStats {
             self.latency.percentile(0.99).unwrap_or(0) as f64,
         );
     }
+
+    /// Publishes the work-path counters under `serve/shard/<name>/*`.
+    /// Connection-level counters (parse errors, slow-loris drops, …) are
+    /// global by nature and stay under `serve/*`.
+    pub fn publish_shard(&self, tel: &Telemetry, name: &str) {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let key = |suffix: &str| format!("serve/shard/{name}/{suffix}");
+        tel.counter_add(&key("admitted"), load(&self.admitted));
+        tel.counter_add(&key("answered"), load(&self.answered));
+        tel.counter_add(&key("shed"), load(&self.shed));
+        tel.counter_add(&key("deadline_exceeded"), load(&self.deadline_exceeded));
+        tel.counter_add(&key("panics"), load(&self.panics));
+        tel.counter_add(&key("reloads"), load(&self.reloads));
+        tel.counter_add(&key("reload_failures"), load(&self.reload_failures));
+        tel.counter_add(&key("reload_cache_hits"), load(&self.reload_cache_hits));
+        tel.counter_add(&key("dropped"), self.in_flight());
+        tel.gauge_set(
+            &key("p50_us"),
+            self.latency.percentile(0.50).unwrap_or(0) as f64,
+        );
+        tel.gauge_set(
+            &key("p99_us"),
+            self.latency.percentile(0.99).unwrap_or(0) as f64,
+        );
+    }
+
+    /// The per-shard entry inside the `stats` verb's `shards` object.
+    fn to_shard_json(&self, image: &ServeImage, queue_depth: usize) -> Json {
+        let c = |a: &AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+        obj(vec![
+            ("admitted", c(&self.admitted)),
+            ("answered", c(&self.answered)),
+            ("shed", c(&self.shed)),
+            ("deadline_exceeded", c(&self.deadline_exceeded)),
+            ("panics", c(&self.panics)),
+            ("reloads", c(&self.reloads)),
+            ("reload_failures", c(&self.reload_failures)),
+            ("reload_noops", c(&self.reload_noops)),
+            ("reload_cache_hits", c(&self.reload_cache_hits)),
+            ("in_flight", Json::Num(self.in_flight() as f64)),
+            ("queue_depth", Json::Num(queue_depth as f64)),
+            ("epoch", Json::Num(image.epoch as f64)),
+            ("hash", Json::Str(format!("{:016x}", image.hash))),
+            ("origin", Json::Str(image.origin.clone())),
+            (
+                "p50_us",
+                Json::Num(self.latency.percentile(0.50).unwrap_or(0) as f64),
+            ),
+            (
+                "p99_us",
+                Json::Num(self.latency.percentile(0.99).unwrap_or(0) as f64),
+            ),
+        ])
+    }
 }
 
 /// What a worker executes for one admitted request.
@@ -221,6 +292,32 @@ enum JobKind {
     Poison,
 }
 
+/// Where a worker delivers a finished reply line.
+enum ReplySink {
+    /// v1 serial path: the connection reader blocks on this rendezvous
+    /// before it reads the next frame.
+    Rendezvous(mpsc::SyncSender<String>),
+    /// v2 pipelined path: the line goes straight to the connection's
+    /// writer thread, in completion order.
+    Writer(mpsc::Sender<String>),
+}
+
+impl ReplySink {
+    /// Delivers the reply.  The connection may have died while the job
+    /// ran; the request still counts as answered, so failures to deliver
+    /// are deliberately ignored.
+    fn send(&self, line: String) {
+        match self {
+            ReplySink::Rendezvous(tx) => {
+                let _ = tx.send(line);
+            }
+            ReplySink::Writer(tx) => {
+                let _ = tx.send(line);
+            }
+        }
+    }
+}
+
 struct Job {
     id: u64,
     kind: JobKind,
@@ -228,7 +325,7 @@ struct Job {
     image: Arc<ServeImage>,
     deadline: Option<Instant>,
     admitted_at: Instant,
-    reply: mpsc::SyncSender<String>,
+    reply: ReplySink,
 }
 
 enum Listener {
@@ -254,6 +351,14 @@ impl Stream {
         match self {
             Stream::Unix(s) => s.set_read_timeout(timeout),
             Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// A second handle on the same socket, for the writer thread.
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
         }
     }
 }
@@ -282,13 +387,65 @@ impl Write for Stream {
     }
 }
 
-/// Shared daemon state.
-struct Shared {
+/// One served machine: its own swap point, admission queue, worker
+/// pool, and counters.  Isolation between machines falls out of the
+/// structure — shards share nothing but the listener.
+pub struct Shard {
+    /// Routing name (the `machine` field targets this).
+    name: String,
     store: Arc<ImageStore>,
     queue: AdmissionQueue<Job>,
     stats: Arc<ServeStats>,
+}
+
+impl Shard {
+    /// The shard's routing name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shard's image store.
+    pub fn store(&self) -> &Arc<ImageStore> {
+        &self.store
+    }
+
+    /// The shard's work-path counters.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
+    }
+}
+
+/// Shared daemon state.
+struct Shared {
+    /// Boot-order shards; index 0 is the default (v1) routing target.
+    shards: Vec<Shard>,
+    stats: Arc<ServeStats>,
     config: ServeConfig,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Routes a frame's `machine` field to a shard.
+    fn shard_for(&self, machine: Option<&str>) -> Option<&Shard> {
+        match machine {
+            None => self.shards.first(),
+            Some(name) => self.shards.iter().find(|shard| shard.name == name),
+        }
+    }
+
+    /// The `parse` error for a `machine` the daemon does not serve.
+    fn unknown_machine(&self, id: u64, name: &str) -> String {
+        let served: Vec<&str> = self.shards.iter().map(|s| s.name.as_str()).collect();
+        err_response(
+            id,
+            ErrorCode::Parse,
+            &format!(
+                "machine `{name}` is not served here (serving: {})",
+                served.join(", ")
+            ),
+            None,
+        )
+    }
 }
 
 /// A running daemon.  Dropping the handle does *not* stop it; call
@@ -308,14 +465,34 @@ impl ServerHandle {
         &self.addr
     }
 
-    /// The serving statistics (shared with the daemon threads).
+    /// The daemon-wide serving statistics (shared with the daemon
+    /// threads).  Per-shard counters live on [`ServerHandle::shards`].
     pub fn stats(&self) -> &Arc<ServeStats> {
         &self.shared.stats
     }
 
-    /// The image store (shared with the daemon threads).
+    /// The default (boot) shard's image store.
     pub fn store(&self) -> &Arc<ImageStore> {
-        &self.shared.store
+        &self.shared.shards[0].store
+    }
+
+    /// The shards, in boot order (index 0 is the default route).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shared.shards
+    }
+
+    /// A shard by routing name.
+    pub fn shard(&self, name: &str) -> Option<&Shard> {
+        self.shared.shards.iter().find(|s| s.name == name)
+    }
+
+    /// Publishes the daemon-wide counters under `serve/*` plus each
+    /// shard's work-path counters under `serve/shard/<name>/*`.
+    pub fn publish_stats(&self, tel: &Telemetry) {
+        self.shared.stats.publish(tel);
+        for shard in &self.shared.shards {
+            shard.stats.publish_shard(tel, &shard.name);
+        }
     }
 
     /// Requests shutdown from the owning process, as if a `shutdown`
@@ -338,7 +515,9 @@ impl ServerHandle {
             let _ = conn.join();
         }
         // All connections are gone, so no new pushes: close and drain.
-        self.shared.queue.close();
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -350,7 +529,9 @@ impl ServerHandle {
 
 fn trigger_shutdown(shared: &Shared, addr: &BindAddr) {
     shared.shutdown.store(true, Ordering::SeqCst);
-    shared.queue.close();
+    for shard in &shared.shards {
+        shard.queue.close();
+    }
     // Wake the accept loop with a throwaway connection.
     match addr {
         BindAddr::Unix(path) => {
@@ -362,13 +543,45 @@ fn trigger_shutdown(shared: &Shared, addr: &BindAddr) {
     }
 }
 
-/// Binds `addr` and starts the daemon threads.  Returns once the socket
-/// is listening, so a caller may connect immediately.
+/// Binds `addr` and starts a single-shard daemon (the v1 shape): the
+/// shard's routing name is the serving image's origin.  Returns once
+/// the socket is listening, so a caller may connect immediately.
 pub fn serve(
     addr: BindAddr,
     store: Arc<ImageStore>,
     config: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
+    let name = store.current().origin.clone();
+    serve_sharded(addr, vec![(name, store)], config)
+}
+
+/// Binds `addr` and starts the daemon threads with one shard per named
+/// store; the first entry is the default routing target.  Returns once
+/// the socket is listening, so a caller may connect immediately.
+///
+/// # Errors
+///
+/// Fails with `InvalidInput` on an empty or duplicate-named shard list,
+/// otherwise propagates socket errors.
+pub fn serve_sharded(
+    addr: BindAddr,
+    stores: Vec<(String, Arc<ImageStore>)>,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    if stores.is_empty() {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidInput,
+            "a daemon needs at least one shard",
+        ));
+    }
+    for (i, (name, _)) in stores.iter().enumerate() {
+        if stores[..i].iter().any(|(seen, _)| seen == name) {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                format!("duplicate shard name `{name}`"),
+            ));
+        }
+    }
     let (listener, addr) = match addr {
         BindAddr::Unix(path) => {
             // A stale socket file from a crashed predecessor would make
@@ -387,18 +600,29 @@ pub fn serve(
         }
     };
 
+    let shards = stores
+        .into_iter()
+        .map(|(name, store)| Shard {
+            name,
+            store,
+            queue: AdmissionQueue::new(config.queue_capacity),
+            stats: Arc::new(ServeStats::new()),
+        })
+        .collect();
     let shared = Arc::new(Shared {
-        store,
-        queue: AdmissionQueue::new(config.queue_capacity),
+        shards,
         stats: Arc::new(ServeStats::new()),
         config,
         shutdown: AtomicBool::new(false),
     });
 
-    let workers = (0..shared.config.workers.max(1))
-        .map(|_| {
+    // One worker pool per shard: a wedged or flooded shard keeps its
+    // threads busy without starving any other shard's queue.
+    let workers = (0..shared.shards.len())
+        .flat_map(|shard_index| (0..shared.config.workers.max(1)).map(move |_| shard_index))
+        .map(|shard_index| {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || worker_loop(&shared))
+            std::thread::spawn(move || worker_loop(&shared, shard_index))
         })
         .collect();
 
@@ -457,7 +681,43 @@ fn accept_loop(
 /// the shutdown flag and the slow-loris budget.
 const READ_TICK: Duration = Duration::from_millis(100);
 
-fn connection_loop(mut stream: Stream, shared: &Arc<Shared>, addr: &BindAddr) {
+fn connection_loop(stream: Stream, shared: &Arc<Shared>, addr: &BindAddr) {
+    // The reader keeps `stream`; the writer thread gets a second handle
+    // on the same socket and owns all outbound bytes, so pipelined
+    // replies can never interleave mid-line with inline ones.
+    let write_half = match stream.try_clone() {
+        Ok(half) => half,
+        Err(_) => return,
+    };
+    let (out, out_rx) = mpsc::channel::<String>();
+    let writer = std::thread::spawn(move || writer_loop(write_half, out_rx));
+    read_loop(stream, &out, shared, addr);
+    // Dropping the reader's sender lets the writer exit once every
+    // still-running pipelined job has delivered (or dropped) its reply;
+    // joining it keeps the drain inside this connection's lifetime.
+    drop(out);
+    let _ = writer.join();
+}
+
+/// Serializes reply lines onto the socket until every sender (the
+/// reader plus any in-flight pipelined jobs) is gone.  After a write
+/// error the remaining replies are drained and discarded — the jobs
+/// still count as answered.
+fn writer_loop(mut stream: Stream, replies: mpsc::Receiver<String>) {
+    let mut broken = false;
+    while let Ok(line) = replies.recv() {
+        if !broken && stream.write_all(line.as_bytes()).is_err() {
+            broken = true;
+        }
+    }
+}
+
+fn read_loop(
+    mut stream: Stream,
+    out: &mpsc::Sender<String>,
+    shared: &Arc<Shared>,
+    addr: &BindAddr,
+) {
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let stats = &shared.stats;
     let mut buf: Vec<u8> = Vec::new();
@@ -475,7 +735,7 @@ fn connection_loop(mut stream: Stream, shared: &Arc<Shared>, addr: &BindAddr) {
                     let line: Vec<u8> = buf.drain(..=pos).collect();
                     partial_since = None;
                     let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-                    if !handle_line(&text, &mut stream, shared, addr) {
+                    if !handle_line(&text, out, shared, addr) {
                         return;
                     }
                 }
@@ -485,13 +745,12 @@ fn connection_loop(mut stream: Stream, shared: &Arc<Shared>, addr: &BindAddr) {
                     partial_since.get_or_insert_with(Instant::now);
                     if buf.len() > MAX_FRAME {
                         stats.oversized_frames.fetch_add(1, Ordering::Relaxed);
-                        let line = err_response(
+                        let _ = out.send(err_response(
                             0,
                             ErrorCode::Parse,
                             "frame exceeds maximum size; closing connection",
                             None,
-                        );
-                        let _ = stream.write_all(line.as_bytes());
+                        ));
                         return;
                     }
                 }
@@ -510,9 +769,15 @@ fn connection_loop(mut stream: Stream, shared: &Arc<Shared>, addr: &BindAddr) {
     }
 }
 
-/// Handles one complete request line.  Returns `false` when the
-/// connection must close (shutdown acknowledged).
-fn handle_line(line: &str, stream: &mut Stream, shared: &Arc<Shared>, addr: &BindAddr) -> bool {
+/// Handles one complete request line, sending replies through the
+/// connection's writer.  Returns `false` when the connection must close
+/// (shutdown acknowledged).
+fn handle_line(
+    line: &str,
+    out: &mpsc::Sender<String>,
+    shared: &Arc<Shared>,
+    addr: &BindAddr,
+) -> bool {
     let stats = &shared.stats;
     let frame = match parse_frame(line) {
         Ok(frame) => frame,
@@ -520,20 +785,30 @@ fn handle_line(line: &str, stream: &mut Stream, shared: &Arc<Shared>, addr: &Bin
             if wire.code == ErrorCode::Parse {
                 stats.parse_errors.fetch_add(1, Ordering::Relaxed);
             }
-            let line = err_response(wire.id, wire.code, &wire.message, None);
-            return stream.write_all(line.as_bytes()).is_ok();
+            let _ = out.send(err_response(wire.id, wire.code, &wire.message, None));
+            return true;
         }
     };
-    let id = frame.id;
+    let id = frame.reply_id();
+    let shard = match shared.shard_for(frame.machine.as_deref()) {
+        Some(shard) => shard,
+        None => {
+            stats.parse_errors.fetch_add(1, Ordering::Relaxed);
+            let name = frame.machine.as_deref().unwrap_or("");
+            let _ = out.send(shared.unknown_machine(id, name));
+            return true;
+        }
+    };
     let response = match frame.request {
         Request::Query => {
-            let image = shared.store.current();
+            let image = shard.store.current();
             ok_response(
                 id,
                 obj(vec![
                     ("epoch", Json::Num(image.epoch as f64)),
                     ("hash", Json::Str(format!("{:016x}", image.hash))),
                     ("origin", Json::Str(image.origin.clone())),
+                    ("machine", Json::Str(shard.name.clone())),
                     ("classes", Json::Num(image.mdes.classes().len() as f64)),
                     ("resources", Json::Num(image.mdes.num_resources() as f64)),
                     ("options", Json::Num(image.mdes.num_options() as f64)),
@@ -541,14 +816,38 @@ fn handle_line(line: &str, stream: &mut Stream, shared: &Arc<Shared>, addr: &Bin
             )
         }
         Request::Stats => {
-            let image = shared.store.current();
-            ok_response(id, stats.to_json(&image, shared.queue.depth()))
+            let image = shard.store.current();
+            let depth: usize = shared.shards.iter().map(|s| s.queue.depth()).sum();
+            let body = stats.to_json(&image, depth);
+            let shards = shared
+                .shards
+                .iter()
+                .map(|s| {
+                    (
+                        s.name.clone(),
+                        s.stats.to_shard_json(&s.store.current(), s.queue.depth()),
+                    )
+                })
+                .collect();
+            let body = match body {
+                Json::Obj(mut map) => {
+                    map.insert("shards".to_string(), Json::Obj(shards));
+                    Json::Obj(map)
+                }
+                other => other,
+            };
+            ok_response(id, body)
         }
-        Request::Reload { path } => match shared.store.reload_path(&path) {
+        Request::Reload { path } => match shard.store.reload_path(&path) {
             Ok(ReloadOutcome::Promoted { image, cache_hit }) => {
                 stats.reloads.fetch_add(1, Ordering::Relaxed);
+                shard.stats.reloads.fetch_add(1, Ordering::Relaxed);
                 if cache_hit {
                     stats.reload_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    shard
+                        .stats
+                        .reload_cache_hits
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 ok_response(
                     id,
@@ -562,6 +861,7 @@ fn handle_line(line: &str, stream: &mut Stream, shared: &Arc<Shared>, addr: &Bin
             }
             Ok(ReloadOutcome::Unchanged { epoch, hash }) => {
                 stats.reload_noops.fetch_add(1, Ordering::Relaxed);
+                shard.stats.reload_noops.fetch_add(1, Ordering::Relaxed);
                 ok_response(
                     id,
                     obj(vec![
@@ -574,12 +874,12 @@ fn handle_line(line: &str, stream: &mut Stream, shared: &Arc<Shared>, addr: &Bin
             }
             Err(err) => {
                 stats.reload_failures.fetch_add(1, Ordering::Relaxed);
+                shard.stats.reload_failures.fetch_add(1, Ordering::Relaxed);
                 err_response(id, err.code(), err.message(), None)
             }
         },
         Request::Shutdown => {
-            let line = ok_response(id, obj(vec![("stopping", Json::Bool(true))]));
-            let _ = stream.write_all(line.as_bytes());
+            let _ = out.send(ok_response(id, obj(vec![("stopping", Json::Bool(true))])));
             trigger_shutdown(shared, addr);
             return false;
         }
@@ -589,19 +889,20 @@ fn handle_line(line: &str, stream: &mut Stream, shared: &Arc<Shared>, addr: &Bin
             "`poison` requires the daemon to run with chaos mode enabled",
             None,
         ),
-        Request::Poison => return admit(id, JobKind::Poison, None, stream, shared),
+        Request::Poison => return admit(frame.id, JobKind::Poison, None, out, shard, shared),
         Request::Schedule {
             params,
             deadline_ms,
         } => {
             return admit(
-                id,
+                frame.id,
                 JobKind::Work {
                     params,
                     verify: false,
                 },
                 deadline_ms,
-                stream,
+                out,
+                shard,
                 shared,
             )
         }
@@ -610,83 +911,113 @@ fn handle_line(line: &str, stream: &mut Stream, shared: &Arc<Shared>, addr: &Bin
             deadline_ms,
         } => {
             return admit(
-                id,
+                frame.id,
                 JobKind::Work {
                     params,
                     verify: true,
                 },
                 deadline_ms,
-                stream,
+                out,
+                shard,
                 shared,
             )
         }
     };
-    stream.write_all(response.as_bytes()).is_ok()
+    let _ = out.send(response);
+    true
 }
 
-/// Admits a work request: captures the serving image, pushes the job,
-/// and relays the worker's answer.  Sheds instantly when the queue is
-/// full.
+/// Admits a work request to `shard`: captures its serving image and
+/// pushes the job.  A request with an `id` returns immediately (the
+/// worker routes the reply through the connection writer, possibly out
+/// of admission order); a request without one blocks for the worker's
+/// rendezvous reply, preserving v1 serial semantics.  Sheds instantly
+/// when the shard's queue is full.
 fn admit(
-    id: u64,
+    frame_id: Option<u64>,
     kind: JobKind,
     deadline_ms: Option<u64>,
-    stream: &mut Stream,
+    out: &mpsc::Sender<String>,
+    shard: &Shard,
     shared: &Arc<Shared>,
 ) -> bool {
-    let stats = &shared.stats;
+    let id = frame_id.unwrap_or(0);
     let admitted_at = Instant::now();
     let deadline = deadline_ms
         .or(shared.config.default_deadline_ms)
         .map(|ms| admitted_at + Duration::from_millis(ms));
-    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let (reply, wait) = match frame_id {
+        Some(_) => (ReplySink::Writer(out.clone()), None),
+        None => {
+            let (tx, rx) = mpsc::sync_channel(1);
+            (ReplySink::Rendezvous(tx), Some(rx))
+        }
+    };
     let job = Job {
         id,
         kind,
-        image: shared.store.current(),
+        image: shard.store.current(),
         deadline,
         admitted_at,
-        reply: reply_tx,
+        reply,
     };
-    match shared.queue.push(job) {
+    match shard.queue.push(job) {
         Ok(()) => {
-            stats.admitted.fetch_add(1, Ordering::Relaxed);
-            let line = match reply_rx.recv() {
-                Ok(line) => line,
-                // A worker always replies; reaching this means the pool
-                // died, which the daemon treats as an internal error.
-                Err(_) => err_response(id, ErrorCode::General, "worker pool unavailable", None),
-            };
-            stream.write_all(line.as_bytes()).is_ok()
+            shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            shard.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            if let Some(rx) = wait {
+                let line = match rx.recv() {
+                    Ok(line) => line,
+                    // A worker always replies; reaching this means the
+                    // pool died, which the daemon treats as an internal
+                    // error.
+                    Err(_) => err_response(id, ErrorCode::General, "worker pool unavailable", None),
+                };
+                let _ = out.send(line);
+            }
+            true
         }
         Err(PushError::Full(_)) => {
-            stats.shed.fetch_add(1, Ordering::Relaxed);
-            // Hint scales with how much work each waiting slot implies.
-            let hint = 5 + (shared.queue.depth() as u64 * 10) / shared.config.workers.max(1) as u64;
-            let line = err_response(
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            shard.stats.shed.fetch_add(1, Ordering::Relaxed);
+            // Hint scales with how much work each waiting slot in *this
+            // shard's* queue implies.
+            let hint = 5 + (shard.queue.depth() as u64 * 10) / shared.config.workers.max(1) as u64;
+            let _ = out.send(err_response(
                 id,
                 ErrorCode::Overload,
                 "admission queue full; request shed",
                 Some(hint),
-            );
-            stream.write_all(line.as_bytes()).is_ok()
+            ));
+            true
         }
         Err(PushError::Closed(_)) => {
-            let line = err_response(id, ErrorCode::General, "daemon is shutting down", None);
-            let _ = stream.write_all(line.as_bytes());
+            let _ = out.send(err_response(
+                id,
+                ErrorCode::General,
+                "daemon is shutting down",
+                None,
+            ));
             false
         }
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
-        let stats = &shared.stats;
+fn worker_loop(shared: &Arc<Shared>, shard_index: usize) {
+    let shard = &shared.shards[shard_index];
+    while let Some(job) = shard.queue.pop() {
         let line = if job
             .deadline
             .is_some_and(|deadline| Instant::now() > deadline)
         {
-            stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
+            shard
+                .stats
+                .deadline_exceeded
+                .fetch_add(1, Ordering::Relaxed);
             err_response(
                 job.id,
                 ErrorCode::Deadline,
@@ -694,28 +1025,32 @@ fn worker_loop(shared: &Arc<Shared>) {
                 None,
             )
         } else {
-            execute(&job, stats)
+            execute(&job, &shared.stats, &shard.stats)
         };
-        stats
-            .latency
-            .record(job.admitted_at.elapsed().as_micros() as u64);
-        stats.answered.fetch_add(1, Ordering::Relaxed);
+        let latency_us = job.admitted_at.elapsed().as_micros() as u64;
+        shared.stats.latency.record(latency_us);
+        shard.stats.latency.record(latency_us);
+        shared.stats.answered.fetch_add(1, Ordering::Relaxed);
+        shard.stats.answered.fetch_add(1, Ordering::Relaxed);
         // The connection may have died while we worked; the request
         // still counts as answered.
-        let _ = job.reply.send(line);
+        job.reply.send(line);
     }
 }
 
 /// Runs one job inside the panic-isolation boundary.
-fn execute(job: &Job, stats: &ServeStats) -> String {
+fn execute(job: &Job, global: &ServeStats, shard: &ServeStats) -> String {
     let outcome = catch_unwind(AssertUnwindSafe(|| match &job.kind {
         JobKind::Poison => panic!("poison verb"),
-        JobKind::Work { params, verify } => run_work(job.id, *params, *verify, &job.image, stats),
+        JobKind::Work { params, verify } => {
+            run_work(job.id, *params, *verify, &job.image, global, shard)
+        }
     }));
     match outcome {
         Ok(line) => line,
         Err(_) => {
-            stats.panics.fetch_add(1, Ordering::Relaxed);
+            global.panics.fetch_add(1, Ordering::Relaxed);
+            shard.panics.fetch_add(1, Ordering::Relaxed);
             err_response(
                 job.id,
                 ErrorCode::Panic,
@@ -731,7 +1066,8 @@ fn run_work(
     params: WorkParams,
     verify: bool,
     image: &ServeImage,
-    stats: &ServeStats,
+    global: &ServeStats,
+    shard: &ServeStats,
 ) -> String {
     let config = RegionConfig::new(params.regions)
         .with_mean_ops(params.mean_ops)
@@ -739,7 +1075,10 @@ fn run_work(
     let workload = generate_compiled_regions(&image.mdes, &config);
     let engine = Engine::new(Arc::clone(&image.mdes));
     let outcome = engine.schedule_batch(&workload.blocks, params.jobs);
-    stats
+    global
+        .engine_panics
+        .fetch_add(outcome.worker_panics(), Ordering::Relaxed);
+    shard
         .engine_panics
         .fetch_add(outcome.worker_panics(), Ordering::Relaxed);
     if !outcome.is_clean() {

@@ -97,16 +97,20 @@ fn the_daemon_survives_chaos_while_answering_every_request_correctly() {
             seed: 0xC4A05,
             jobs: 1,
         },
+        pipeline: 1,
+        machines: Vec::new(),
         deadline_ms: None,
         reloads: vec![
             ReloadEvent {
                 at: 60,
                 path: pentium.display().to_string(),
+                machine: None,
                 expect_rejection: false,
             },
             ReloadEvent {
                 at: 140,
                 path: corrupt.display().to_string(),
+                machine: None,
                 expect_rejection: true,
             },
         ],

@@ -45,6 +45,27 @@ pub fn start(machine: Machine, tag: &str, config: ServeConfig) -> (ServerHandle,
     (handle, addr)
 }
 
+/// Boots a multi-shard daemon, one shard (named after the machine) per
+/// entry, on a fresh Unix socket.
+pub fn start_sharded(
+    machines: &[Machine],
+    tag: &str,
+    config: ServeConfig,
+) -> (ServerHandle, BindAddr) {
+    let stores = machines
+        .iter()
+        .map(|&m| {
+            (
+                m.name().to_string(),
+                Arc::new(ImageStore::new(compile_machine(m), m.name(), config.seed)),
+            )
+        })
+        .collect();
+    let addr = BindAddr::Unix(unique_socket(tag));
+    let handle = mdes_serve::serve_sharded(addr.clone(), stores, config).expect("daemon binds");
+    (handle, addr)
+}
+
 /// A raw client connection speaking the line protocol, with a read
 /// deadline so a hung daemon fails the test instead of wedging it.
 pub struct TestConn {

@@ -224,10 +224,13 @@ fn mid_stream_reload_keeps_every_answer_verifiable() {
             seed: 0x11AD,
             jobs: 1,
         },
+        pipeline: 1,
+        machines: Vec::new(),
         deadline_ms: None,
         reloads: vec![ReloadEvent {
             at: 30,
             path: pentium.display().to_string(),
+            machine: None,
             expect_rejection: false,
         }],
         known_sources: vec![image_bytes(Machine::K5), image_bytes(Machine::Pentium)],
